@@ -1,0 +1,75 @@
+// Quinto adds a new module to the library (Appendix B of Koster &
+// Stok, EUT 89-E-219).
+//
+// Usage:
+//
+//	quinto [-loose] [file]
+//
+// The input (a file argument or stdin) is an Appendix B module
+// description:
+//
+//	module <MODULE-NAME> <WIDTH> <HEIGHT>
+//	<TYPE> <TERM-NAME> <X> <Y>
+//
+// By default the Appendix B constraint applies: width, height and
+// coordinates must be divisible by 10 (the ESCHER grid); -loose accepts
+// track-unit coordinates directly. The generated Appendix C template
+// representation is written into $USER_LIB/<module-name> (or stdout
+// when USER_LIB is unset).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"netart/internal/library"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quinto:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	loose := flag.Bool("loose", false, "accept track-unit coordinates (skip the divisible-by-10 rule)")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	} else if flag.NArg() > 1 {
+		return fmt.Errorf("usage: quinto [-loose] [file]")
+	}
+
+	spec, err := library.ParseModuleDescription(in, !*loose)
+	if err != nil {
+		return err
+	}
+
+	dir := os.Getenv("USER_LIB")
+	out := io.Writer(os.Stdout)
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		f, err := os.Create(filepath.Join(dir, spec.Name))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+		fmt.Fprintf(os.Stderr, "quinto: added %s (%dx%d, %d terminals) to %s\n",
+			spec.Name, spec.W, spec.H, len(spec.Terms), dir)
+	}
+	return library.WriteTemplateFile(out, spec, "userlib")
+}

@@ -1,0 +1,83 @@
+// Datapath reproduces the parameter sweep of figures 6.2–6.5: the same
+// 16-module / 24-net controller + datapath network generated with four
+// different placement settings, showing how the partition size (-p) and
+// box size (-b) shape the diagram — clustering only, functional groups,
+// strings of modules, and a manual tweak.
+//
+// Run with: go run ./examples/datapath [-svgdir DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"netart/internal/gen"
+	"netart/internal/netlist"
+	"netart/internal/place"
+	"netart/internal/route"
+	"netart/internal/schematic"
+	"netart/internal/workload"
+)
+
+func main() {
+	svgdir := flag.String("svgdir", "", "write one SVG per configuration into DIR")
+	flag.Parse()
+
+	configs := []struct {
+		fig  string
+		p, b int
+		hand bool
+	}{
+		{"6.2", 1, 1, false},
+		{"6.3", 5, 1, false},
+		{"6.4", 7, 5, false},
+		{"6.5", 1, 1, true},
+	}
+
+	fmt.Println("fig   p  b  partitions  area  wire  bends  cross  flow  unrouted")
+	for _, cfg := range configs {
+		d := workload.Datapath16()
+		opts := gen.Options{
+			Place: place.Options{PartSize: cfg.p, BoxSize: cfg.b},
+			Route: route.Options{Claimpoints: true},
+		}
+		if cfg.hand {
+			opts.Place.Fixed = map[*netlist.Module]place.Fixed{}
+			for name, hp := range workload.Datapath16HandTweak() {
+				opts.Place.Fixed[d.Module(name)] = place.Fixed{Pos: hp.Pos, Orient: hp.Orient}
+			}
+		}
+		dg, err := gen.Generate(d, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := dg.Verify(); err != nil {
+			log.Fatal(err)
+		}
+		m := dg.Metrics()
+		fmt.Printf("%-4s %2d %2d  %10d %5d %5d  %5d  %5d  %.2f  %8d\n",
+			cfg.fig, cfg.p, cfg.b, len(dg.Placement.Parts),
+			m.Area, m.WireLength, m.Bends, m.Crossings, m.FlowRight, m.Unrouted)
+
+		if *svgdir != "" {
+			if err := writeSVG(dg, filepath.Join(*svgdir, "fig"+cfg.fig+".svg")); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	if *svgdir != "" {
+		fmt.Println("SVG renderings written to", *svgdir)
+	}
+}
+
+func writeSVG(dg *schematic.Diagram, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return dg.WriteSVG(f)
+}

@@ -1,0 +1,3 @@
+module netart
+
+go 1.22

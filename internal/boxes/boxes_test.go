@@ -1,0 +1,302 @@
+package boxes
+
+import (
+	"testing"
+	"testing/quick"
+
+	"netart/internal/geom"
+	"netart/internal/netlist"
+	"netart/internal/partition"
+	"netart/internal/workload"
+)
+
+func partsOf(d *netlist.Design, maxPart int) []*partition.Part {
+	return partition.Partition(d, partition.Config{MaxSize: maxPart})
+}
+
+// checkBoxesPartition verifies that the boxes of each partition cover
+// its modules exactly once and obey the size bound.
+func checkBoxesPartition(t *testing.T, parts []*partition.Part, bxs [][]*Box, maxBox int) {
+	t.Helper()
+	for pi, p := range parts {
+		seen := map[*netlist.Module]bool{}
+		for _, b := range bxs[pi] {
+			if b.Len() == 0 {
+				t.Fatalf("partition %d has an empty box", pi)
+			}
+			if b.Len() > maxBox {
+				t.Errorf("partition %d box length %d > %d", pi, b.Len(), maxBox)
+			}
+			for _, m := range b.Modules {
+				if seen[m] {
+					t.Errorf("module %s in two boxes", m.Name)
+				}
+				seen[m] = true
+				if !p.Contains(m) {
+					t.Errorf("module %s boxed outside its partition", m.Name)
+				}
+			}
+		}
+		if len(seen) != len(p.Modules) {
+			t.Errorf("partition %d: boxed %d of %d modules", pi, len(seen), len(p.Modules))
+		}
+	}
+}
+
+// checkStringsConnected verifies the string invariant: consecutive box
+// modules are out→in connected.
+func checkStringsConnected(t *testing.T, bxs [][]*Box) {
+	t.Helper()
+	for _, pb := range bxs {
+		for _, b := range pb {
+			for i := 0; i+1 < b.Len(); i++ {
+				if _, _, ok := StringNet(b.Modules[i], b.Modules[i+1]); !ok {
+					t.Errorf("box string broken between %s and %s",
+						b.Modules[i].Name, b.Modules[i+1].Name)
+				}
+			}
+		}
+	}
+}
+
+func TestFig61SingleBox(t *testing.T) {
+	// Figure 6.1: one partition (p=6), one box (b=6) holding the whole
+	// string in signal order.
+	d := workload.Fig61()
+	parts := partsOf(d, 6)
+	if len(parts) != 1 {
+		t.Fatalf("%d partitions, want 1", len(parts))
+	}
+	bxs := Form(d, parts, Config{MaxBoxSize: 6})
+	if len(bxs[0]) != 1 {
+		t.Fatalf("%d boxes, want 1", len(bxs[0]))
+	}
+	b := bxs[0][0]
+	if b.Len() != 6 {
+		t.Fatalf("box length %d, want 6", b.Len())
+	}
+	for i, m := range b.Modules {
+		want := "m" + string(rune('0'+i))
+		if m.Name != want {
+			t.Errorf("level %d: %s, want %s", i+1, m.Name, want)
+		}
+	}
+	checkStringsConnected(t, bxs)
+}
+
+func TestBoxSizeOne(t *testing.T) {
+	// -b 1, the Appendix E default: one module per box.
+	d := workload.Datapath16()
+	parts := partsOf(d, 5)
+	bxs := Form(d, parts, Config{MaxBoxSize: 1})
+	checkBoxesPartition(t, parts, bxs, 1)
+}
+
+func TestBoxSizeBound(t *testing.T) {
+	d := workload.Datapath16()
+	parts := partsOf(d, 7)
+	for _, maxBox := range []int{1, 2, 3, 5} {
+		bxs := Form(d, parts, Config{MaxBoxSize: maxBox})
+		checkBoxesPartition(t, parts, bxs, maxBox)
+		checkStringsConnected(t, bxs)
+	}
+}
+
+func TestBoxesFormLongStrings(t *testing.T) {
+	// In a -p 7 -b 5 run (figure 6.4) the datapath lanes must surface
+	// as strings longer than one module.
+	d := workload.Datapath16()
+	parts := partsOf(d, 7)
+	bxs := Form(d, parts, Config{MaxBoxSize: 5})
+	longest := 0
+	for _, pb := range bxs {
+		for _, b := range pb {
+			if b.Len() > longest {
+				longest = b.Len()
+			}
+		}
+	}
+	if longest < 3 {
+		t.Errorf("longest string %d, want >= 3 (mux->reg->alu chains exist)", longest)
+	}
+}
+
+func TestConstructRoots(t *testing.T) {
+	d := workload.Fig61()
+	parts := partsOf(d, 6)
+	roots := ConstructRoots(d, parts[0])
+	// m0 is connected to a system in-terminal: must be a root.
+	if !roots[d.Module("m0")] {
+		t.Error("m0 (system input) not a root")
+	}
+	// m5 has exactly one net to other modules: must be a root.
+	if !roots[d.Module("m5")] {
+		t.Error("m5 (single net) not a root")
+	}
+	// m2 sits mid-string with two nets and no external/system link.
+	if roots[d.Module("m2")] {
+		t.Error("m2 should not be a root")
+	}
+}
+
+func TestRootsAcrossPartitions(t *testing.T) {
+	// With small partitions, a module connected to another partition
+	// must be a root.
+	d := workload.Fig61()
+	parts := partsOf(d, 2)
+	if len(parts) < 2 {
+		t.Skip("partitioning merged everything")
+	}
+	for _, p := range parts {
+		roots := ConstructRoots(d, p)
+		if len(roots) == 0 {
+			t.Errorf("partition with no roots despite external connections")
+		}
+	}
+}
+
+func TestCyclicPartitionStillBoxed(t *testing.T) {
+	// A ring of modules has no natural roots (every module has two
+	// nets); box formation must still terminate and cover everything.
+	d := netlist.NewDesign("ring")
+	const n = 4
+	for i := 0; i < n; i++ {
+		_, err := d.AddModule(name(i), "G", 3, 3, []netlist.TermSpec{
+			{Name: "A", Type: netlist.In, Pos: pt(0, 1)},
+			{Name: "Y", Type: netlist.Out, Pos: pt(3, 1)},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		net := "r" + name(i)
+		if err := d.Connect(net, name(i), "Y"); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Connect(net, name((i+1)%n), "A"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	parts := partsOf(d, n)
+	bxs := Form(d, parts, Config{MaxBoxSize: n})
+	checkBoxesPartition(t, parts, bxs, n)
+	checkStringsConnected(t, bxs)
+	// The ring should be peeled as one string of n modules (the cycle
+	// broken once).
+	if len(bxs[0]) != 1 || bxs[0][0].Len() != n {
+		t.Errorf("ring boxed as %d boxes, first of length %d", len(bxs[0]), bxs[0][0].Len())
+	}
+}
+
+func TestLongestPathPrefersLongest(t *testing.T) {
+	// Y-shaped network: a -> b -> c and a -> d. The first box from root
+	// a must take the 3-long branch.
+	d := netlist.NewDesign("y")
+	mk := func(nm string) {
+		_, err := d.AddModule(nm, "G", 3, 3, []netlist.TermSpec{
+			{Name: "A", Type: netlist.In, Pos: pt(0, 1)},
+			{Name: "Y", Type: netlist.Out, Pos: pt(3, 1)},
+			{Name: "Y2", Type: netlist.Out, Pos: pt(3, 2)},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, nm := range []string{"a", "b", "c", "dd"} {
+		mk(nm)
+	}
+	conn := func(net, m1, t1, m2, t2 string) {
+		if err := d.Connect(net, m1, t1); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Connect(net, m2, t2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	conn("n1", "a", "Y", "b", "A")
+	conn("n2", "b", "Y", "c", "A")
+	conn("n3", "a", "Y2", "dd", "A")
+	// Make a a root (system input rule) so the longest-path search
+	// starts there; it must then prefer the 3-long branch over a->dd.
+	if _, err := d.AddSysTerm("GO", netlist.In); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ConnectSys("ngo", "GO"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Connect("ngo", "a", "A"); err != nil {
+		t.Fatal(err)
+	}
+	parts := partsOf(d, 4)
+	bxs := Form(d, parts, Config{MaxBoxSize: 4})
+	first := bxs[0][0]
+	if first.Len() != 3 {
+		t.Fatalf("first box length %d, want 3 (a,b,c)", first.Len())
+	}
+	names := []string{first.Modules[0].Name, first.Modules[1].Name, first.Modules[2].Name}
+	if names[0] != "a" || names[1] != "b" || names[2] != "c" {
+		t.Errorf("first box = %v, want [a b c]", names)
+	}
+}
+
+func TestBoxHelpers(t *testing.T) {
+	d := workload.Fig61()
+	parts := partsOf(d, 6)
+	bxs := Form(d, parts, Config{MaxBoxSize: 6})
+	b := bxs[0][0]
+	if b.Head().Name != "m0" || b.Tail().Name != "m5" {
+		t.Errorf("Head/Tail = %s/%s", b.Head().Name, b.Tail().Name)
+	}
+}
+
+func TestStringNetNotConnected(t *testing.T) {
+	d := workload.Fig61()
+	if _, _, ok := StringNet(d.Module("m0"), d.Module("m3")); ok {
+		t.Error("StringNet found a link between unconnected modules")
+	}
+	// Direction matters: m1 drives m2, not the reverse.
+	if _, _, ok := StringNet(d.Module("m2"), d.Module("m1")); ok {
+		t.Error("StringNet ignored direction")
+	}
+}
+
+func TestBoxesPropertyRandom(t *testing.T) {
+	f := func(seed int64, partRaw, boxRaw uint8) bool {
+		d := workload.Random(10, seed)
+		maxPart := 1 + int(partRaw)%6
+		maxBox := 1 + int(boxRaw)%5
+		parts := partition.Partition(d, partition.Config{MaxSize: maxPart})
+		bxs := Form(d, parts, Config{MaxBoxSize: maxBox})
+		for pi, p := range parts {
+			seen := map[*netlist.Module]bool{}
+			for _, b := range bxs[pi] {
+				if b.Len() == 0 || b.Len() > maxBox {
+					return false
+				}
+				for i, m := range b.Modules {
+					if seen[m] || !p.Contains(m) {
+						return false
+					}
+					seen[m] = true
+					if i > 0 {
+						if _, _, ok := StringNet(b.Modules[i-1], m); !ok {
+							return false
+						}
+					}
+				}
+			}
+			if len(seen) != len(p.Modules) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func name(i int) string { return string(rune('p' + i)) }
+
+func pt(x, y int) geom.Point { return geom.Pt(x, y) }

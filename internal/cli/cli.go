@@ -1,0 +1,120 @@
+// Package cli holds the file plumbing shared by the pablo, eureka,
+// quinto and netart commands: loading Appendix A network descriptions
+// against the module library, reading and writing ESCHER diagrams, and
+// extending the builtin library with the user's Appendix C template
+// files.
+package cli
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"netart/internal/library"
+	"netart/internal/netlist"
+	"netart/internal/schematic"
+)
+
+// UserLibrary returns the builtin library extended with every Appendix
+// C template file found in the $USER_LIB directory (the environment
+// variable the paper's tools use, Appendix B/E/F).
+func UserLibrary() (*library.Library, error) {
+	lib := library.Builtin()
+	dir := os.Getenv("USER_LIB")
+	if dir == "" {
+		return lib, nil
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("USER_LIB: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		spec, err := library.ReadTemplateFile(f)
+		f.Close()
+		if err != nil {
+			continue // not a template file; skip
+		}
+		if !lib.Has(spec.Name) {
+			if err := lib.Add(spec); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return lib, nil
+}
+
+// LoadDesign reads the Appendix A triple (net-list, call, optional io
+// file) and resolves templates against the user library.
+func LoadDesign(name, netFile, callFile, ioFile string) (*netlist.Design, error) {
+	lib, err := UserLibrary()
+	if err != nil {
+		return nil, err
+	}
+	callR, err := os.Open(callFile)
+	if err != nil {
+		return nil, err
+	}
+	defer callR.Close()
+	netR, err := os.Open(netFile)
+	if err != nil {
+		return nil, err
+	}
+	defer netR.Close()
+	var ioR io.Reader
+	if ioFile != "" {
+		f, err := os.Open(ioFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		ioR = f
+	}
+	return netlist.Load(name, callR, netR, ioR, lib)
+}
+
+// ReadDiagram parses an ESCHER diagram file.
+func ReadDiagram(path string) (*schematic.ESCHERDiagram, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return schematic.ReadESCHER(f)
+}
+
+// WriteDiagram writes an ESCHER diagram to path, or stdout when path is
+// empty.
+func WriteDiagram(path string, dg *schematic.Diagram) error {
+	w := io.Writer(os.Stdout)
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return schematic.WriteESCHER(w, dg, "userlib")
+}
+
+// WriteSVG writes the diagram as SVG to path, or stdout when empty.
+func WriteSVG(path string, dg *schematic.Diagram) error {
+	w := io.Writer(os.Stdout)
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return dg.WriteSVG(w)
+}

@@ -1,0 +1,154 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"netart/internal/gen"
+	"netart/internal/library"
+	"netart/internal/place"
+	"netart/internal/route"
+	"netart/internal/workload"
+)
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestLoadDesignFromFiles(t *testing.T) {
+	dir := t.TempDir()
+	netF := writeFile(t, dir, "d.net", "w g0 Y\nw g1 A\nx root X\nx g0 A\n")
+	callF := writeFile(t, dir, "d.call", "g0 INV\ng1 INV\n")
+	ioF := writeFile(t, dir, "d.io", "X in\n")
+	d, err := LoadDesign("d", netF, callF, ioF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Modules) != 2 || len(d.Nets) != 2 || len(d.SysTerms) != 1 {
+		t.Errorf("loaded %d modules, %d nets, %d terminals",
+			len(d.Modules), len(d.Nets), len(d.SysTerms))
+	}
+}
+
+func TestLoadDesignWithoutIO(t *testing.T) {
+	dir := t.TempDir()
+	netF := writeFile(t, dir, "d.net", "w g0 Y\nw g1 A\n")
+	callF := writeFile(t, dir, "d.call", "g0 INV\ng1 INV\n")
+	d, err := LoadDesign("d", netF, callF, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.SysTerms) != 0 {
+		t.Error("unexpected system terminals")
+	}
+}
+
+func TestLoadDesignErrors(t *testing.T) {
+	dir := t.TempDir()
+	netF := writeFile(t, dir, "d.net", "w g0 Y\n")
+	callF := writeFile(t, dir, "d.call", "g0 NOSUCH\n")
+	if _, err := LoadDesign("d", netF, callF, ""); err == nil {
+		t.Error("unknown template accepted")
+	}
+	if _, err := LoadDesign("d", filepath.Join(dir, "missing"), callF, ""); err == nil {
+		t.Error("missing net file accepted")
+	}
+	if _, err := LoadDesign("d", netF, filepath.Join(dir, "missing"), ""); err == nil {
+		t.Error("missing call file accepted")
+	}
+	if _, err := LoadDesign("d", netF, callF, filepath.Join(dir, "missing")); err == nil {
+		t.Error("missing io file accepted")
+	}
+}
+
+func TestUserLibraryExtension(t *testing.T) {
+	dir := t.TempDir()
+	// A valid Appendix C template file plus a junk file to skip.
+	spec := library.Builtin()
+	and2, err := spec.Template("AND2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	and2.Name = "CUSTOM_GATE"
+	f, err := os.Create(filepath.Join(dir, "CUSTOM_GATE"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := library.WriteTemplateFile(f, and2, "userlib"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	writeFile(t, dir, "junk.txt", "not a template\n")
+
+	t.Setenv("USER_LIB", dir)
+	lib, err := UserLibrary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lib.Has("CUSTOM_GATE") {
+		t.Error("user template not loaded")
+	}
+	if !lib.Has("AND2") {
+		t.Error("builtin templates lost")
+	}
+}
+
+func TestUserLibraryMissingDir(t *testing.T) {
+	t.Setenv("USER_LIB", filepath.Join(t.TempDir(), "nope"))
+	if _, err := UserLibrary(); err == nil {
+		t.Error("missing USER_LIB directory accepted")
+	}
+}
+
+func TestDiagramFileRoundTrip(t *testing.T) {
+	dg, err := gen.Generate(workload.Fig61(), gen.Options{
+		Place: place.Options{PartSize: 6, BoxSize: 6},
+		Route: route.Options{Claimpoints: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	p := filepath.Join(dir, "out.esc")
+	if err := WriteDiagram(p, dg); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ReadDiagram(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.Modules) != 6 {
+		t.Errorf("round trip: %d instances", len(parsed.Modules))
+	}
+	if _, err := ReadDiagram(filepath.Join(dir, "missing.esc")); err == nil {
+		t.Error("missing diagram accepted")
+	}
+}
+
+func TestWriteSVGFile(t *testing.T) {
+	dg, err := gen.Generate(workload.Fig61(), gen.Options{
+		Place: place.Options{PartSize: 6, BoxSize: 6},
+		Route: route.Options{Claimpoints: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(t.TempDir(), "out.svg")
+	if err := WriteSVG(p, dg); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "<svg") {
+		t.Error("SVG output missing header")
+	}
+}

@@ -1,0 +1,267 @@
+// Package gen is the automatic schematic diagram generator of figure
+// 3.2: independent placement and routing composed into one call, plus
+// the experiment harness that regenerates the evaluation of §6 (Table
+// 6.1 and figures 6.1–6.7).
+package gen
+
+import (
+	"fmt"
+	"time"
+
+	"netart/internal/netlist"
+	"netart/internal/place"
+	"netart/internal/route"
+	"netart/internal/schematic"
+	"netart/internal/workload"
+)
+
+// Placer selects the placement algorithm.
+type Placer int
+
+// The available placers: the paper's own algorithm plus the surveyed
+// baselines (§4.2/§4.3).
+const (
+	PlacePaper Placer = iota
+	PlaceEpitaxial
+	PlaceMinCut
+	PlaceLogicColumns
+)
+
+// String implements fmt.Stringer.
+func (p Placer) String() string {
+	switch p {
+	case PlacePaper:
+		return "paper"
+	case PlaceEpitaxial:
+		return "epitaxial"
+	case PlaceMinCut:
+		return "mincut"
+	case PlaceLogicColumns:
+		return "logic-columns"
+	default:
+		return fmt.Sprintf("Placer(%d)", int(p))
+	}
+}
+
+// Options configures a full generation run.
+type Options struct {
+	Placer Placer
+	Place  place.Options
+	Route  route.Options
+}
+
+// DefaultOptions returns the settings used by the examples: the paper's
+// placer with moderate clustering, claimpoints on.
+func DefaultOptions() Options {
+	return Options{
+		Place: place.Options{PartSize: 7, BoxSize: 5},
+		Route: route.Options{Claimpoints: true},
+	}
+}
+
+// PlaceDesign runs only the placement phase (the PABLO half).
+func PlaceDesign(d *netlist.Design, opts Options) (*place.Result, error) {
+	switch opts.Placer {
+	case PlaceEpitaxial:
+		return place.Epitaxial(d, 2+opts.Place.ModSpacing)
+	case PlaceMinCut:
+		return place.MinCut(d, 1+opts.Place.ModSpacing)
+	case PlaceLogicColumns:
+		return place.LogicColumns(d, 2+opts.Place.ModSpacing)
+	default:
+		return place.Place(d, opts.Place)
+	}
+}
+
+// Generate runs placement followed by routing and returns the finished
+// diagram.
+func Generate(d *netlist.Design, opts Options) (*schematic.Diagram, error) {
+	pr, err := PlaceDesign(d, opts)
+	if err != nil {
+		return nil, err
+	}
+	rr, err := route.Route(pr, opts.Route)
+	if err != nil {
+		return nil, err
+	}
+	return schematic.FromRouting(rr), nil
+}
+
+// GenerateOnPlacement routes a diagram over an existing placement (the
+// EUREKA half).
+func GenerateOnPlacement(pr *place.Result, opts route.Options) (*schematic.Diagram, error) {
+	rr, err := route.Route(pr, opts)
+	if err != nil {
+		return nil, err
+	}
+	return schematic.FromRouting(rr), nil
+}
+
+// Experiment is one row of the §6 evaluation.
+type Experiment struct {
+	ID      string // figure number, e.g. "6.4"
+	Descr   string
+	Build   func() *netlist.Design
+	Options Options
+	// Hand, when set, pins the named modules (figure 6.5's manual
+	// tweak pins one module; figure 6.6 pins all of them).
+	Hand func() map[string]workload.HandPos
+	// HandOnly marks a fully manual placement (figure 6.6): placement
+	// time is not reported, matching the dash in Table 6.1.
+	HandOnly bool
+}
+
+// Experiments returns the full §6 suite in figure order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{
+			ID:    "6.1",
+			Descr: "6-module string, one partition, one box (-p 6 -b 6)",
+			Build: workload.Fig61,
+			Options: Options{
+				Place: place.Options{PartSize: 6, BoxSize: 6},
+				Route: route.Options{Claimpoints: true},
+			},
+		},
+		{
+			ID:    "6.2",
+			Descr: "16 modules / 24 nets, pure clustering (-p 1 -b 1)",
+			Build: workload.Datapath16,
+			Options: Options{
+				Place: place.Options{PartSize: 1, BoxSize: 1},
+				Route: route.Options{Claimpoints: true},
+			},
+		},
+		{
+			ID:    "6.3",
+			Descr: "functional partitions of five (-p 5 -b 1)",
+			Build: workload.Datapath16,
+			Options: Options{
+				Place: place.Options{PartSize: 5, BoxSize: 1},
+				Route: route.Options{Claimpoints: true},
+			},
+		},
+		{
+			ID:    "6.4",
+			Descr: "partitions of strings (-p 7 -b 5)",
+			Build: workload.Datapath16,
+			Options: Options{
+				Place: place.Options{PartSize: 7, BoxSize: 5},
+				Route: route.Options{Claimpoints: true},
+			},
+		},
+		{
+			ID:    "6.5",
+			Descr: "figure 6.2 with the controller manually moved top-left (-g)",
+			Build: workload.Datapath16,
+			Options: Options{
+				Place: place.Options{PartSize: 1, BoxSize: 1},
+				Route: route.Options{Claimpoints: true},
+			},
+			Hand: workload.Datapath16HandTweak,
+		},
+		{
+			ID:       "6.6",
+			Descr:    "LIFE network, 222 nets, manual placement, routing only",
+			Build:    workload.Life27,
+			Options:  Options{Route: route.Options{Claimpoints: true}},
+			Hand:     workload.LifeHandPlacement,
+			HandOnly: true,
+		},
+		{
+			ID:    "6.7",
+			Descr: "LIFE network, fully automatic generation",
+			Build: workload.Life27,
+			Options: Options{
+				// Extra white space (-s 1 -i 2 -e 3): §5.7 notes
+				// "there should always be enough routing space between
+				// the modules"; without it the automatic placement
+				// leaves the dense LIFE fabric short of tracks.
+				Place: place.Options{PartSize: 5, BoxSize: 5,
+					ModSpacing: 1, BoxSpacing: 2, PartSpacing: 3},
+				Route: route.Options{Claimpoints: true},
+			},
+		},
+	}
+}
+
+// Row is one measured Table 6.1 row.
+type Row struct {
+	Figure    string
+	Modules   int
+	Nets      int
+	PlaceTime time.Duration
+	RouteTime time.Duration
+	HandOnly  bool // placement column prints "-"
+	Unrouted  int
+	Metrics   schematic.Metrics
+}
+
+// Run executes one experiment, timing the two phases separately like
+// Table 6.1 does.
+func Run(e Experiment) (Row, *schematic.Diagram, error) {
+	d := e.Build()
+	stats := d.Stats()
+	row := Row{Figure: e.ID, Modules: stats.Modules, Nets: stats.Nets, HandOnly: e.HandOnly}
+
+	opts := e.Options
+	if e.Hand != nil {
+		fixed := map[*netlist.Module]place.Fixed{}
+		for name, hp := range e.Hand() {
+			m := d.Module(name)
+			if m == nil {
+				return row, nil, fmt.Errorf("gen: hand placement names unknown module %q", name)
+			}
+			fixed[m] = place.Fixed{Pos: hp.Pos, Orient: hp.Orient}
+		}
+		opts.Place.Fixed = fixed
+	}
+
+	t0 := time.Now()
+	pr, err := PlaceDesign(d, opts)
+	if err != nil {
+		return row, nil, err
+	}
+	row.PlaceTime = time.Since(t0)
+
+	t1 := time.Now()
+	rr, err := route.Route(pr, opts.Route)
+	if err != nil {
+		return row, nil, err
+	}
+	row.RouteTime = time.Since(t1)
+
+	dg := schematic.FromRouting(rr)
+	row.Unrouted = rr.UnroutedCount()
+	row.Metrics = dg.Metrics()
+	return row, dg, nil
+}
+
+// Table61 runs the whole suite and returns the measured rows.
+func Table61() ([]Row, error) {
+	var rows []Row
+	for _, e := range Experiments() {
+		row, _, err := Run(e)
+		if err != nil {
+			return nil, fmt.Errorf("gen: experiment %s: %w", e.ID, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatTable61 renders rows in the layout of Table 6.1 ("Timing
+// Figures"), with the unrouted count appended since §6's text reports
+// it per figure.
+func FormatTable61(rows []Row) string {
+	out := "figure  modules  nets  placement  routing   unrouted\n"
+	for _, r := range rows {
+		placeCol := fmt.Sprintf("%9.3fs", r.PlaceTime.Seconds())
+		if r.HandOnly {
+			placeCol = "         -"
+		}
+		out += fmt.Sprintf("%-6s  %7d  %4d %s  %7.3fs  %8d\n",
+			r.Figure, r.Modules, r.Nets, placeCol, r.RouteTime.Seconds(), r.Unrouted)
+	}
+	return out
+}

@@ -1,0 +1,154 @@
+package gen
+
+import (
+	"strings"
+	"testing"
+
+	"netart/internal/place"
+	"netart/internal/route"
+	"netart/internal/workload"
+)
+
+func TestGenerateDefault(t *testing.T) {
+	dg, err := Generate(workload.Datapath16(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dg.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if dg.Metrics().Unrouted != 0 {
+		t.Errorf("%d unrouted with default options", dg.Metrics().Unrouted)
+	}
+}
+
+func TestGenerateWithBaselinePlacers(t *testing.T) {
+	for _, p := range []Placer{PlaceEpitaxial, PlaceMinCut, PlaceLogicColumns} {
+		opts := DefaultOptions()
+		opts.Placer = p
+		dg, err := Generate(workload.Fig61(), opts)
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if err := dg.Verify(); err != nil {
+			t.Errorf("%v: %v", p, err)
+		}
+	}
+}
+
+func TestPlacerString(t *testing.T) {
+	for _, p := range []Placer{PlacePaper, PlaceEpitaxial, PlaceMinCut, PlaceLogicColumns, Placer(99)} {
+		if p.String() == "" {
+			t.Error("empty placer name")
+		}
+	}
+}
+
+func TestExperimentsSuiteComplete(t *testing.T) {
+	es := Experiments()
+	if len(es) != 7 {
+		t.Fatalf("%d experiments, want 7 (figures 6.1-6.7)", len(es))
+	}
+	want := []string{"6.1", "6.2", "6.3", "6.4", "6.5", "6.6", "6.7"}
+	for i, e := range es {
+		if e.ID != want[i] {
+			t.Errorf("experiment %d id = %s, want %s", i, e.ID, want[i])
+		}
+		if e.Build == nil || e.Descr == "" {
+			t.Errorf("experiment %s incomplete", e.ID)
+		}
+	}
+}
+
+func TestRunFig61(t *testing.T) {
+	row, dg, err := Run(Experiments()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Modules != 6 || row.Nets != 6 {
+		t.Errorf("row counts: %d modules, %d nets", row.Modules, row.Nets)
+	}
+	if row.Unrouted != 0 {
+		t.Errorf("unrouted = %d", row.Unrouted)
+	}
+	if err := dg.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFig65PinsController(t *testing.T) {
+	row, dg, err := Run(Experiments()[4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Figure != "6.5" {
+		t.Fatal("wrong experiment")
+	}
+	ctrl := dg.Design.Module("ctrl")
+	want := workload.Datapath16HandTweak()["ctrl"]
+	if got := dg.Placement.Mods[ctrl].Pos; got != want.Pos {
+		t.Errorf("controller at %v, want pinned %v", got, want.Pos)
+	}
+}
+
+func TestRunFig66HandPlacement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("LIFE routing is expensive")
+	}
+	row, dg, err := Run(Experiments()[5])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Modules != 27 || row.Nets != 222 {
+		t.Errorf("row counts: %d modules, %d nets; Table 6.1 says 27/222", row.Modules, row.Nets)
+	}
+	if !row.HandOnly {
+		t.Error("figure 6.6 must be marked hand-placed")
+	}
+	// Paper: 2 of 222 unroutable before manual repair; allow the same
+	// regime.
+	if row.Unrouted > 11 {
+		t.Errorf("unrouted = %d, want the low single digits (paper: 2)", row.Unrouted)
+	}
+	if err := dg.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormatTable61(t *testing.T) {
+	rows := []Row{
+		{Figure: "6.1", Modules: 6, Nets: 6},
+		{Figure: "6.6", Modules: 27, Nets: 222, HandOnly: true, Unrouted: 2},
+	}
+	s := FormatTable61(rows)
+	if !strings.Contains(s, "6.1") || !strings.Contains(s, "222") {
+		t.Errorf("table: %s", s)
+	}
+	if !strings.Contains(s, "-") {
+		t.Error("hand-placed row should print '-' for placement time")
+	}
+}
+
+func TestGenerateOnPlacement(t *testing.T) {
+	pr, err := place.Place(workload.Fig61(), place.Options{PartSize: 6, BoxSize: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dg, err := GenerateOnPlacement(pr, route.Options{Claimpoints: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dg.Metrics().Unrouted != 0 {
+		t.Error("unrouted nets on fig61 placement")
+	}
+}
+
+func TestRunHandPlacementUnknownModule(t *testing.T) {
+	e := Experiments()[5]
+	e.Hand = func() map[string]workload.HandPos {
+		return map[string]workload.HandPos{"ghost": {}}
+	}
+	if _, _, err := Run(e); err == nil {
+		t.Error("unknown hand-placed module accepted")
+	}
+}

@@ -1,0 +1,383 @@
+package geom
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPointArithmetic(t *testing.T) {
+	p := Pt(3, 4)
+	q := Pt(-1, 2)
+	if got := p.Add(q); got != Pt(2, 6) {
+		t.Errorf("Add = %v, want (2,6)", got)
+	}
+	if got := p.Sub(q); got != Pt(4, 2) {
+		t.Errorf("Sub = %v, want (4,2)", got)
+	}
+	if got := p.Manhattan(q); got != 6 {
+		t.Errorf("Manhattan = %d, want 6", got)
+	}
+	if got := p.SqDist(q); got != 20 {
+		t.Errorf("SqDist = %d, want 20", got)
+	}
+}
+
+func TestMinMaxAbs(t *testing.T) {
+	if Min(2, 3) != 2 || Min(3, 2) != 2 {
+		t.Error("Min broken")
+	}
+	if Max(2, 3) != 3 || Max(3, 2) != 3 {
+		t.Error("Max broken")
+	}
+	if Abs(-5) != 5 || Abs(5) != 5 || Abs(0) != 0 {
+		t.Error("Abs broken")
+	}
+}
+
+func TestRectNormalization(t *testing.T) {
+	r := R(5, 7, 1, 2)
+	if r.Min != Pt(1, 2) || r.Max != Pt(5, 7) {
+		t.Errorf("R did not normalize: %v", r)
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := R(0, 0, 4, 3)
+	if r.Dx() != 4 || r.Dy() != 3 || r.Area() != 12 {
+		t.Errorf("Dx/Dy/Area wrong: %d %d %d", r.Dx(), r.Dy(), r.Area())
+	}
+	if r.Empty() {
+		t.Error("non-empty rect reported empty")
+	}
+	if !R(1, 1, 1, 5).Empty() {
+		t.Error("zero-width rect should be empty")
+	}
+	if R(1, 1, 1, 5).Area() != 0 {
+		t.Error("empty rect area should be 0")
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := R(0, 0, 4, 3)
+	cases := []struct {
+		p    Point
+		want bool
+	}{
+		{Pt(0, 0), true},
+		{Pt(3, 2), true},
+		{Pt(4, 2), false}, // Max exclusive
+		{Pt(3, 3), false},
+		{Pt(-1, 0), false},
+	}
+	for _, c := range cases {
+		if got := r.Contains(c.p); got != c.want {
+			t.Errorf("Contains(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestRectOverlaps(t *testing.T) {
+	a := R(0, 0, 4, 4)
+	if !a.Overlaps(R(3, 3, 6, 6)) {
+		t.Error("corner-overlapping rects should overlap")
+	}
+	if a.Overlaps(R(4, 0, 6, 4)) {
+		t.Error("edge-adjacent rects must not overlap (Max exclusive)")
+	}
+	if a.Overlaps(R(10, 10, 12, 12)) {
+		t.Error("distant rects must not overlap")
+	}
+	if a.Overlaps(Rect{}) {
+		t.Error("empty rect overlaps nothing")
+	}
+}
+
+func TestRectUnionIntersect(t *testing.T) {
+	a := R(0, 0, 2, 2)
+	b := R(1, 1, 5, 3)
+	u := a.Union(b)
+	if u != R(0, 0, 5, 3) {
+		t.Errorf("Union = %v", u)
+	}
+	i := a.Intersect(b)
+	if i != R(1, 1, 2, 2) {
+		t.Errorf("Intersect = %v", i)
+	}
+	if got := a.Intersect(R(10, 10, 11, 11)); !got.Empty() {
+		t.Errorf("disjoint Intersect should be empty, got %v", got)
+	}
+	if got := (Rect{}).Union(a); got != a {
+		t.Errorf("Union with empty should be identity, got %v", got)
+	}
+}
+
+func TestRectTranslateInsetCenter(t *testing.T) {
+	r := R(0, 0, 4, 4)
+	if got := r.Translate(Pt(2, 3)); got != R(2, 3, 6, 7) {
+		t.Errorf("Translate = %v", got)
+	}
+	if got := r.Inset(1); got != R(1, 1, 3, 3) {
+		t.Errorf("Inset = %v", got)
+	}
+	if got := r.Inset(-1); got != R(-1, -1, 5, 5) {
+		t.Errorf("Inset(-1) = %v", got)
+	}
+	if got := r.Center(); got != Pt(2, 2) {
+		t.Errorf("Center = %v", got)
+	}
+}
+
+func TestIntervalBasics(t *testing.T) {
+	iv := Iv(7, 3)
+	if iv.Lo != 3 || iv.Hi != 7 {
+		t.Errorf("Iv did not normalize: %v", iv)
+	}
+	if iv.Len() != 5 {
+		t.Errorf("Len = %d, want 5", iv.Len())
+	}
+	if !iv.Contains(3) || !iv.Contains(7) || iv.Contains(8) {
+		t.Error("Contains wrong at boundaries")
+	}
+}
+
+func TestIntervalOverlapIntersect(t *testing.T) {
+	a := Iv(0, 5)
+	if !a.Overlaps(Iv(5, 9)) {
+		t.Error("closed intervals sharing endpoint must overlap")
+	}
+	if a.Overlaps(Iv(6, 9)) {
+		t.Error("disjoint intervals must not overlap")
+	}
+	got := a.Intersect(Iv(3, 9))
+	if got != (Interval{3, 5}) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if a.Intersect(Iv(7, 9)).Valid() {
+		t.Error("disjoint Intersect should be invalid")
+	}
+}
+
+func TestIntervalSubtract(t *testing.T) {
+	a := Iv(0, 10)
+	cases := []struct {
+		cut  Interval
+		want []Interval
+	}{
+		{Iv(3, 5), []Interval{{0, 2}, {6, 10}}},
+		{Iv(0, 4), []Interval{{5, 10}}},
+		{Iv(6, 10), []Interval{{0, 5}}},
+		{Iv(0, 10), nil},
+		{Iv(-5, 20), nil},
+		{Iv(12, 15), []Interval{{0, 10}}},
+	}
+	for _, c := range cases {
+		got := a.Subtract(c.cut)
+		if len(got) != len(c.want) {
+			t.Errorf("Subtract(%v) = %v, want %v", c.cut, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("Subtract(%v) = %v, want %v", c.cut, got, c.want)
+			}
+		}
+	}
+}
+
+func TestIntervalSubtractProperty(t *testing.T) {
+	// The pieces left after subtraction cover exactly the cells of the
+	// original interval not covered by the cut.
+	f := func(aLo, aLen, bLo, bLen uint8) bool {
+		a := Iv(int(aLo), int(aLo)+int(aLen)%40)
+		b := Iv(int(bLo), int(bLo)+int(bLen)%40)
+		pieces := a.Subtract(b)
+		for v := a.Lo - 2; v <= a.Hi+2; v++ {
+			want := a.Contains(v) && !b.Contains(v)
+			got := false
+			for _, p := range pieces {
+				if p.Contains(v) {
+					got = true
+				}
+			}
+			if got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDirOpposite(t *testing.T) {
+	for _, d := range Dirs {
+		if d.Opposite().Opposite() != d {
+			t.Errorf("Opposite not an involution for %v", d)
+		}
+		if d.Opposite() == d {
+			t.Errorf("Opposite(%v) == itself", d)
+		}
+	}
+	if Left.Opposite() != Right || Up.Opposite() != Down {
+		t.Error("Opposite wrong")
+	}
+}
+
+func TestDirDelta(t *testing.T) {
+	if Left.Delta() != Pt(-1, 0) || Right.Delta() != Pt(1, 0) ||
+		Up.Delta() != Pt(0, 1) || Down.Delta() != Pt(0, -1) {
+		t.Error("Delta wrong")
+	}
+	for _, d := range Dirs {
+		sum := d.Delta().Add(d.Opposite().Delta())
+		if sum != Pt(0, 0) {
+			t.Errorf("Delta(%v)+Delta(opposite) != 0", d)
+		}
+	}
+}
+
+func TestDirHorizontal(t *testing.T) {
+	if !Left.Horizontal() || !Right.Horizontal() || Up.Horizontal() || Down.Horizontal() {
+		t.Error("Horizontal wrong")
+	}
+}
+
+func TestOrientRotateSize(t *testing.T) {
+	w, h := 6, 2
+	if gw, gh := R0.RotateSize(w, h); gw != 6 || gh != 2 {
+		t.Errorf("R0 size = %d,%d", gw, gh)
+	}
+	if gw, gh := R90.RotateSize(w, h); gw != 2 || gh != 6 {
+		t.Errorf("R90 size = %d,%d", gw, gh)
+	}
+	if gw, gh := R180.RotateSize(w, h); gw != 6 || gh != 2 {
+		t.Errorf("R180 size = %d,%d", gw, gh)
+	}
+	if gw, gh := R270.RotateSize(w, h); gw != 2 || gh != 6 {
+		t.Errorf("R270 size = %d,%d", gw, gh)
+	}
+}
+
+func TestOrientRotatePointCorners(t *testing.T) {
+	// Rotating the module's own corners must land on corners of the
+	// rotated bounding box.
+	w, h := 5, 3
+	corners := []Point{Pt(0, 0), Pt(w, 0), Pt(0, h), Pt(w, h)}
+	for _, o := range []Orient{R0, R90, R180, R270} {
+		rw, rh := o.RotateSize(w, h)
+		for _, c := range corners {
+			p := o.RotatePoint(c, w, h)
+			if (p.X != 0 && p.X != rw) || (p.Y != 0 && p.Y != rh) {
+				t.Errorf("%v corner %v -> %v not a corner of %dx%d", o, c, p, rw, rh)
+			}
+		}
+	}
+}
+
+func TestOrientRotatePointInverse(t *testing.T) {
+	// R90 four times is identity.
+	w, h := 5, 3
+	p := Pt(2, 1)
+	q := p
+	cw, ch := w, h
+	for i := 0; i < 4; i++ {
+		q = R90.RotatePoint(q, cw, ch)
+		cw, ch = ch, cw
+	}
+	if q != p {
+		t.Errorf("four R90 rotations: %v -> %v", p, q)
+	}
+}
+
+func TestOrientRotateDir(t *testing.T) {
+	if R90.RotateDir(Left) != Down {
+		t.Error("R90 left should map to down")
+	}
+	if R90.RotateDir(Right) != Up {
+		t.Error("R90 right should map to up")
+	}
+	if R180.RotateDir(Left) != Right {
+		t.Error("R180 left should map to right")
+	}
+	for _, d := range Dirs {
+		if R0.RotateDir(d) != d {
+			t.Error("R0 must be identity on dirs")
+		}
+	}
+}
+
+func TestOrientTaking(t *testing.T) {
+	for _, from := range Dirs {
+		for _, to := range Dirs {
+			o := OrientTaking(from, to)
+			if got := o.RotateDir(from); got != to {
+				t.Errorf("OrientTaking(%v,%v)=%v maps %v to %v", from, to, o, from, got)
+			}
+		}
+	}
+}
+
+func TestOrientConsistencyPointDir(t *testing.T) {
+	// A terminal sitting on a given side of the module must, after
+	// rotation, sit on the rotated side. Checks RotatePoint and
+	// RotateDir agree.
+	w, h := 7, 4
+	type tc struct {
+		p    Point
+		side Dir
+	}
+	cases := []tc{
+		{Pt(0, 2), Left},
+		{Pt(w, 1), Right},
+		{Pt(3, h), Up},
+		{Pt(3, 0), Down},
+	}
+	sideOf := func(p Point, w, h int) Dir {
+		switch {
+		case p.X == 0:
+			return Left
+		case p.X == w:
+			return Right
+		case p.Y == h:
+			return Up
+		default:
+			return Down
+		}
+	}
+	for _, o := range []Orient{R0, R90, R180, R270} {
+		rw, rh := o.RotateSize(w, h)
+		for _, c := range cases {
+			p := o.RotatePoint(c.p, w, h)
+			want := o.RotateDir(c.side)
+			if got := sideOf(p, rw, rh); got != want {
+				t.Errorf("%v: terminal %v on %v -> %v on %v, want %v",
+					o, c.p, c.side, p, got, want)
+			}
+		}
+	}
+}
+
+func TestOrientAdd(t *testing.T) {
+	if R90.Add(R90) != R180 || R270.Add(R90) != R0 || R180.Add(R180) != R0 {
+		t.Error("Orient.Add wrong")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if Pt(1, 2).String() != "(1,2)" {
+		t.Error("Point.String")
+	}
+	if Iv(1, 2).String() != "[1..2]" {
+		t.Error("Interval.String")
+	}
+	if Left.String() != "left" || Dir(9).String() == "" {
+		t.Error("Dir.String")
+	}
+	if R90.String() != "R90" || Orient(9).String() == "" {
+		t.Error("Orient.String")
+	}
+	if R(0, 0, 1, 1).String() == "" {
+		t.Error("Rect.String")
+	}
+}

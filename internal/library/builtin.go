@@ -1,0 +1,90 @@
+package library
+
+import (
+	"netart/internal/geom"
+	"netart/internal/netlist"
+)
+
+// Builtin returns a library populated with the standard cell set used by
+// the examples and workloads: simple gates, storage elements and the
+// register-transfer blocks appearing in the paper's figures (registers,
+// ALU, multiplexers, a controller, the LIFE cell).
+//
+// All sizes are in track units. Input terminals sit on the left side,
+// outputs on the right, clock/select terminals on the bottom — matching
+// the drawing conventions of §3.2 so that the default orientation
+// already flows left to right.
+func Builtin() *Library {
+	l := New()
+	add := func(name string, w, h int, terms ...netlist.TermSpec) {
+		if err := l.Add(netlist.TemplateSpec{Name: name, W: w, H: h, Terms: terms}); err != nil {
+			panic("library: builtin: " + err.Error()) // static data; cannot fail
+		}
+	}
+	in := func(name string, x, y int) netlist.TermSpec {
+		return netlist.TermSpec{Name: name, Type: netlist.In, Pos: geom.Pt(x, y)}
+	}
+	out := func(name string, x, y int) netlist.TermSpec {
+		return netlist.TermSpec{Name: name, Type: netlist.Out, Pos: geom.Pt(x, y)}
+	}
+	io := func(name string, x, y int) netlist.TermSpec {
+		return netlist.TermSpec{Name: name, Type: netlist.InOut, Pos: geom.Pt(x, y)}
+	}
+
+	// Single input gates.
+	add("INV", 2, 2, in("A", 0, 1), out("Y", 2, 1))
+	add("BUF", 2, 2, in("A", 0, 1), out("Y", 2, 1))
+
+	// Two input gates.
+	for _, g := range []string{"AND2", "OR2", "NAND2", "NOR2", "XOR2", "XNOR2"} {
+		add(g, 3, 3, in("A", 0, 2), in("B", 0, 1), out("Y", 3, 1))
+	}
+
+	// Three input gates.
+	for _, g := range []string{"AND3", "OR3", "NAND3", "NOR3"} {
+		add(g, 3, 4, in("A", 0, 3), in("B", 0, 2), in("C", 0, 1), out("Y", 3, 2))
+	}
+
+	// Storage.
+	add("DFF", 4, 4, in("D", 0, 3), in("CLK", 2, 0), out("Q", 4, 3), out("QN", 4, 1))
+	add("LATCH", 4, 4, in("D", 0, 3), in("EN", 0, 1), out("Q", 4, 3))
+	add("REG", 5, 4, in("D", 0, 3), in("EN", 0, 1), in("CLK", 2, 0), out("Q", 5, 2))
+
+	// Selection and arithmetic.
+	add("MUX2", 4, 4, in("A", 0, 3), in("B", 0, 1), in("S", 2, 0), out("Y", 4, 2))
+	add("DEMUX2", 4, 4, in("A", 0, 2), in("S", 2, 0), out("Y0", 4, 3), out("Y1", 4, 1))
+	add("ADD", 5, 4, in("A", 0, 3), in("B", 0, 1), out("S", 5, 2), out("CO", 2, 4))
+	add("ALU", 6, 5, in("A", 0, 4), in("B", 0, 2), in("OP", 3, 0), out("F", 6, 3), out("Z", 6, 1))
+	add("CMP", 5, 4, in("A", 0, 3), in("B", 0, 1), out("EQ", 5, 3), out("GT", 5, 1))
+	add("SHIFT", 5, 4, in("A", 0, 3), in("N", 0, 1), in("DIR", 2, 0), out("Y", 5, 2))
+	add("CNT", 5, 4, in("EN", 0, 3), in("RST", 0, 1), in("CLK", 2, 0), out("Q", 5, 2))
+
+	// Memories and buses.
+	add("RAM", 7, 6, in("ADDR", 0, 5), in("DIN", 0, 3), in("WE", 0, 1), in("CLK", 3, 0),
+		out("DOUT", 7, 3))
+	add("ROM", 6, 5, in("ADDR", 0, 3), out("DATA", 6, 3))
+	add("TBUF", 3, 3, in("A", 0, 2), in("EN", 1, 0), io("Y", 3, 2))
+
+	// The controller of the figure 6.2-6.5 network: one status input, a
+	// clock and many control outputs fanning out to the datapath.
+	add("CTRL", 7, 7,
+		in("STAT", 0, 4), in("IR", 0, 2), in("CLK", 3, 0),
+		out("C0", 7, 6), out("C1", 7, 5), out("C2", 7, 4),
+		out("C3", 7, 3), out("C4", 7, 2), out("C5", 7, 1))
+
+	// The game-of-LIFE cell of figure 6.6/6.7: eight neighbour inputs, a
+	// clock, and a state output. Four inputs on the left, four on the
+	// bottom, so routing approaches from two sides like the original.
+	add("LIFECELL", 6, 6,
+		in("N", 0, 5), in("S", 0, 4), in("E", 0, 2), in("W", 0, 1),
+		in("NE", 1, 0), in("NW", 2, 0), in("SE", 4, 0), in("SW", 5, 0),
+		in("CLK", 6, 1), out("ALIVE", 6, 4))
+	add("CLKGEN", 4, 3, in("EN", 0, 1), out("CLK", 4, 1))
+	add("SEQ", 6, 5, in("GO", 0, 3), in("CLK", 3, 0),
+		out("PH0", 6, 4), out("PH1", 6, 2), out("DONE", 6, 1))
+
+	// Pads for designs that model their border explicitly.
+	add("INPAD", 2, 2, out("PAD", 2, 1))
+	add("OUTPAD", 2, 2, in("PAD", 0, 1))
+	return l
+}

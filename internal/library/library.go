@@ -1,0 +1,366 @@
+// Package library implements the module library of the generator system
+// (figure 3.1 of Koster & Stok): a catalogue of module templates giving,
+// for every template name, the symbol size and the subsystem terminals
+// with their types and boundary positions.
+//
+// It provides the QUINTO module-description format of Appendix B, the
+// ESCHER template representation of Appendix C, and a built-in library
+// of common gates and register-transfer blocks used by the example
+// networks and workloads.
+package library
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"netart/internal/geom"
+	"netart/internal/netlist"
+)
+
+// Library is a set of module templates addressable by name. It
+// implements netlist.TemplateSource.
+type Library struct {
+	templates map[string]netlist.TemplateSpec
+	order     []string
+}
+
+// New returns an empty library.
+func New() *Library {
+	return &Library{templates: map[string]netlist.TemplateSpec{}}
+}
+
+// Add registers a template. It validates the geometry the same way the
+// design builder does: positive size, terminals on the boundary, unique
+// terminal names. Re-adding an existing name is an error (the paper's
+// QUINTO makes a fresh directory per module).
+func (l *Library) Add(spec netlist.TemplateSpec) error {
+	if spec.Name == "" {
+		return fmt.Errorf("library: empty template name")
+	}
+	if _, dup := l.templates[spec.Name]; dup {
+		return fmt.Errorf("library: duplicate template %q", spec.Name)
+	}
+	if spec.W <= 0 || spec.H <= 0 {
+		return fmt.Errorf("library: template %q has non-positive size %dx%d", spec.Name, spec.W, spec.H)
+	}
+	seen := map[string]bool{}
+	for _, t := range spec.Terms {
+		if seen[t.Name] {
+			return fmt.Errorf("library: template %q has duplicate terminal %q", spec.Name, t.Name)
+		}
+		seen[t.Name] = true
+		if !onBoundary(t.Pos, spec.W, spec.H) {
+			return fmt.Errorf("library: template %q terminal %q at %v not on %dx%d boundary",
+				spec.Name, t.Name, t.Pos, spec.W, spec.H)
+		}
+	}
+	l.templates[spec.Name] = spec
+	l.order = append(l.order, spec.Name)
+	return nil
+}
+
+func onBoundary(p geom.Point, w, h int) bool {
+	if p.X < 0 || p.X > w || p.Y < 0 || p.Y > h {
+		return false
+	}
+	return p.X == 0 || p.X == w || p.Y == 0 || p.Y == h
+}
+
+// Template resolves a template by name, implementing
+// netlist.TemplateSource.
+func (l *Library) Template(name string) (netlist.TemplateSpec, error) {
+	spec, ok := l.templates[name]
+	if !ok {
+		return netlist.TemplateSpec{}, fmt.Errorf("library: unknown template %q", name)
+	}
+	return spec, nil
+}
+
+// Has reports whether the library contains the named template.
+func (l *Library) Has(name string) bool {
+	_, ok := l.templates[name]
+	return ok
+}
+
+// Names returns the template names in insertion order.
+func (l *Library) Names() []string { return append([]string(nil), l.order...) }
+
+// Len returns the number of templates.
+func (l *Library) Len() int { return len(l.order) }
+
+// ParseModuleDescription reads the Appendix B QUINTO file format:
+//
+//	module <MODULE-NAME> <WIDTH> <HEIGHT>
+//	<TYPE> <TERM-NAME> <X> <Y>        (one line per terminal)
+//
+// When strict is true the Appendix B divisibility constraint is
+// enforced: width, height and terminal coordinates must be divisible by
+// 10 (the format targets the ESCHER editor's 10-unit grid); the parsed
+// spec is then scaled down by 10 to track units. When strict is false
+// coordinates are taken verbatim.
+func ParseModuleDescription(r io.Reader, strict bool) (netlist.TemplateSpec, error) {
+	var spec netlist.TemplateSpec
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	sawHeading := false
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		if !sawHeading {
+			if len(f) != 4 || f[0] != "module" {
+				return spec, fmt.Errorf("library: line %d: want \"module <name> <w> <h>\", got %q", lineNo, line)
+			}
+			w, err1 := strconv.Atoi(f[2])
+			h, err2 := strconv.Atoi(f[3])
+			if err1 != nil || err2 != nil {
+				return spec, fmt.Errorf("library: line %d: bad size in %q", lineNo, line)
+			}
+			spec.Name, spec.W, spec.H = f[1], w, h
+			sawHeading = true
+			continue
+		}
+		if len(f) != 4 {
+			return spec, fmt.Errorf("library: line %d: want \"<type> <name> <x> <y>\", got %q", lineNo, line)
+		}
+		typ, err := netlist.ParseTermType(f[0])
+		if err != nil {
+			return spec, fmt.Errorf("library: line %d: %w", lineNo, err)
+		}
+		x, err1 := strconv.Atoi(f[2])
+		y, err2 := strconv.Atoi(f[3])
+		if err1 != nil || err2 != nil {
+			return spec, fmt.Errorf("library: line %d: bad coordinates in %q", lineNo, line)
+		}
+		spec.Terms = append(spec.Terms, netlist.TermSpec{Name: f[1], Type: typ, Pos: geom.Pt(x, y)})
+	}
+	if err := sc.Err(); err != nil {
+		return spec, fmt.Errorf("library: reading module description: %w", err)
+	}
+	if !sawHeading {
+		return spec, fmt.Errorf("library: empty module description")
+	}
+	if len(spec.Terms) == 0 {
+		return spec, fmt.Errorf("library: module %q has no terminals", spec.Name)
+	}
+	if strict {
+		if err := checkTens(spec); err != nil {
+			return spec, err
+		}
+		spec = scale(spec, 10)
+	}
+	for _, t := range spec.Terms {
+		if !onBoundary(t.Pos, spec.W, spec.H) {
+			return spec, fmt.Errorf("library: module %q terminal %q at %v not on the outside of the module",
+				spec.Name, t.Name, t.Pos)
+		}
+	}
+	return spec, nil
+}
+
+func checkTens(spec netlist.TemplateSpec) error {
+	if spec.W%10 != 0 || spec.H%10 != 0 {
+		return fmt.Errorf("library: module %q: width and height must be divisible by 10", spec.Name)
+	}
+	for _, t := range spec.Terms {
+		if t.Pos.X%10 != 0 || t.Pos.Y%10 != 0 {
+			return fmt.Errorf("library: module %q terminal %q: coordinates must be divisible by 10",
+				spec.Name, t.Name)
+		}
+	}
+	return nil
+}
+
+func scale(spec netlist.TemplateSpec, by int) netlist.TemplateSpec {
+	out := spec
+	out.W /= by
+	out.H /= by
+	out.Terms = make([]netlist.TermSpec, len(spec.Terms))
+	for i, t := range spec.Terms {
+		out.Terms[i] = netlist.TermSpec{Name: t.Name, Type: t.Type,
+			Pos: geom.Pt(t.Pos.X/by, t.Pos.Y/by)}
+	}
+	return out
+}
+
+// WriteModuleDescription writes the Appendix B format. When tens is true
+// coordinates are multiplied by 10 to satisfy the format's grid
+// constraint (the inverse of strict parsing).
+func WriteModuleDescription(w io.Writer, spec netlist.TemplateSpec, tens bool) error {
+	mul := 1
+	if tens {
+		mul = 10
+	}
+	if _, err := fmt.Fprintf(w, "module %s %d %d\n", spec.Name, spec.W*mul, spec.H*mul); err != nil {
+		return err
+	}
+	for _, t := range spec.Terms {
+		if _, err := fmt.Fprintf(w, "%s %s %d %d\n", t.Type, t.Name, t.Pos.X*mul, t.Pos.Y*mul); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// contactType maps between the paper's numeric io-types (Appendix C:
+// 0=inout, 1=in, 2=out) and netlist.TermType.
+func contactType(code int) (netlist.TermType, error) {
+	switch code {
+	case 0:
+		return netlist.InOut, nil
+	case 1:
+		return netlist.In, nil
+	case 2:
+		return netlist.Out, nil
+	default:
+		return 0, fmt.Errorf("library: unknown contact io-type %d", code)
+	}
+}
+
+func contactCode(t netlist.TermType) int {
+	switch t {
+	case netlist.InOut:
+		return 0
+	case netlist.In:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// escherMagic is the header string of every template and diagram file of
+// the ESCHER tool family (Appendix C/D).
+const escherMagic = "#TUE-ES-871"
+
+// WriteTemplateFile writes the Appendix C module representation: the
+// record sequence #TUE-ES-871, temp:, tname:, lname:, repr:, one
+// contact: + cname: pair per terminal, a four-record box symbol and an
+// empty contents record. The creation time field is written as 0 so
+// output is reproducible.
+func WriteTemplateFile(w io.Writer, spec netlist.TemplateSpec, libName string) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, escherMagic)
+	fmt.Fprintln(bw, "temp: 0 1 1 1 0")
+	fmt.Fprintf(bw, "tname: %s\n", spec.Name)
+	fmt.Fprintf(bw, "lname: %s\n", libName)
+	fmt.Fprintf(bw, "repr: 0 1 1 0 0 %d %d 0\n", spec.W, spec.H)
+	for i, t := range spec.Terms {
+		more := 1
+		if i == len(spec.Terms)-1 {
+			more = 0
+		}
+		fmt.Fprintf(bw, "contact: %d 1 %d 0 0 %d %d 0 1 0\n",
+			more, contactCode(t.Type), t.Pos.X, t.Pos.Y)
+		fmt.Fprintf(bw, "cname: %s\n", t.Name)
+	}
+	// The rectangular symbol outline, as four symbol records (App. C).
+	fmt.Fprintf(bw, "symbol: 1 35 %d %d %d 0\n", spec.W, spec.H, spec.W)
+	fmt.Fprintf(bw, "symbol: 1 35 0 %d %d %d\n", spec.H, spec.W, spec.H)
+	fmt.Fprintf(bw, "symbol: 1 35 %d 0 0 0\n", spec.W)
+	fmt.Fprintf(bw, "symbol: 0 35 0 0 0 %d\n", spec.H)
+	fmt.Fprintln(bw, "contents: 0 0")
+	return bw.Flush()
+}
+
+// ReadTemplateFile parses the Appendix C representation back into a
+// template spec. Only the records the generator needs (tname, repr
+// size, contacts with names) are interpreted; symbol and contents
+// records are validated for presence but otherwise skipped.
+func ReadTemplateFile(r io.Reader) (netlist.TemplateSpec, error) {
+	var spec netlist.TemplateSpec
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	var pendingContact *netlist.TermSpec
+	sawMagic := false
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if !sawMagic {
+			if line != escherMagic {
+				return spec, fmt.Errorf("library: line %d: missing %s header", lineNo, escherMagic)
+			}
+			sawMagic = true
+			continue
+		}
+		key, rest, ok := strings.Cut(line, ":")
+		if !ok {
+			return spec, fmt.Errorf("library: line %d: malformed record %q", lineNo, line)
+		}
+		fields := strings.Fields(rest)
+		switch key {
+		case "tname":
+			spec.Name = strings.TrimSpace(rest)
+		case "lname", "temp", "symbol", "contents", "formal":
+			// not needed for generation
+		case "repr":
+			if len(fields) < 7 {
+				return spec, fmt.Errorf("library: line %d: short repr record", lineNo)
+			}
+			w, err1 := strconv.Atoi(fields[5])
+			h, err2 := strconv.Atoi(fields[6])
+			if err1 != nil || err2 != nil {
+				return spec, fmt.Errorf("library: line %d: bad repr size", lineNo)
+			}
+			spec.W, spec.H = w, h
+		case "contact":
+			if len(fields) < 7 {
+				return spec, fmt.Errorf("library: line %d: short contact record", lineNo)
+			}
+			code, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return spec, fmt.Errorf("library: line %d: bad contact type", lineNo)
+			}
+			typ, err := contactType(code)
+			if err != nil {
+				return spec, fmt.Errorf("library: line %d: %w", lineNo, err)
+			}
+			x, err1 := strconv.Atoi(fields[5])
+			y, err2 := strconv.Atoi(fields[6])
+			if err1 != nil || err2 != nil {
+				return spec, fmt.Errorf("library: line %d: bad contact position", lineNo)
+			}
+			pendingContact = &netlist.TermSpec{Type: typ, Pos: geom.Pt(x, y)}
+		case "cname":
+			if pendingContact == nil {
+				return spec, fmt.Errorf("library: line %d: cname without contact", lineNo)
+			}
+			pendingContact.Name = strings.TrimSpace(rest)
+			spec.Terms = append(spec.Terms, *pendingContact)
+			pendingContact = nil
+		default:
+			return spec, fmt.Errorf("library: line %d: unknown record %q", lineNo, key)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return spec, err
+	}
+	if !sawMagic {
+		return spec, fmt.Errorf("library: empty template file")
+	}
+	if spec.Name == "" || spec.W == 0 {
+		return spec, fmt.Errorf("library: template file missing tname or repr record")
+	}
+	return spec, nil
+}
+
+// SortedSpecs returns all templates ordered by name (for deterministic
+// dumps).
+func (l *Library) SortedSpecs() []netlist.TemplateSpec {
+	names := append([]string(nil), l.order...)
+	sort.Strings(names)
+	out := make([]netlist.TemplateSpec, len(names))
+	for i, n := range names {
+		out[i] = l.templates[n]
+	}
+	return out
+}

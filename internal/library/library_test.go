@@ -1,0 +1,224 @@
+package library
+
+import (
+	"strings"
+	"testing"
+
+	"netart/internal/geom"
+	"netart/internal/netlist"
+)
+
+func TestBuiltinSane(t *testing.T) {
+	l := Builtin()
+	if l.Len() < 20 {
+		t.Fatalf("builtin library has only %d templates", l.Len())
+	}
+	for _, name := range l.Names() {
+		spec, err := l.Template(name)
+		if err != nil {
+			t.Fatalf("Template(%q): %v", name, err)
+		}
+		if spec.W <= 0 || spec.H <= 0 {
+			t.Errorf("%s: bad size %dx%d", name, spec.W, spec.H)
+		}
+		if len(spec.Terms) == 0 {
+			t.Errorf("%s: no terminals", name)
+		}
+		seen := map[geom.Point]bool{}
+		for _, term := range spec.Terms {
+			if seen[term.Pos] {
+				t.Errorf("%s: two terminals share position %v", name, term.Pos)
+			}
+			seen[term.Pos] = true
+		}
+	}
+}
+
+func TestBuiltinInstantiates(t *testing.T) {
+	// Every builtin template must be instantiable as a design module,
+	// which revalidates boundary positions through netlist.AddModule.
+	l := Builtin()
+	d := netlist.NewDesign("all")
+	for _, name := range l.Names() {
+		spec, _ := l.Template(name)
+		if _, err := d.AddModule("i_"+name, name, spec.W, spec.H, spec.Terms); err != nil {
+			t.Errorf("instantiate %s: %v", name, err)
+		}
+	}
+}
+
+func TestLibraryAddErrors(t *testing.T) {
+	l := New()
+	ok := netlist.TemplateSpec{Name: "T", W: 2, H: 2, Terms: []netlist.TermSpec{
+		{Name: "A", Type: netlist.In, Pos: geom.Pt(0, 1)},
+	}}
+	if err := l.Add(ok); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Add(ok); err == nil {
+		t.Error("duplicate template accepted")
+	}
+	if err := l.Add(netlist.TemplateSpec{Name: "", W: 2, H: 2}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := l.Add(netlist.TemplateSpec{Name: "Z", W: 0, H: 2}); err == nil {
+		t.Error("zero width accepted")
+	}
+	bad := netlist.TemplateSpec{Name: "B", W: 4, H: 4, Terms: []netlist.TermSpec{
+		{Name: "X", Type: netlist.In, Pos: geom.Pt(2, 2)},
+	}}
+	if err := l.Add(bad); err == nil {
+		t.Error("interior terminal accepted")
+	}
+	dup := netlist.TemplateSpec{Name: "D", W: 4, H: 4, Terms: []netlist.TermSpec{
+		{Name: "X", Type: netlist.In, Pos: geom.Pt(0, 1)},
+		{Name: "X", Type: netlist.In, Pos: geom.Pt(0, 2)},
+	}}
+	if err := l.Add(dup); err == nil {
+		t.Error("duplicate terminal name accepted")
+	}
+	if !l.Has("T") || l.Has("nope") {
+		t.Error("Has wrong")
+	}
+	if _, err := l.Template("nope"); err == nil {
+		t.Error("unknown template lookup should fail")
+	}
+}
+
+const quintoSample = `module ANDX 30 30
+in A 0 20
+in B 0 10
+out Y 30 10
+`
+
+func TestParseModuleDescriptionStrict(t *testing.T) {
+	spec, err := ParseModuleDescription(strings.NewReader(quintoSample), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != "ANDX" || spec.W != 3 || spec.H != 3 {
+		t.Errorf("spec = %+v", spec)
+	}
+	if len(spec.Terms) != 3 {
+		t.Fatalf("terms = %d", len(spec.Terms))
+	}
+	if spec.Terms[0].Pos != geom.Pt(0, 2) {
+		t.Errorf("A at %v", spec.Terms[0].Pos)
+	}
+	if spec.Terms[2].Type != netlist.Out {
+		t.Errorf("Y type = %v", spec.Terms[2].Type)
+	}
+}
+
+func TestParseModuleDescriptionLoose(t *testing.T) {
+	spec, err := ParseModuleDescription(strings.NewReader("module G 3 3\nin A 0 1\nout Y 3 1\n"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.W != 3 || spec.Terms[0].Pos != geom.Pt(0, 1) {
+		t.Errorf("spec = %+v", spec)
+	}
+}
+
+func TestParseModuleDescriptionErrors(t *testing.T) {
+	cases := []string{
+		"",                               // empty
+		"module G 3 3\n",                 // no terminals
+		"gibberish\n",                    // bad heading
+		"module G x 3\nin A 0 1\n",       // bad size
+		"module G 3 3\nin A 0\n",         // short term record
+		"module G 3 3\nsideways A 0 1\n", // bad type
+		"module G 3 3\nin A zero 1\n",    // bad coordinate
+		"module G 3 3\nin A 1 1\n",       // interior terminal
+		"module G 35 30\nin A 0 10\n",    // strict: width not /10
+		"module G 30 30\nin A 0 15\n",    // strict: coord not /10
+	}
+	for i, src := range cases {
+		strict := i >= 8
+		if _, err := ParseModuleDescription(strings.NewReader(src), strict); err == nil {
+			t.Errorf("case %d accepted: %q", i, src)
+		}
+	}
+}
+
+func TestWriteModuleDescriptionRoundTrip(t *testing.T) {
+	spec := netlist.TemplateSpec{Name: "RT", W: 4, H: 3, Terms: []netlist.TermSpec{
+		{Name: "A", Type: netlist.In, Pos: geom.Pt(0, 2)},
+		{Name: "B", Type: netlist.InOut, Pos: geom.Pt(2, 0)},
+		{Name: "Y", Type: netlist.Out, Pos: geom.Pt(4, 1)},
+	}}
+	var b strings.Builder
+	if err := WriteModuleDescription(&b, spec, true); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseModuleDescription(strings.NewReader(b.String()), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != spec.Name || got.W != spec.W || got.H != spec.H || len(got.Terms) != 3 {
+		t.Errorf("round trip: %+v", got)
+	}
+	for i := range got.Terms {
+		if got.Terms[i] != spec.Terms[i] {
+			t.Errorf("term %d: %+v != %+v", i, got.Terms[i], spec.Terms[i])
+		}
+	}
+}
+
+func TestTemplateFileRoundTrip(t *testing.T) {
+	l := Builtin()
+	for _, name := range []string{"AND2", "DFF", "LIFECELL", "CTRL"} {
+		spec, _ := l.Template(name)
+		var b strings.Builder
+		if err := WriteTemplateFile(&b, spec, "userlib"); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadTemplateFile(strings.NewReader(b.String()))
+		if err != nil {
+			t.Fatalf("%s: %v\nfile:\n%s", name, err, b.String())
+		}
+		if got.Name != spec.Name || got.W != spec.W || got.H != spec.H {
+			t.Errorf("%s: header changed: %+v", name, got)
+		}
+		if len(got.Terms) != len(spec.Terms) {
+			t.Fatalf("%s: %d terms, want %d", name, len(got.Terms), len(spec.Terms))
+		}
+		for i := range got.Terms {
+			if got.Terms[i] != spec.Terms[i] {
+				t.Errorf("%s term %d: %+v != %+v", name, i, got.Terms[i], spec.Terms[i])
+			}
+		}
+	}
+}
+
+func TestReadTemplateFileErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"not the magic\n",
+		"#TUE-ES-871\nbogus record\n",
+		"#TUE-ES-871\nwhoknows: 1\n",
+		"#TUE-ES-871\ncname: orphan\n",
+		"#TUE-ES-871\ntname: X\nrepr: 0 1 1 0 0\n", // short repr
+		"#TUE-ES-871\ntname: X\n",                  // missing repr
+	}
+	for i, src := range cases {
+		if _, err := ReadTemplateFile(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d accepted: %q", i, src)
+		}
+	}
+}
+
+func TestSortedSpecs(t *testing.T) {
+	l := New()
+	for _, n := range []string{"Z", "A", "M"} {
+		if err := l.Add(netlist.TemplateSpec{Name: n, W: 2, H: 2, Terms: []netlist.TermSpec{
+			{Name: "T", Type: netlist.In, Pos: geom.Pt(0, 1)},
+		}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	specs := l.SortedSpecs()
+	if specs[0].Name != "A" || specs[1].Name != "M" || specs[2].Name != "Z" {
+		t.Errorf("order: %s %s %s", specs[0].Name, specs[1].Name, specs[2].Name)
+	}
+}

@@ -1,0 +1,220 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// This file implements the Appendix A network description: three
+// whitespace-separated record files.
+//
+//	call-file:     <INSTANCE> <TEMPLATE>
+//	io-file:       <TERMINAL> <TYPE>            (type: in | out | inout)
+//	net-list-file: <NET> <INSTANCE> <TERMINAL>  (instance "root" = system)
+//
+// Records are variable-length lines; fields are separated by blanks or
+// tabs. Blank lines and lines starting with '#' are tolerated (the 1989
+// format has no comments, but accepting them costs nothing and makes the
+// example files self-describing).
+
+// RootInstance is the instance name that marks a system terminal in a
+// net-list record (Appendix A).
+const RootInstance = "root"
+
+// TemplateSpec is the geometric description of a module template as the
+// loader needs it: size and terminal list. The library package produces
+// these from Appendix B/C descriptions.
+type TemplateSpec struct {
+	Name  string
+	W, H  int
+	Terms []TermSpec
+}
+
+// TemplateSource resolves template names to their geometry. Implemented
+// by library.Library.
+type TemplateSource interface {
+	Template(name string) (TemplateSpec, error)
+}
+
+type record struct {
+	line   int
+	fields []string
+}
+
+func readRecords(r io.Reader, wantFields int, what string) ([]record, error) {
+	var out []record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) != wantFields {
+			return nil, fmt.Errorf("netlist: %s line %d: want %d fields, got %d: %q",
+				what, lineNo, wantFields, len(f), line)
+		}
+		out = append(out, record{lineNo, f})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("netlist: reading %s: %w", what, err)
+	}
+	return out, nil
+}
+
+// CallRecord is one <INSTANCE> <TEMPLATE> pair from a call-file.
+type CallRecord struct {
+	Instance, Template string
+}
+
+// ParseCallFile reads a call-file.
+func ParseCallFile(r io.Reader) ([]CallRecord, error) {
+	recs, err := readRecords(r, 2, "call-file")
+	if err != nil {
+		return nil, err
+	}
+	out := make([]CallRecord, len(recs))
+	for i, rec := range recs {
+		out[i] = CallRecord{rec.fields[0], rec.fields[1]}
+	}
+	return out, nil
+}
+
+// IORecord is one <TERMINAL> <TYPE> pair from an io-file.
+type IORecord struct {
+	Terminal string
+	Type     TermType
+}
+
+// ParseIOFile reads an io-file.
+func ParseIOFile(r io.Reader) ([]IORecord, error) {
+	recs, err := readRecords(r, 2, "io-file")
+	if err != nil {
+		return nil, err
+	}
+	out := make([]IORecord, len(recs))
+	for i, rec := range recs {
+		typ, err := ParseTermType(rec.fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("netlist: io-file line %d: %w", rec.line, err)
+		}
+		out[i] = IORecord{rec.fields[0], typ}
+	}
+	return out, nil
+}
+
+// NetRecord is one <NET> <INSTANCE> <TERMINAL> triple from a
+// net-list-file.
+type NetRecord struct {
+	Net, Instance, Terminal string
+}
+
+// ParseNetListFile reads a net-list-file.
+func ParseNetListFile(r io.Reader) ([]NetRecord, error) {
+	recs, err := readRecords(r, 3, "net-list-file")
+	if err != nil {
+		return nil, err
+	}
+	out := make([]NetRecord, len(recs))
+	for i, rec := range recs {
+		out[i] = NetRecord{rec.fields[0], rec.fields[1], rec.fields[2]}
+	}
+	return out, nil
+}
+
+// Load builds a design from the three Appendix A files. The io-file
+// reader may be nil when the network has no system terminals (Appendix E
+// allows omitting it). Templates are resolved through src.
+func Load(name string, callR, netR, ioR io.Reader, src TemplateSource) (*Design, error) {
+	calls, err := ParseCallFile(callR)
+	if err != nil {
+		return nil, err
+	}
+	nets, err := ParseNetListFile(netR)
+	if err != nil {
+		return nil, err
+	}
+	var ios []IORecord
+	if ioR != nil {
+		ios, err = ParseIOFile(ioR)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	d := NewDesign(name)
+	for _, c := range calls {
+		spec, err := src.Template(c.Template)
+		if err != nil {
+			return nil, fmt.Errorf("netlist: instance %q: %w", c.Instance, err)
+		}
+		if _, err := d.AddModule(c.Instance, c.Template, spec.W, spec.H, spec.Terms); err != nil {
+			return nil, err
+		}
+	}
+	for _, io := range ios {
+		if _, err := d.AddSysTerm(io.Terminal, io.Type); err != nil {
+			return nil, err
+		}
+	}
+	for _, n := range nets {
+		if n.Instance == RootInstance {
+			err = d.ConnectSys(n.Net, n.Terminal)
+		} else {
+			err = d.Connect(n.Net, n.Instance, n.Terminal)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// WriteCallFile writes the design's instances as a call-file.
+func WriteCallFile(w io.Writer, d *Design) error {
+	for _, m := range d.Modules {
+		tpl := m.Template
+		if tpl == "" {
+			tpl = m.Name
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", m.Name, tpl); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteIOFile writes the design's system terminals as an io-file.
+func WriteIOFile(w io.Writer, d *Design) error {
+	for _, t := range d.SysTerms {
+		if _, err := fmt.Fprintf(w, "%s %s\n", t.Name, t.Type); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteNetListFile writes the design's connections as a net-list-file,
+// ordered by net name then terminal label for determinism.
+func WriteNetListFile(w io.Writer, d *Design) error {
+	for _, n := range d.SortedNets() {
+		terms := append([]*Terminal(nil), n.Terms...)
+		sort.Slice(terms, func(i, j int) bool { return terms[i].Label() < terms[j].Label() })
+		for _, t := range terms {
+			inst := RootInstance
+			if t.Module != nil {
+				inst = t.Module.Name
+			}
+			if _, err := fmt.Fprintf(w, "%s %s %s\n", n.Name, inst, t.Name); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

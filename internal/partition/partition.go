@@ -1,0 +1,249 @@
+// Package partition implements the first placement step of Koster & Stok
+// (§4.6.3): decomposing the set of modules into functional partitions by
+// repeatedly selecting a seed module and growing a cluster around it
+// until the partition size or external connection limits are exceeded.
+package partition
+
+import (
+	"math"
+
+	"netart/internal/netlist"
+)
+
+// Config bounds the clustering, mirroring the PABLO options of
+// Appendix E.
+type Config struct {
+	// MaxSize is the maximum number of modules per partition (-p).
+	// Values < 1 are treated as 1, the Appendix E default, which yields
+	// one partition per module (figure 6.2).
+	MaxSize int
+	// MaxConnections limits the number of distinct nets leaving a
+	// partition while it grows (-c). Zero or negative means unlimited
+	// (the Appendix E default, "infimum").
+	MaxConnections int
+}
+
+func (c Config) maxSize() int {
+	if c.MaxSize < 1 {
+		return 1
+	}
+	return c.MaxSize
+}
+
+func (c Config) maxConn() int {
+	if c.MaxConnections <= 0 {
+		return math.MaxInt
+	}
+	return c.MaxConnections
+}
+
+// Part is one functional partition: an ordered set of modules. Order is
+// the order of inclusion, which later steps use for determinism.
+type Part struct {
+	Modules []*netlist.Module
+}
+
+// Contains reports whether m belongs to the partition.
+func (p *Part) Contains(m *netlist.Module) bool {
+	for _, x := range p.Modules {
+		if x == m {
+			return true
+		}
+	}
+	return false
+}
+
+// Set returns the partition's modules as a set.
+func (p *Part) Set() map[*netlist.Module]bool {
+	s := make(map[*netlist.Module]bool, len(p.Modules))
+	for _, m := range p.Modules {
+		s[m] = true
+	}
+	return s
+}
+
+// Partition decomposes all modules of d into partitions (the paper's
+// PARTITIONING procedure). The result is a true partition of the module
+// set: disjoint and covering.
+func Partition(d *netlist.Design, cfg Config) []*Part {
+	return PartitionSubset(d, d.Modules, cfg)
+}
+
+// PartitionSubset partitions only the given modules, used when a
+// preplaced part of the design (PABLO -g) is excluded from automatic
+// placement. The subset order determines tie-breaking.
+func PartitionSubset(d *netlist.Design, modules []*netlist.Module, cfg Config) []*Part {
+	free := make(map[*netlist.Module]bool, len(modules))
+	order := make([]*netlist.Module, 0, len(modules))
+	for _, m := range modules {
+		if !free[m] {
+			free[m] = true
+			order = append(order, m)
+		}
+	}
+	placed := map[*netlist.Module]bool{} // modules already in some partition
+	var parts []*Part
+	for len(free) > 0 {
+		seed := takeSeed(order, free, placed)
+		delete(free, seed)
+		part := formPartition(d, order, free, placed, seed, cfg)
+		for _, m := range part.Modules {
+			placed[m] = true
+		}
+		parts = append(parts, part)
+	}
+	return parts
+}
+
+// takeSeed implements TAKE_A_SEED: among the free modules, pick the one
+// most heavily connected (by distinct nets) to the other free modules;
+// break ties by the fewest connections to already partitioned modules;
+// remaining ties resolve to the earliest module in input order.
+func takeSeed(order []*netlist.Module, free, placed map[*netlist.Module]bool) *netlist.Module {
+	var best *netlist.Module
+	bestFree, bestPlaced := -1, 0
+	for _, m := range order {
+		if !free[m] {
+			continue
+		}
+		toFree := netsExcluding(m, free, m)
+		toPlaced := netlist.NetsBetween(m, placed)
+		if best == nil || toFree > bestFree ||
+			(toFree == bestFree && toPlaced < bestPlaced) {
+			best, bestFree, bestPlaced = m, toFree, toPlaced
+		}
+	}
+	return best
+}
+
+// netsExcluding counts distinct nets from m to modules of set other than
+// skip.
+func netsExcluding(m *netlist.Module, set map[*netlist.Module]bool, skip *netlist.Module) int {
+	seen := map[*netlist.Net]bool{}
+	count := 0
+	for _, t := range m.Terms {
+		n := t.Net
+		if n == nil || seen[n] {
+			continue
+		}
+		seen[n] = true
+		for _, u := range n.Terms {
+			if u.Module != nil && u.Module != m && u.Module != skip && set[u.Module] {
+				count++
+				break
+			}
+		}
+	}
+	return count
+}
+
+// formPartition implements FORM_PARTITION: grow a cluster from the seed.
+// The next module is the free one with the largest number of distinct
+// nets to the current partition, ties broken by the fewest nets to
+// modules outside it. Growth stops when the module budget or the
+// external connection budget is exhausted, or no free modules remain.
+func formPartition(d *netlist.Design, order []*netlist.Module, free, placed map[*netlist.Module]bool,
+	seed *netlist.Module, cfg Config) *Part {
+	part := &Part{Modules: []*netlist.Module{seed}}
+	inPart := map[*netlist.Module]bool{seed: true}
+	maxSize, maxConn := cfg.maxSize(), cfg.maxConn()
+
+	for len(free) > 0 && len(part.Modules) < maxSize &&
+		externalConnections(d, inPart) < maxConn {
+		var best *netlist.Module
+		bestIn, bestOut := -1, 0
+		for _, m := range order {
+			if !free[m] {
+				continue
+			}
+			toIn := netlist.NetsBetween(m, inPart)
+			toOut := netsOutside(m, inPart)
+			if best == nil || toIn > bestIn ||
+				(toIn == bestIn && toOut < bestOut) {
+				best, bestIn, bestOut = m, toIn, toOut
+			}
+		}
+		if best == nil {
+			break
+		}
+		// Refinement over the literal paper loop: once no free module
+		// touches the partition any more, absorbing unrelated modules
+		// would only destroy the functional grouping; start a new seed
+		// instead. (The paper's networks are connected, so its formal
+		// loop never hits this case.)
+		if bestIn == 0 && len(part.Modules) > 0 {
+			break
+		}
+		delete(free, best)
+		inPart[best] = true
+		part.Modules = append(part.Modules, best)
+	}
+	return part
+}
+
+// netsOutside counts distinct nets from m to modules not in set (m
+// excluded).
+func netsOutside(m *netlist.Module, set map[*netlist.Module]bool) int {
+	seen := map[*netlist.Net]bool{}
+	count := 0
+	for _, t := range m.Terms {
+		n := t.Net
+		if n == nil || seen[n] {
+			continue
+		}
+		seen[n] = true
+		for _, u := range n.Terms {
+			if u.Module != nil && u.Module != m && !set[u.Module] {
+				count++
+				break
+			}
+		}
+	}
+	return count
+}
+
+// externalConnections counts the distinct nets with a terminal inside
+// the partition and a terminal outside it (another module or a system
+// terminal) — the paper's "connections" bound in FORM_PARTITION.
+func externalConnections(d *netlist.Design, inPart map[*netlist.Module]bool) int {
+	count := 0
+	for _, n := range d.Nets {
+		inside, outside := false, false
+		for _, t := range n.Terms {
+			if t.Module != nil && inPart[t.Module] {
+				inside = true
+			} else {
+				outside = true
+			}
+		}
+		if inside && outside {
+			count++
+		}
+	}
+	return count
+}
+
+// NetsBetweenParts counts distinct nets with a terminal in a and a
+// terminal in b, used by partition placement ordering.
+func NetsBetweenParts(d *netlist.Design, a, b *Part) int {
+	as, bs := a.Set(), b.Set()
+	count := 0
+	for _, n := range d.Nets {
+		inA, inB := false, false
+		for _, t := range n.Terms {
+			if t.Module == nil {
+				continue
+			}
+			if as[t.Module] {
+				inA = true
+			}
+			if bs[t.Module] {
+				inB = true
+			}
+		}
+		if inA && inB {
+			count++
+		}
+	}
+	return count
+}

@@ -1,0 +1,284 @@
+package place
+
+import (
+	"testing"
+
+	"netart/internal/geom"
+	"netart/internal/netlist"
+	"netart/internal/workload"
+)
+
+func checkBaselineResult(t *testing.T, res *Result) {
+	t.Helper()
+	if err := res.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEpitaxialPlacesAll(t *testing.T) {
+	for _, mk := range []func() *netlist.Design{workload.Fig61, workload.Datapath16} {
+		d := mk()
+		res, err := Epitaxial(d, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkBaselineResult(t, res)
+		if len(res.Mods) != len(d.Modules) {
+			t.Errorf("placed %d of %d modules", len(res.Mods), len(d.Modules))
+		}
+	}
+}
+
+func TestEpitaxialSeedIsMostConnected(t *testing.T) {
+	d := workload.Datapath16()
+	res, err := Epitaxial(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The controller (highest degree) seeds the growth at the origin.
+	if got := res.Mods[d.Module("ctrl")].Pos; got != geom.Pt(0, 0) {
+		t.Errorf("seed position %v, want origin", got)
+	}
+}
+
+func TestEpitaxialKeepsConnectedClose(t *testing.T) {
+	d := workload.Datapath16()
+	res, err := Epitaxial(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var connSum, connN, disSum, disN int
+	for i, a := range d.Modules {
+		for _, b := range d.Modules[i+1:] {
+			dist := res.Mods[a].Rect().Center().Manhattan(res.Mods[b].Rect().Center())
+			if netlist.Connected(a, b) {
+				connSum += dist
+				connN++
+			} else {
+				disSum += dist
+				disN++
+			}
+		}
+	}
+	if connSum*disN >= disSum*connN {
+		t.Errorf("epitaxial growth did not keep connected modules close: %d/%d vs %d/%d",
+			connSum, connN, disSum, disN)
+	}
+}
+
+func TestEpitaxialEmpty(t *testing.T) {
+	res, err := Epitaxial(netlist.NewDesign("e"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Mods) != 0 {
+		t.Error("placed modules in an empty design")
+	}
+}
+
+func TestMinCutPlacesAll(t *testing.T) {
+	for _, mk := range []func() *netlist.Design{workload.Fig61, workload.Datapath16, workload.Life27} {
+		d := mk()
+		res, err := MinCut(d, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkBaselineResult(t, res)
+		if len(res.Mods) != len(d.Modules) {
+			t.Errorf("placed %d of %d modules", len(res.Mods), len(d.Modules))
+		}
+	}
+}
+
+func TestMinCutBipartitionBalanced(t *testing.T) {
+	d := workload.Datapath16()
+	a, b := bipartition(d, d.Modules)
+	if len(a)+len(b) != len(d.Modules) {
+		t.Fatalf("partition lost modules: %d + %d", len(a), len(b))
+	}
+	if geom.Abs(len(a)-len(b)) > 3 {
+		t.Errorf("unbalanced split: %d vs %d", len(a), len(b))
+	}
+	// A lane (mux0,rega0,alu0,...) is densely connected; the split
+	// should not scatter every lane across the cut. Count cut nets vs
+	// a naive alternating split for a sanity lower bar.
+	inA := map[*netlist.Module]bool{}
+	for _, m := range a {
+		inA[m] = true
+	}
+	cutNow := 0
+	for _, n := range d.Nets {
+		hasA, hasB := false, false
+		for _, tm := range n.Terms {
+			if tm.Module == nil {
+				continue
+			}
+			if inA[tm.Module] {
+				hasA = true
+			} else {
+				hasB = true
+			}
+		}
+		if hasA && hasB {
+			cutNow++
+		}
+	}
+	if cutNow > len(d.Nets)*3/4 {
+		t.Errorf("min-cut split cuts %d of %d nets", cutNow, len(d.Nets))
+	}
+}
+
+func TestCutCount(t *testing.T) {
+	d := workload.Fig61()
+	res, err := Place(d, Options{PartSize: 6, BoxSize: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A string placement cut in the middle severs the chain nets: the
+	// count must be positive but small.
+	mid := res.ModuleBounds.Center().X
+	c := CutCount(res, mid)
+	if c < 1 || c > 3 {
+		t.Errorf("mid cut count = %d, want 1..3 for a chain", c)
+	}
+}
+
+func TestLogicColumnsLevelization(t *testing.T) {
+	d := workload.Fig61()
+	cols := levelize(d)
+	// The chain must levelize into 6 columns of one module each.
+	if len(cols) != 6 {
+		t.Fatalf("%d columns, want 6", len(cols))
+	}
+	for i, col := range cols {
+		if len(col) != 1 {
+			t.Fatalf("column %d has %d modules", i, len(col))
+		}
+		want := "m" + string(rune('0'+i))
+		if col[0].Name != want {
+			t.Errorf("column %d holds %s, want %s", i, col[0].Name, want)
+		}
+	}
+}
+
+func TestLogicColumnsPlacesAll(t *testing.T) {
+	d := workload.Datapath16()
+	res, err := LogicColumns(d, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBaselineResult(t, res)
+	if len(res.Mods) != 16 {
+		t.Errorf("placed %d of 16", len(res.Mods))
+	}
+	// Signal flow: drivers never right of their sinks' column band.
+	for _, n := range d.Nets {
+		for _, drv := range n.Terms {
+			if drv.Module == nil || drv.Type != netlist.Out {
+				continue
+			}
+			for _, snk := range n.Terms {
+				if snk.Module == nil || snk.Type != netlist.In || snk.Module == drv.Module {
+					continue
+				}
+				dx := res.Mods[drv.Module].Pos.X
+				sx := res.Mods[snk.Module].Pos.X
+				if dx > sx {
+					// Allowed only for feedback (cycle) edges; the
+					// datapath has one (stat): tolerate a few.
+					t.Logf("right-to-left edge %s -> %s", drv.Module.Name, snk.Module.Name)
+				}
+			}
+		}
+	}
+}
+
+func TestLogicColumnsCycleBroken(t *testing.T) {
+	// A two-module cycle must still levelize and place.
+	d := netlist.NewDesign("cycle")
+	for _, nm := range []string{"a", "b"} {
+		if _, err := d.AddModule(nm, "", 3, 3, []netlist.TermSpec{
+			{Name: "A", Type: netlist.In, Pos: geom.Pt(0, 1)},
+			{Name: "Y", Type: netlist.Out, Pos: geom.Pt(3, 1)},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, c := range [][3]string{{"n1", "a", "Y"}, {"n1", "b", "A"}, {"n2", "b", "Y"}, {"n2", "a", "A"}} {
+		if err := d.Connect(c[0], c[1], c[2]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := LogicColumns(d, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBaselineResult(t, res)
+}
+
+func TestColumnCrossingsZeroForParallel(t *testing.T) {
+	// Two parallel chains placed in columns have zero crossings.
+	d := netlist.NewDesign("par")
+	mk := func(nm string) {
+		if _, err := d.AddModule(nm, "", 3, 3, []netlist.TermSpec{
+			{Name: "A", Type: netlist.In, Pos: geom.Pt(0, 1)},
+			{Name: "Y", Type: netlist.Out, Pos: geom.Pt(3, 1)},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, nm := range []string{"a1", "a2", "b1", "b2"} {
+		mk(nm)
+	}
+	conn := func(net, m1, m2 string) {
+		if err := d.Connect(net, m1, "Y"); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Connect(net, m2, "A"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	conn("na", "a1", "a2")
+	conn("nb", "b1", "b2")
+	res, err := LogicColumns(d, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ColumnCrossings(res); got != 0 {
+		t.Errorf("parallel chains have %d crossings, want 0", got)
+	}
+}
+
+func TestBarycenterReducesCrossings(t *testing.T) {
+	// A crossed pair: chains a1->b2 and b1->a2 where the natural order
+	// crosses; barycenter sweeps should settle to zero crossings.
+	d := netlist.NewDesign("crossed")
+	mk := func(nm string) {
+		if _, err := d.AddModule(nm, "", 3, 3, []netlist.TermSpec{
+			{Name: "A", Type: netlist.In, Pos: geom.Pt(0, 1)},
+			{Name: "Y", Type: netlist.Out, Pos: geom.Pt(3, 1)},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, nm := range []string{"a1", "b1", "a2", "b2"} {
+		mk(nm)
+	}
+	conn := func(net, m1, m2 string) {
+		if err := d.Connect(net, m1, "Y"); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Connect(net, m2, "A"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	conn("nx", "a1", "b2")
+	conn("ny", "b1", "a2")
+	res, err := LogicColumns(d, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ColumnCrossings(res); got != 0 {
+		t.Errorf("barycenter left %d crossings", got)
+	}
+}

@@ -1,0 +1,263 @@
+package place
+
+import (
+	"sort"
+
+	"netart/internal/geom"
+	"netart/internal/netlist"
+)
+
+// LogicColumns implements the logic-schematic placement of §4.3 as a
+// baseline: modules are levelized into columns — the first column holds
+// the units with no module-driven inputs, the next holds units fed
+// exclusively by earlier columns, and so on (back edges, which the
+// paper's sources exclude "for reasons of simplicity", fall into the
+// first column where all their resolved predecessors sit). Inside each
+// column the symbols are permuted to reduce net crossings with the
+// barycenter heuristic standing in for the exhaustive permutation the
+// paper calls impractical.
+//
+// The resulting style is rigid (§4.5: "they impose a lot of undesirable
+// constraints") but yields perfectly columnar left-to-right diagrams on
+// combinational networks, which is what the comparison bench contrasts
+// with the paper's own placer.
+func LogicColumns(d *netlist.Design, spacing int) (*Result, error) {
+	res := &Result{
+		Design: d,
+		Mods:   map[*netlist.Module]*PlacedModule{},
+		SysPos: map[*netlist.Terminal]geom.Point{},
+	}
+	if spacing < 1 {
+		spacing = 2
+	}
+	if len(d.Modules) == 0 {
+		placeTerminals(res)
+		res.Bounds = fullBounds(res)
+		return res, nil
+	}
+
+	cols := levelize(d)
+	// Crossing reduction: a few barycenter sweeps, left to right and
+	// back.
+	order := map[*netlist.Module]int{}
+	for _, col := range cols {
+		for i, m := range col {
+			order[m] = i
+		}
+	}
+	for sweep := 0; sweep < 4; sweep++ {
+		forward := sweep%2 == 0
+		for ci := range cols {
+			c := ci
+			if !forward {
+				c = len(cols) - 1 - ci
+			}
+			barycenterSort(cols[c], order)
+			for i, m := range cols[c] {
+				order[m] = i
+			}
+		}
+	}
+
+	// Geometry: columns left to right; modules stacked bottom-up.
+	x := 0
+	for _, col := range cols {
+		colW := 0
+		y := 0
+		for _, m := range col {
+			res.Mods[m] = &PlacedModule{Mod: m, Pos: geom.Pt(x, y)}
+			y += m.H + spacing
+			colW = geom.Max(colW, m.W)
+		}
+		x += colW + 2*spacing
+	}
+
+	res.ModuleBounds = moduleBounds(res)
+	placeTerminals(res)
+	res.Bounds = fullBounds(res)
+	return res, nil
+}
+
+// levelize assigns each module to a column: column 0 holds modules with
+// no in-edges from other modules; column k holds modules whose module
+// predecessors all sit in columns < k. Cycles are broken by placing the
+// remaining modules of a stuck iteration into the current column.
+func levelize(d *netlist.Design) [][]*netlist.Module {
+	preds := map[*netlist.Module]map[*netlist.Module]bool{}
+	for _, m := range d.Modules {
+		preds[m] = map[*netlist.Module]bool{}
+	}
+	for _, n := range d.Nets {
+		for _, drv := range n.Terms {
+			if drv.Module == nil || !drv.Type.CanDrive() {
+				continue
+			}
+			for _, snk := range n.Terms {
+				if snk.Module == nil || snk.Module == drv.Module || !snk.Type.CanSink() {
+					continue
+				}
+				if drv.Type == netlist.InOut && snk.Type == netlist.InOut {
+					continue // undirected: no ordering information
+				}
+				preds[snk.Module][drv.Module] = true
+			}
+		}
+	}
+	assigned := map[*netlist.Module]bool{}
+	var cols [][]*netlist.Module
+	remaining := len(d.Modules)
+	for remaining > 0 {
+		var col []*netlist.Module
+		for _, m := range d.Modules {
+			if assigned[m] {
+				continue
+			}
+			ready := true
+			for p := range preds[m] {
+				if !assigned[p] {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				col = append(col, m)
+			}
+		}
+		if len(col) == 0 {
+			// Cycle: break it by admitting the module with the fewest
+			// unresolved predecessors (the paper's sources "often
+			// exclude" such back edges, §4.3).
+			var best *netlist.Module
+			bestOpen := 1 << 30
+			for _, m := range d.Modules {
+				if assigned[m] {
+					continue
+				}
+				open := 0
+				for p := range preds[m] {
+					if !assigned[p] {
+						open++
+					}
+				}
+				if open < bestOpen {
+					best, bestOpen = m, open
+				}
+			}
+			col = append(col, best)
+		}
+		for _, m := range col {
+			assigned[m] = true
+		}
+		remaining -= len(col)
+		cols = append(cols, col)
+	}
+	return cols
+}
+
+// barycenterSort orders a column by the mean position of each module's
+// connected neighbours in the other columns.
+func barycenterSort(col []*netlist.Module, order map[*netlist.Module]int) {
+	weight := func(m *netlist.Module) float64 {
+		sum, n := 0.0, 0
+		for _, t := range m.Terms {
+			if t.Net == nil {
+				continue
+			}
+			for _, u := range t.Net.Terms {
+				if u.Module == nil || u.Module == m {
+					continue
+				}
+				if pos, ok := order[u.Module]; ok {
+					sum += float64(pos)
+					n++
+				}
+			}
+		}
+		if n == 0 {
+			return float64(order[m])
+		}
+		return sum / float64(n)
+	}
+	ws := map[*netlist.Module]float64{}
+	for _, m := range col {
+		ws[m] = weight(m)
+	}
+	sort.SliceStable(col, func(i, j int) bool { return ws[col[i]] < ws[col[j]] })
+}
+
+// ColumnCrossings counts, for adjacent column pairs of a columnar
+// placement, the pairwise net crossings (the objective of §4.3's
+// permutation step). It works on any Result by bucketing modules into
+// x-bands.
+func ColumnCrossings(res *Result) int {
+	type edge struct{ a, b int } // y-order indices in adjacent bands
+	// Band modules by x center.
+	xs := map[int][]*netlist.Module{}
+	var keys []int
+	for _, m := range res.Design.Modules {
+		pm, ok := res.Mods[m]
+		if !ok {
+			continue
+		}
+		x := pm.Rect().Center().X
+		if _, seen := xs[x]; !seen {
+			keys = append(keys, x)
+		}
+		xs[x] = append(xs[x], m)
+	}
+	sort.Ints(keys)
+	crossings := 0
+	for ki := 0; ki+1 < len(keys); ki++ {
+		left, right := xs[keys[ki]], xs[keys[ki+1]]
+		idx := map[*netlist.Module]int{}
+		sort.SliceStable(left, func(i, j int) bool {
+			return res.Mods[left[i]].Pos.Y < res.Mods[left[j]].Pos.Y
+		})
+		sort.SliceStable(right, func(i, j int) bool {
+			return res.Mods[right[i]].Pos.Y < res.Mods[right[j]].Pos.Y
+		})
+		for i, m := range left {
+			idx[m] = i
+		}
+		for i, m := range right {
+			idx[m] = i
+		}
+		var edges []edge
+		for _, n := range res.Design.Nets {
+			var ls, rs []int
+			for _, t := range n.Terms {
+				if t.Module == nil {
+					continue
+				}
+				if contains(left, t.Module) {
+					ls = append(ls, idx[t.Module])
+				}
+				if contains(right, t.Module) {
+					rs = append(rs, idx[t.Module])
+				}
+			}
+			for _, a := range ls {
+				for _, b := range rs {
+					edges = append(edges, edge{a, b})
+				}
+			}
+		}
+		for i := 0; i < len(edges); i++ {
+			for j := i + 1; j < len(edges); j++ {
+				if (edges[i].a-edges[j].a)*(edges[i].b-edges[j].b) < 0 {
+					crossings++
+				}
+			}
+		}
+	}
+	return crossings
+}
+
+func contains(mods []*netlist.Module, m *netlist.Module) bool {
+	for _, x := range mods {
+		if x == m {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,221 @@
+package place
+
+import (
+	"testing"
+
+	"netart/internal/boxes"
+	"netart/internal/geom"
+	"netart/internal/netlist"
+)
+
+// chainDesign builds a two-module string where the driver's output
+// terminal sits on the given side of its (unrotated) module, to
+// exercise every vertical-shift branch of PLACE_MODULE (§4.6.4).
+func chainDesign(t *testing.T, outSide geom.Dir, outPos geom.Point) *netlist.Design {
+	t.Helper()
+	d := netlist.NewDesign("chain2")
+	// Driver: 4x4 with the output at outPos (caller guarantees it is on
+	// outSide) and a dummy input on the left so the head orientation
+	// logic has substance.
+	_, err := d.AddModule("drv", "", 4, 4, []netlist.TermSpec{
+		{Name: "A", Type: netlist.In, Pos: geom.Pt(0, 2)},
+		{Name: "Y", Type: netlist.Out, Pos: outPos},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = d.AddModule("snk", "", 4, 4, []netlist.TermSpec{
+		{Name: "A", Type: netlist.In, Pos: geom.Pt(0, 1)},
+		{Name: "Y", Type: netlist.Out, Pos: geom.Pt(4, 1)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Connect("w", "drv", "Y"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Connect("w", "snk", "A"); err != nil {
+		t.Fatal(err)
+	}
+	// Verify the fixture: the terminal really is on the claimed side.
+	side, err := d.Module("drv").Term("Y").Side()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if side != outSide {
+		t.Fatalf("fixture: terminal at %v is on %v, wanted %v", outPos, side, outSide)
+	}
+	return d
+}
+
+// placeChain places the two-module design as one box and returns the
+// placement.
+func placeChain(t *testing.T, d *netlist.Design) *Result {
+	t.Helper()
+	res, err := Place(d, Options{PartSize: 2, BoxSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Parts) != 1 || len(res.Parts[0].Boxes) != 1 ||
+		res.Parts[0].Boxes[0].Box.Len() != 2 {
+		t.Fatalf("expected one 2-string box, got %+v", res.Parts)
+	}
+	return res
+}
+
+// checkStringGeometry verifies the §4.6.4 invariants for the placed
+// pair: the driver's connecting terminal faces right after rotation,
+// the sink's faces left, the sink sits strictly right of the driver,
+// and when the sides oppose, the terminals are vertically aligned.
+func checkStringGeometry(t *testing.T, res *Result) {
+	t.Helper()
+	d := res.Design
+	drv, snk := d.Module("drv"), d.Module("snk")
+	tPrev, tCur, ok := boxes.StringNet(drv, snk)
+	if !ok {
+		t.Fatal("string link lost")
+	}
+	pd, ps := res.Mods[drv], res.Mods[snk]
+	if got := ps.TermSide(tCur); got != geom.Left {
+		t.Errorf("sink terminal faces %v, want left", got)
+	}
+	dw, _ := pd.Size()
+	if ps.Pos.X < pd.Pos.X+dw {
+		t.Error("sink not strictly right of driver")
+	}
+	if pd.TermSide(tPrev) == geom.Right {
+		// Head was rotated so the connecting terminal faces right; the
+		// shift formula must align the terminals for a straight net.
+		if pd.TermPos(tPrev).Y != ps.TermPos(tCur).Y {
+			t.Errorf("opposing terminals not aligned: %v vs %v",
+				pd.TermPos(tPrev), ps.TermPos(tCur))
+		}
+	}
+}
+
+func TestPlaceModuleSideCases(t *testing.T) {
+	cases := []struct {
+		name string
+		side geom.Dir
+		pos  geom.Point
+	}{
+		{"right", geom.Right, geom.Pt(4, 2)},
+		{"up", geom.Up, geom.Pt(2, 4)},
+		{"down", geom.Down, geom.Pt(2, 0)},
+		{"left-lower", geom.Left, geom.Pt(0, 1)},
+		{"left-upper", geom.Left, geom.Pt(0, 3)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			d := chainDesign(t, c.side, c.pos)
+			res := placeChain(t, d)
+			checkStringGeometry(t, res)
+		})
+	}
+}
+
+func TestHeadRotationFacesRight(t *testing.T) {
+	// The head of a multi-module string is rotated so its connecting
+	// terminal ends up on the right, whatever its library side was.
+	for _, c := range []struct {
+		name string
+		pos  geom.Point
+	}{
+		{"from-up", geom.Pt(2, 4)},
+		{"from-down", geom.Pt(2, 0)},
+		{"from-left", geom.Pt(0, 1)},
+		{"from-right", geom.Pt(4, 2)},
+	} {
+		t.Run(c.name, func(t *testing.T) {
+			d := chainDesign(t, sideOfPos(c.pos), c.pos)
+			res := placeChain(t, d)
+			drv := d.Module("drv")
+			tPrev, _, _ := boxes.StringNet(drv, d.Module("snk"))
+			if got := res.Mods[drv].TermSide(tPrev); got != geom.Right {
+				t.Errorf("head terminal faces %v after rotation, want right", got)
+			}
+		})
+	}
+}
+
+func sideOfPos(p geom.Point) geom.Dir {
+	switch {
+	case p.X == 0:
+		return geom.Left
+	case p.X == 4:
+		return geom.Right
+	case p.Y == 4:
+		return geom.Up
+	default:
+		return geom.Down
+	}
+}
+
+func TestWhitespaceScalesWithConnectedNets(t *testing.T) {
+	// Two singleton boxes: the one with more connected terminals on a
+	// side gets more room on that side, visible in the box rectangle.
+	d := netlist.NewDesign("w")
+	_, err := d.AddModule("busy", "", 4, 4, []netlist.TermSpec{
+		{Name: "A", Type: netlist.In, Pos: geom.Pt(0, 1)},
+		{Name: "B", Type: netlist.In, Pos: geom.Pt(0, 2)},
+		{Name: "C", Type: netlist.In, Pos: geom.Pt(0, 3)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = d.AddModule("quiet", "", 4, 4, []netlist.TermSpec{
+		{Name: "A", Type: netlist.In, Pos: geom.Pt(0, 1)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Give each terminal its own net to a shared driver so the counts
+	// differ: busy has 3 connected nets on its left, quiet has 1.
+	_, err = d.AddModule("src", "", 4, 4, []netlist.TermSpec{
+		{Name: "Y1", Type: netlist.Out, Pos: geom.Pt(4, 1)},
+		{Name: "Y2", Type: netlist.Out, Pos: geom.Pt(4, 2)},
+		{Name: "Y3", Type: netlist.Out, Pos: geom.Pt(4, 3)},
+		{Name: "Y4", Type: netlist.Out, Pos: geom.Pt(2, 0)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range [][3]string{
+		{"n1", "Y1", "A"}, {"n2", "Y2", "B"}, {"n3", "Y3", "C"},
+	} {
+		if err := d.Connect(c[0], "src", c[1]); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Connect(c[0], "busy", c[2]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Connect("n4", "src", "Y4"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Connect("n4", "quiet", "A"); err != nil {
+		t.Fatal(err)
+	}
+
+	busy := spacing(d.Module("busy"), geom.R0, geom.Left, 0)
+	quiet := spacing(d.Module("quiet"), geom.R0, geom.Left, 0)
+	if busy != 4 || quiet != 2 { // count+1
+		t.Errorf("spacing busy=%d quiet=%d, want 4 and 2", busy, quiet)
+	}
+}
+
+func TestSingletonBoxKeepsLibraryOrientation(t *testing.T) {
+	d := chainDesign(t, geom.Right, geom.Pt(4, 2))
+	res, err := Place(d, Options{PartSize: 1, BoxSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range d.Modules {
+		if res.Mods[m].Orient != geom.R0 {
+			t.Errorf("singleton module %s rotated to %v", m.Name, res.Mods[m].Orient)
+		}
+	}
+}

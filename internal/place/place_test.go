@@ -1,0 +1,328 @@
+package place
+
+import (
+	"testing"
+	"testing/quick"
+
+	"netart/internal/boxes"
+	"netart/internal/geom"
+	"netart/internal/netlist"
+	"netart/internal/workload"
+)
+
+func mustPlace(t *testing.T, d *netlist.Design, opts Options) *Result {
+	t.Helper()
+	res, err := Place(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestPlaceFig61(t *testing.T) {
+	d := workload.Fig61()
+	res := mustPlace(t, d, Options{PartSize: 6, BoxSize: 6})
+	if len(res.Parts) != 1 {
+		t.Fatalf("%d partitions, want 1", len(res.Parts))
+	}
+	if len(res.Parts[0].Boxes) != 1 {
+		t.Fatalf("%d boxes, want 1", len(res.Parts[0].Boxes))
+	}
+	// Left-to-right signal flow: each string module strictly right of
+	// its predecessor.
+	b := res.Parts[0].Boxes[0].Box
+	for i := 1; i < b.Len(); i++ {
+		prev := res.Mods[b.Modules[i-1]]
+		cur := res.Mods[b.Modules[i]]
+		pw, _ := prev.Size()
+		if cur.Pos.X < prev.Pos.X+pw {
+			t.Errorf("module %s not right of %s", cur.Mod.Name, prev.Mod.Name)
+		}
+	}
+}
+
+// stringBends counts the bends needed to connect t0 to t1 given their
+// positions and outward sides, for the bend lemma check: 0 bends when
+// aligned on opposing horizontal sides, else as routed with one or two
+// corners.
+func stringBends(p0, p1 geom.Point, s0, s1 geom.Dir) int {
+	if s0 == geom.Right && s1 == geom.Left && p0.Y == p1.Y {
+		return 0
+	}
+	if s0.Horizontal() != s1.Horizontal() {
+		return 1 // an L path suffices when the escape directions differ in axis
+	}
+	return 2
+}
+
+func TestBendLemma(t *testing.T) {
+	// §4.6.4 lemma: the in-string nets of a placed string need at most
+	// two bends each, and zero when the connecting sides oppose.
+	d := workload.Fig61()
+	res := mustPlace(t, d, Options{PartSize: 6, BoxSize: 6})
+	b := res.Parts[0].Boxes[0].Box
+	for i := 1; i < b.Len(); i++ {
+		prev, cur := b.Modules[i-1], b.Modules[i]
+		tp, tc, ok := boxes.StringNet(prev, cur)
+		if !ok {
+			t.Fatalf("string broken at %s", cur.Name)
+		}
+		pp := res.Mods[prev].TermPos(tp)
+		pc := res.Mods[cur].TermPos(tc)
+		sp := res.Mods[prev].TermSide(tp)
+		sc := res.Mods[cur].TermSide(tc)
+		if sc != geom.Left {
+			t.Errorf("module %s input terminal faces %v, want left", cur.Name, sc)
+		}
+		if n := stringBends(pp, pc, sp, sc); n > 2 {
+			t.Errorf("net %s->%s needs %d bends, lemma says <= 2", prev.Name, cur.Name, n)
+		}
+		if sp == geom.Right && pp.Y != pc.Y {
+			t.Errorf("opposing sides not aligned: %v vs %v", pp, pc)
+		}
+	}
+}
+
+func TestPlaceDatapathVariants(t *testing.T) {
+	// The parameter sweep of figures 6.2-6.4 must all verify.
+	d := workload.Datapath16()
+	for _, opt := range []Options{
+		{PartSize: 1, BoxSize: 1},
+		{PartSize: 5, BoxSize: 1},
+		{PartSize: 7, BoxSize: 5},
+	} {
+		res := mustPlace(t, d, opt)
+		if len(res.Mods) != 16 {
+			t.Errorf("p=%d b=%d: %d modules placed", opt.PartSize, opt.BoxSize, len(res.Mods))
+		}
+		if len(res.SysPos) != 5 {
+			t.Errorf("p=%d b=%d: %d system terminals placed", opt.PartSize, opt.BoxSize, len(res.SysPos))
+		}
+	}
+}
+
+func TestPartitionCountsMatchFigures(t *testing.T) {
+	d := workload.Datapath16()
+	// Figure 6.2: p=1 -> 16 partitions. Figure 6.3: p=5 -> >= 4.
+	res := mustPlace(t, d, Options{PartSize: 1, BoxSize: 1})
+	if len(res.Parts) != 16 {
+		t.Errorf("p=1: %d partitions, want 16", len(res.Parts))
+	}
+	res = mustPlace(t, d, Options{PartSize: 5, BoxSize: 1})
+	if len(res.Parts) < 4 {
+		t.Errorf("p=5: %d partitions, want >= 4", len(res.Parts))
+	}
+	// Figure 6.4: p=7 b=5 -> 3 partitions (16 modules / 7 >= 3).
+	res = mustPlace(t, d, Options{PartSize: 7, BoxSize: 5})
+	if len(res.Parts) < 3 {
+		t.Errorf("p=7: %d partitions, want >= 3", len(res.Parts))
+	}
+}
+
+func TestPlaceLife(t *testing.T) {
+	d := workload.Life27()
+	res := mustPlace(t, d, Options{PartSize: 7, BoxSize: 5})
+	if len(res.Mods) != 27 {
+		t.Errorf("%d modules placed", len(res.Mods))
+	}
+}
+
+func TestSpacingGrowsWithTerminals(t *testing.T) {
+	// A side with more connected nets gets more white space.
+	d := workload.Datapath16()
+	ctrl := d.Module("ctrl")
+	right := spacing(ctrl, geom.R0, geom.Right, 0)
+	up := spacing(ctrl, geom.R0, geom.Up, 0)
+	if right <= up {
+		t.Errorf("controller right spacing %d <= up spacing %d", right, up)
+	}
+	// Slack adds through.
+	if spacing(ctrl, geom.R0, geom.Right, 3) != right+3 {
+		t.Error("slack not added")
+	}
+}
+
+func TestPreplacedPinned(t *testing.T) {
+	d := workload.Datapath16()
+	ctrl := d.Module("ctrl")
+	fx := Fixed{Pos: geom.Pt(0, 40)}
+	res := mustPlace(t, d, Options{
+		PartSize: 1, BoxSize: 1,
+		Fixed: map[*netlist.Module]Fixed{ctrl: fx},
+	})
+	got := res.Mods[ctrl]
+	if got.Pos != fx.Pos || got.Orient != fx.Orient {
+		t.Errorf("pinned module moved: %v %v", got.Pos, got.Orient)
+	}
+	// The pinned module forms its own pseudo partition, so the
+	// automatic partitions cover the other 15 modules.
+	total := 0
+	for _, pp := range res.Parts {
+		total += len(pp.Part.Modules)
+	}
+	if total != 15 {
+		t.Errorf("automatic partitions cover %d modules, want 15", total)
+	}
+}
+
+func TestSysTerminalsOnPerimeter(t *testing.T) {
+	d := workload.Datapath16()
+	res := mustPlace(t, d, Options{PartSize: 5, BoxSize: 5})
+	b := res.ModuleBounds
+	for _, st := range d.SysTerms {
+		p := res.SysPos[st]
+		onRing := p.X == b.Min.X-1 || p.X == b.Max.X+1 || p.Y == b.Min.Y-1 || p.Y == b.Max.Y+1
+		if !onRing {
+			t.Errorf("terminal %s at %v not on the perimeter of %v", st.Name, p, b)
+		}
+	}
+}
+
+func TestInputTerminalsTendLeft(t *testing.T) {
+	// Rule 4: with left-to-right strings, input system terminals should
+	// gravitate to the left half, outputs to the right half.
+	d := workload.Fig61()
+	res := mustPlace(t, d, Options{PartSize: 6, BoxSize: 6})
+	in := res.SysPos[d.SysTerm("IN")]
+	cx := res.ModuleBounds.Center().X
+	if in.X > cx {
+		t.Errorf("input terminal at x=%d right of center %d", in.X, cx)
+	}
+}
+
+func TestTermPosAndSide(t *testing.T) {
+	d := workload.Fig61()
+	res := mustPlace(t, d, Options{PartSize: 6, BoxSize: 6})
+	for _, m := range d.Modules {
+		pm := res.Mods[m]
+		r := pm.Rect()
+		for _, tm := range m.Terms {
+			p, err := res.TermPos(tm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Terminal positions are on the closed boundary of the
+			// rotated module rectangle.
+			if p.X < r.Min.X || p.X > r.Max.X || p.Y < r.Min.Y || p.Y > r.Max.Y {
+				t.Errorf("terminal %s at %v outside module rect %v", tm.Label(), p, r)
+			}
+		}
+	}
+	st := d.SysTerm("IN")
+	if _, err := res.TermPos(st); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.TermSide(st); err != nil {
+		t.Fatal(err)
+	}
+	// Unknown terminal errors.
+	other := netlist.NewDesign("x")
+	om, _ := other.AddModule("om", "", 2, 2, []netlist.TermSpec{
+		{Name: "T", Type: netlist.In, Pos: geom.Pt(0, 1)},
+	})
+	if _, err := res.TermPos(om.Term("T")); err == nil {
+		t.Error("foreign terminal accepted")
+	}
+}
+
+func TestPlacementDeterministic(t *testing.T) {
+	a := mustPlace(t, workload.Datapath16(), Options{PartSize: 5, BoxSize: 3})
+	b := mustPlace(t, workload.Datapath16(), Options{PartSize: 5, BoxSize: 3})
+	for _, m := range a.Design.Modules {
+		pa := a.Mods[m]
+		pb := b.Mods[b.Design.Module(m.Name)]
+		if pa.Pos != pb.Pos || pa.Orient != pb.Orient {
+			t.Fatalf("module %s placed at %v/%v vs %v/%v",
+				m.Name, pa.Pos, pa.Orient, pb.Pos, pb.Orient)
+		}
+	}
+}
+
+func TestPlacePropertyNoOverlap(t *testing.T) {
+	// Property: random networks and random knob settings never produce
+	// overlapping modules or unplaced elements.
+	f := func(seed int64, pRaw, bRaw, sRaw uint8) bool {
+		d := workload.Random(12, seed)
+		opts := Options{
+			PartSize:    1 + int(pRaw)%8,
+			BoxSize:     1 + int(bRaw)%5,
+			ModSpacing:  int(sRaw) % 3,
+			BoxSpacing:  int(sRaw) % 2,
+			PartSpacing: int(sRaw) % 2,
+		}
+		res, err := Place(d, opts)
+		if err != nil {
+			return false
+		}
+		return res.Verify() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpacingSeparatesPartitions(t *testing.T) {
+	d := workload.Datapath16()
+	tight := mustPlace(t, d, Options{PartSize: 5, BoxSize: 5})
+	loose := mustPlace(t, d, Options{PartSize: 5, BoxSize: 5, PartSpacing: 4})
+	if loose.ModuleBounds.Area() <= tight.ModuleBounds.Area() {
+		t.Errorf("partition spacing did not grow the diagram: %v vs %v",
+			loose.ModuleBounds, tight.ModuleBounds)
+	}
+}
+
+func TestHeavilyConnectedNearby(t *testing.T) {
+	// Rule 2: connected module pairs should on average sit closer than
+	// unconnected pairs.
+	d := workload.Datapath16()
+	res := mustPlace(t, d, Options{PartSize: 5, BoxSize: 5})
+	var connSum, connN, disSum, disN int
+	for i, a := range d.Modules {
+		for _, b := range d.Modules[i+1:] {
+			dist := res.Mods[a].Rect().Center().Manhattan(res.Mods[b].Rect().Center())
+			if netlist.Connected(a, b) {
+				connSum += dist
+				connN++
+			} else {
+				disSum += dist
+				disN++
+			}
+		}
+	}
+	if connN == 0 || disN == 0 {
+		t.Skip("degenerate connectivity")
+	}
+	if connSum*disN >= disSum*connN { // avg(conn) >= avg(dis)
+		t.Errorf("connected pairs avg distance %d/%d not below unconnected %d/%d",
+			connSum, connN, disSum, disN)
+	}
+}
+
+func TestPlaceEmptyDesign(t *testing.T) {
+	d := netlist.NewDesign("empty")
+	res, err := Place(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Mods) != 0 || len(res.SysPos) != 0 {
+		t.Error("empty design placed something")
+	}
+}
+
+func TestPlaceSingleModule(t *testing.T) {
+	lib := workload.Fig61() // reuse a module from a built design
+	_ = lib
+	d := netlist.NewDesign("one")
+	if _, err := d.AddModule("only", "", 4, 3, []netlist.TermSpec{
+		{Name: "A", Type: netlist.In, Pos: geom.Pt(0, 1)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res := mustPlace(t, d, Options{})
+	if len(res.Mods) != 1 {
+		t.Fatal("module not placed")
+	}
+}

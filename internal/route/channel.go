@@ -1,0 +1,121 @@
+package route
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file implements the left-edge channel router of §5.2.4 as a
+// baseline: a channel has terminals on two opposite sides; each net
+// becomes a horizontal interval spanning its pins; the algorithm fills
+// one track at a time as densely as possible with non-overlapping
+// intervals. It is very fast but limited — exactly the trade-off the
+// paper cites when rejecting channel routing for schematics (channels
+// would have to be constructed explicitly).
+
+// ChannelPin is a terminal on the top or bottom edge of a channel.
+type ChannelPin struct {
+	X   int
+	Net int
+	Top bool
+}
+
+// ChannelInterval is the horizontal span a net occupies in the channel.
+type ChannelInterval struct {
+	Net         int
+	Left, Right int
+}
+
+// BuildIntervals collapses pins into one interval per net. Nets with a
+// single pin are rejected: a channel connection needs at least two.
+func BuildIntervals(pins []ChannelPin) ([]ChannelInterval, error) {
+	type span struct {
+		lo, hi, n int
+	}
+	spans := map[int]*span{}
+	order := []int{}
+	for _, p := range pins {
+		s, ok := spans[p.Net]
+		if !ok {
+			spans[p.Net] = &span{p.X, p.X, 1}
+			order = append(order, p.Net)
+			continue
+		}
+		if p.X < s.lo {
+			s.lo = p.X
+		}
+		if p.X > s.hi {
+			s.hi = p.X
+		}
+		s.n++
+	}
+	var out []ChannelInterval
+	for _, net := range order {
+		s := spans[net]
+		if s.n < 2 {
+			return nil, fmt.Errorf("route: channel net %d has a single pin", net)
+		}
+		out = append(out, ChannelInterval{Net: net, Left: s.lo, Right: s.hi})
+	}
+	return out, nil
+}
+
+// LeftEdge assigns intervals to tracks with the classic left-edge
+// greedy: sort by left coordinate; fill the current track with the
+// next non-overlapping interval until none fits, then open a new
+// track. It returns the track assignment (track index per interval
+// order of the result) and the channel density actually used.
+func LeftEdge(intervals []ChannelInterval) (tracks [][]ChannelInterval) {
+	rest := append([]ChannelInterval(nil), intervals...)
+	sort.SliceStable(rest, func(i, j int) bool {
+		if rest[i].Left != rest[j].Left {
+			return rest[i].Left < rest[j].Left
+		}
+		return rest[i].Right < rest[j].Right
+	})
+	for len(rest) > 0 {
+		var track []ChannelInterval
+		var next []ChannelInterval
+		edge := -1 << 62
+		for _, iv := range rest {
+			// Adjacent intervals may not share a column: a shared
+			// column would overlap the vertical pin stubs.
+			if iv.Left > edge {
+				track = append(track, iv)
+				edge = iv.Right
+			} else {
+				next = append(next, iv)
+			}
+		}
+		tracks = append(tracks, track)
+		rest = next
+	}
+	return tracks
+}
+
+// ChannelDensity returns the lower bound on the number of tracks: the
+// maximum number of intervals covering any single column.
+func ChannelDensity(intervals []ChannelInterval) int {
+	type ev struct {
+		x     int
+		delta int
+	}
+	var evs []ev
+	for _, iv := range intervals {
+		evs = append(evs, ev{iv.Left, +1}, ev{iv.Right + 1, -1})
+	}
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].x != evs[j].x {
+			return evs[i].x < evs[j].x
+		}
+		return evs[i].delta < evs[j].delta // close intervals before opening new ones
+	})
+	cur, max := 0, 0
+	for _, e := range evs {
+		cur += e.delta
+		if cur > max {
+			max = cur
+		}
+	}
+	return max
+}

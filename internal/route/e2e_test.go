@@ -1,0 +1,158 @@
+package route
+
+import (
+	"testing"
+
+	"netart/internal/geom"
+	"netart/internal/netlist"
+	"netart/internal/place"
+	"netart/internal/workload"
+)
+
+func placeAndRoute(t *testing.T, d *netlist.Design, po place.Options, ro Options) *Result {
+	t.Helper()
+	pr, err := place.Place(d, po)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pr.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Route(pr, ro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestEndToEndFig61(t *testing.T) {
+	d := workload.Fig61()
+	res := placeAndRoute(t, d, place.Options{PartSize: 6, BoxSize: 6},
+		Options{Claimpoints: true})
+	if got := res.UnroutedCount(); got != 0 {
+		t.Fatalf("%d unrouted nets in fig 6.1", got)
+	}
+	for _, rn := range res.Nets {
+		assertTreeConnectsTerminals(t, res, rn)
+	}
+	// Figure 6.1's point: with fixed level assignment the string nets
+	// have minimal bends; in a placed string they should total very few.
+	bends := 0
+	for _, rn := range res.Nets {
+		bends += segBends(rn.Segments)
+	}
+	if bends > 2*len(res.Nets) {
+		t.Errorf("string routing has %d bends over %d nets; expected near-straight wires",
+			bends, len(res.Nets))
+	}
+}
+
+func TestEndToEndDatapath(t *testing.T) {
+	d := workload.Datapath16()
+	for _, po := range []place.Options{
+		{PartSize: 1, BoxSize: 1},
+		{PartSize: 5, BoxSize: 1},
+		{PartSize: 7, BoxSize: 5},
+	} {
+		res := placeAndRoute(t, d, po, Options{Claimpoints: true})
+		if got := res.UnroutedCount(); got > 2 {
+			t.Errorf("p=%d b=%d: %d of %d nets unrouted",
+				po.PartSize, po.BoxSize, got, len(res.Nets))
+		}
+		for _, rn := range res.Nets {
+			if rn.OK() && len(rn.Net.Terms) >= 2 {
+				assertTreeConnectsTerminals(t, res, rn)
+			}
+		}
+		d = workload.Datapath16() // fresh design per run
+	}
+}
+
+func TestEndToEndNoWireThroughModules(t *testing.T) {
+	d := workload.Datapath16()
+	res := placeAndRoute(t, d, place.Options{PartSize: 5, BoxSize: 5},
+		Options{Claimpoints: true})
+	for _, rn := range res.Nets {
+		id := res.NetID[rn.Net]
+		for _, sg := range rn.Segments {
+			for _, p := range sg.Points() {
+				for _, m := range d.Modules {
+					pm := res.Placement.Mods[m]
+					r := pm.Rect()
+					// Interior points (strictly inside the outline) may
+					// never carry wire.
+					if p.X > r.Min.X && p.X < r.Max.X && p.Y > r.Min.Y && p.Y < r.Max.Y {
+						t.Fatalf("net %d runs through module %s at %v", id, m.Name, p)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestLifeHandPlacementRoutes(t *testing.T) {
+	// Figure 6.6: the LIFE network with hand placement. The paper
+	// reports 2 of 222 nets initially unroutable; our synthetic LIFE
+	// should land in the same regime (a handful at most).
+	if testing.Short() {
+		t.Skip("LIFE routing is expensive")
+	}
+	d := workload.Life27()
+	hp := workload.LifeHandPlacement()
+	fixed := map[*netlist.Module]place.Fixed{}
+	for _, m := range d.Modules {
+		h := hp[m.Name]
+		fixed[m] = place.Fixed{Pos: h.Pos, Orient: h.Orient}
+	}
+	pr, err := place.Place(d, place.Options{Fixed: fixed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Route(pr, Options{Claimpoints: true, Margin: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	un := res.UnroutedCount()
+	t.Logf("LIFE hand placement: %d of %d nets unrouted", un, len(res.Nets))
+	if un > 22 { // 10% of nets; the paper had 2 of 222
+		t.Errorf("too many unrouted nets: %d", un)
+	}
+	for _, rn := range res.Nets {
+		if rn.OK() && len(rn.Net.Terms) >= 2 {
+			assertTreeConnectsTerminals(t, res, rn)
+		}
+	}
+}
+
+func TestEscapeDirsSystemTerminal(t *testing.T) {
+	s := newScene(t)
+	s.mod("A", 0, 0, 2, 2, term("A", netlist.In, 0, 1))
+	st := s.sys("IN", netlist.In, -3, 1)
+	s.net("w", [2]string{"root", "IN"}, [2]string{"A", "A"})
+	pr := s.finish()
+	rt := &router{pl: pr, opts: Options{}, netID: map[*netlist.Net]int32{}}
+	if err := rt.buildPlane(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(rt.escapeDirs(st)); got != 4 {
+		t.Errorf("system terminal escapes %d directions, want 4", got)
+	}
+	sub := pr.Design.Module("A").Term("A")
+	dirs := rt.escapeDirs(sub)
+	if len(dirs) != 1 || dirs[0] != geom.Left {
+		t.Errorf("subsystem terminal dirs = %v, want [left]", dirs)
+	}
+}
+
+func TestRouteSingleTerminalNetSkipped(t *testing.T) {
+	s := newScene(t)
+	s.mod("A", 0, 0, 2, 2, term("Y", netlist.Out, 2, 1))
+	s.net("dangling", [2]string{"A", "Y"})
+	res := mustRoute(t, s.finish(), Options{})
+	if res.UnroutedCount() != 0 {
+		t.Error("single-terminal net should not count as unrouted")
+	}
+	if len(res.Nets[0].Segments) != 0 {
+		t.Error("single-terminal net should have no geometry")
+	}
+}

@@ -1,0 +1,135 @@
+package route
+
+import (
+	"testing"
+
+	"netart/internal/geom"
+	"netart/internal/netlist"
+	"netart/internal/place"
+)
+
+// TestRetryPassRescuesBlockedNet reproduces the figure 5.14/5.15
+// situation: net ab cannot route while claimpoints of later nets block
+// its only corridors, but after every net has been attempted and all
+// claims are gone, the final retry pass connects it.
+func TestRetryPassRescuesBlockedNet(t *testing.T) {
+	// Geometry: module M0 with A on its right side between two other
+	// terminal pairs whose claims initially pinch A's escape corridor.
+	build := func() (*place.Result, map[string]*netlist.Net) {
+		s := newScene(t)
+		s.mod("M0", 0, 0, 3, 8,
+			term("C", netlist.Out, 3, 6),
+			term("A", netlist.Out, 3, 4),
+			term("E", netlist.Out, 3, 2))
+		s.mod("M1", 7, 0, 3, 8,
+			term("D", netlist.In, 0, 6),
+			term("B", netlist.In, 0, 4),
+			term("F", netlist.In, 0, 2))
+		nets := map[string]*netlist.Net{
+			"ab": s.net("ab", [2]string{"M0", "A"}, [2]string{"M1", "B"}),
+			"cd": s.net("cd", [2]string{"M0", "C"}, [2]string{"M1", "D"}),
+			"ef": s.net("ef", [2]string{"M0", "E"}, [2]string{"M1", "F"}),
+		}
+		return s.finish(), nets
+	}
+	pr, nets := build()
+	res := mustRoute(t, pr, Options{Claimpoints: true})
+	for name, n := range nets {
+		if !res.Net(n).OK() {
+			t.Errorf("net %s unrouted despite retry pass", name)
+		}
+	}
+}
+
+func TestFixedBorderPerSide(t *testing.T) {
+	// Fix only the top border; the wire may still use the side and
+	// bottom margins but never rise above the bounding box.
+	s := newScene(t)
+	s.mod("A", 0, 0, 2, 2, term("Y", netlist.Out, 2, 1))
+	s.mod("X", 4, -2, 2, 6)
+	s.mod("B", 8, 0, 2, 2, term("A", netlist.In, 0, 1))
+	n := s.net("w", [2]string{"A", "Y"}, [2]string{"B", "A"})
+	pr := s.finish()
+	var fixed [4]bool
+	fixed[geom.Up] = true
+	res := mustRoute(t, pr, Options{FixedBorder: fixed})
+	rn := res.Net(n)
+	if !rn.OK() {
+		t.Fatalf("net failed with top border fixed: %v", rn.Failed)
+	}
+	for _, sg := range rn.Segments {
+		for _, p := range sg.Points() {
+			if p.Y > pr.Bounds.Max.Y {
+				t.Errorf("wire point %v above the fixed top border %d", p, pr.Bounds.Max.Y)
+			}
+		}
+	}
+	// The detour must have gone below (the only open side around the
+	// wall).
+	sawBelow := false
+	for _, sg := range rn.Segments {
+		for _, p := range sg.Points() {
+			if p.Y < 0 {
+				sawBelow = true
+			}
+		}
+	}
+	if !sawBelow {
+		t.Error("expected the detour to use the bottom margin")
+	}
+}
+
+func TestShortestFirstOrdering(t *testing.T) {
+	// With shortest-first, the short net routes before the long one
+	// even though the design order says otherwise. Observable effect:
+	// the short pair's straight row is taken by the short net, and both
+	// still route.
+	s := newScene(t)
+	// Long pair created FIRST (design order), short pair second.
+	s.mod("L1", 0, 10, 2, 2, term("Y", netlist.Out, 2, 1))
+	s.mod("L2", 30, 10, 2, 2, term("A", netlist.In, 0, 1))
+	s.mod("S1", 10, 0, 2, 2, term("Y", netlist.Out, 2, 1))
+	s.mod("S2", 16, 0, 2, 2, term("A", netlist.In, 0, 1))
+	long := s.net("long", [2]string{"L1", "Y"}, [2]string{"L2", "A"})
+	short := s.net("short", [2]string{"S1", "Y"}, [2]string{"S2", "A"})
+	res := mustRoute(t, s.finish(), Options{OrderShortestFirst: true})
+	if !res.Net(long).OK() || !res.Net(short).OK() {
+		t.Fatal("nets failed")
+	}
+	if got := segBends(res.Net(short).Segments); got != 0 {
+		t.Errorf("short net has %d bends; shortest-first should route it straight", got)
+	}
+	// Reporting order stays design order regardless of routing order.
+	if res.Nets[0].Net != long || res.Nets[1].Net != short {
+		t.Error("result order does not follow design order")
+	}
+}
+
+func TestHalfPerimeterEstimate(t *testing.T) {
+	s := newScene(t)
+	s.mod("A", 0, 0, 2, 2, term("Y", netlist.Out, 2, 1))
+	s.mod("B", 10, 6, 2, 2, term("A", netlist.In, 0, 1))
+	n := s.net("w", [2]string{"A", "Y"}, [2]string{"B", "A"})
+	pr := s.finish()
+	rt := &router{pl: pr, opts: Options{}, netID: map[*netlist.Net]int32{}}
+	if err := rt.buildPlane(); err != nil {
+		t.Fatal(err)
+	}
+	// Terminals at (2,1) and (10,7): half perimeter = 8 + 6.
+	if got := rt.halfPerimeter(n); got != 14 {
+		t.Errorf("halfPerimeter = %d, want 14", got)
+	}
+}
+
+func TestClaimReleasedOnlyForOwnNet(t *testing.T) {
+	pl := NewPlane(geom.R(0, 0, 10, 10))
+	pl.Claim(geom.Pt(2, 2), 1)
+	pl.Claim(geom.Pt(3, 3), 2)
+	pl.ReleaseClaims(1)
+	if pl.Claimpoint(geom.Pt(2, 2)) != 0 {
+		t.Error("own claim not released")
+	}
+	if pl.Claimpoint(geom.Pt(3, 3)) != 2 {
+		t.Error("foreign claim released")
+	}
+}

@@ -1,0 +1,429 @@
+package route
+
+import (
+	"sort"
+
+	"netart/internal/geom"
+)
+
+// This file implements the line-expansion principle of §5.5/§5.6
+// (after Heyns, Sansen & Beke [7]): whole active segments are expanded
+// perpendicular to their direction; the borders of each expansion zone
+// become the next wave's active segments. Waves are processed in order
+// of their bend count, so the first wave that reaches the target yields
+// a path with the minimum number of bends; scanning the complete wave
+// before committing lets the router pick, among the minimum-bend
+// solutions, the one with the fewest wire crossings and then the
+// smallest wire length (§5.6.1; the -s option of Appendix F swaps the
+// last two criteria).
+
+// active is the ten-tuple of §5.6.2 in struct form: a segment of
+// already-reached cells together with its expansion direction, wave
+// (bend) number, per-cell crossing counts, and its originator for the
+// trace-back.
+type active struct {
+	index  int           // the fixed coordinate: row for horizontal segments (dir up/down), column for vertical
+	iv     geom.Interval // cell range along the segment
+	dir    geom.Dir      // expansion direction, perpendicular to the segment
+	bends  int           // wave number b
+	cross  []int         // crossings c per cell (parallel to iv)
+	parent *active       // originator
+}
+
+// pt maps segment coordinates to plane points: i runs along the
+// segment, j along the expansion axis.
+func (a *active) pt(i, j int) geom.Point {
+	if a.dir == geom.Up || a.dir == geom.Down {
+		return geom.Pt(i, j)
+	}
+	return geom.Pt(j, i)
+}
+
+// step is the signed unit of the expansion axis.
+func (a *active) step() int {
+	if a.dir == geom.Up || a.dir == geom.Right {
+		return 1
+	}
+	return -1
+}
+
+// solution records one contact with the target set.
+type solution struct {
+	a      *active
+	i, j   int // contact coordinates in a's frame
+	cross  int
+	length int
+	segs   []Segment
+}
+
+// lineSearch is one invocation of the expansion engine: route from a
+// set of initial actives to a target predicate over plane points.
+type lineSearch struct {
+	pl  *Plane
+	net int32
+	// covered holds one bit per expansion direction: a cell stops an
+	// escape only when it was already swept in the same direction.
+	// This mirrors the paper's directional obstacle bookkeeping (new
+	// vertical actives are added to vertical-segments and block only
+	// horizontal escapes, and vice versa) and preserves the minimum
+	// bend guarantee: when an escape is stopped by a same-direction
+	// mark, every cell beyond it was already covered at an equal or
+	// lower wave number by the sweep that made the mark.
+	covered []uint8
+	target  func(geom.Point) bool
+	sols    []solution
+	swap    bool         // -s: compare length before crossings
+	stats   *SearchStats // optional counters; nil disables
+}
+
+// SearchStats counts the work the expansion engine performs — the
+// quantities the §5.8 complexity discussion reasons about ("if the
+// number of bends is small then a path will be found in no time
+// because the number of possible paths will be small").
+type SearchStats struct {
+	Searches int // individual connection searches run
+	Waves    int // wavefronts processed (one per bend level per search)
+	Actives  int // active segments expanded
+	Cells    int // escape-line cells swept
+	MaxBends int // deepest wave that produced a solution
+}
+
+func (st *SearchStats) addWave() {
+	if st != nil {
+		st.Waves++
+	}
+}
+
+func (st *SearchStats) addActive() {
+	if st != nil {
+		st.Actives++
+	}
+}
+
+func (st *SearchStats) addCells(n int) {
+	if st != nil {
+		st.Cells += n
+	}
+}
+
+func dirBit(d geom.Dir) uint8 { return 1 << uint(d) }
+
+const allDirBits = 0x0f
+
+func newLineSearch(pl *Plane, net int32, target func(geom.Point) bool, swap bool) *lineSearch {
+	return &lineSearch{
+		pl:      pl,
+		net:     net,
+		covered: make([]uint8, len(pl.blocked)),
+		target:  target,
+		swap:    swap,
+	}
+}
+
+// terminalActives builds the initial wave for a terminal at p escaping
+// in the given directions (one outward direction for subsystem
+// terminals, all four for system terminals, per INIT_ACTIVES).
+func terminalActives(p geom.Point, dirs []geom.Dir) []*active {
+	out := make([]*active, 0, len(dirs))
+	for _, d := range dirs {
+		a := &active{dir: d, bends: 0, cross: []int{0}}
+		if d == geom.Up || d == geom.Down {
+			a.index = p.Y
+			a.iv = geom.Iv(p.X, p.X)
+		} else {
+			a.index = p.X
+			a.iv = geom.Iv(p.Y, p.Y)
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// run processes waves in bend order until a wave produces solutions or
+// the frontier dies out. It returns the winning path as cleaned
+// segments ordered target→source.
+func (s *lineSearch) run(starts []*active) ([]Segment, bool) {
+	if len(starts) == 0 {
+		return nil, false
+	}
+	// Mark the start cells covered so escapes do not re-enter them.
+	for _, a := range starts {
+		for i := a.iv.Lo; i <= a.iv.Hi; i++ {
+			p := a.pt(i, a.index)
+			if s.pl.InBounds(p) {
+				s.covered[s.pl.idx(p)] = allDirBits
+			}
+		}
+	}
+	wave := starts
+	bends := 0
+	for len(wave) > 0 {
+		s.stats.addWave()
+		var next []*active
+		for _, a := range wave {
+			s.stats.addActive()
+			next = append(next, s.expand(a)...)
+		}
+		if len(s.sols) > 0 {
+			if s.stats != nil && bends > s.stats.MaxBends {
+				s.stats.MaxBends = bends
+			}
+			best := s.best()
+			return cleanSegments(best.segs), true
+		}
+		wave = next
+		bends++
+	}
+	return nil, false
+}
+
+// best picks the winning solution of the current wave: minimum
+// crossings then minimum length, or the reverse under -s. Ties resolve
+// to the earliest found, which is deterministic.
+func (s *lineSearch) best() solution {
+	sort.SliceStable(s.sols, func(x, y int) bool {
+		a, b := s.sols[x], s.sols[y]
+		if s.swap {
+			if a.length != b.length {
+				return a.length < b.length
+			}
+			return a.cross < b.cross
+		}
+		if a.cross != b.cross {
+			return a.cross < b.cross
+		}
+		return a.length < b.length
+	})
+	return s.sols[0]
+}
+
+// expand implements EXPAND_SEGMENT with a per-cell sweep: every cell of
+// the active segment sends an escape line in the expansion direction
+// until it is stopped by an obstacle, a previously searched zone, or
+// the target. The stop profile then yields the perpendicular border
+// segments as the next wave (NEW_ACTIVES).
+func (s *lineSearch) expand(a *active) []*active {
+	step := a.step()
+	n := a.iv.Len()
+	// advance[k]: how many cells the escape from segment cell k
+	// travelled. crossPos[k]: expansion-axis positions (j) of the
+	// foreign wires crossed, in travel order. passable cells that are
+	// crossings cannot join new actives.
+	advance := make([]int, n)
+	crossPos := make([][]int, n)
+
+	for k := 0; k < n; k++ {
+		i := a.iv.Lo + k
+		c := a.cross[k]
+		j := a.index
+		for {
+			nj := j + step
+			p := a.pt(i, nj)
+			if s.target(p) {
+				segs := pathBack(a, i, nj)
+				s.sols = append(s.sols, solution{
+					a: a, i: i, j: nj,
+					cross:  c,
+					length: totalLen(segs),
+					segs:   segs,
+				})
+				break
+			}
+			if s.stopsEscape(p) {
+				break
+			}
+			// A wire running along the escape axis can never be shared:
+			// nets may cross, not overlap (§5.3). Own-net wires were
+			// already handled by the target predicate above.
+			if s.wireAlong(p, a.dir) != 0 {
+				break
+			}
+			idx := s.pl.idx(p)
+			if s.covered[idx]&dirBit(a.dir) != 0 {
+				break
+			}
+			// Perpendicular foreign wire: cross it (cell is passed but
+			// unusable as a turning point).
+			crossing := false
+			if w := s.wireAcross(p, a.dir); w != 0 && w != s.net {
+				crossing = true
+				c++
+			}
+			s.covered[idx] |= dirBit(a.dir)
+			s.stats.addCells(1)
+			advance[k]++
+			if crossing {
+				crossPos[k] = append(crossPos[k], nj)
+			}
+			j = nj
+		}
+	}
+	return s.newActives(a, advance, crossPos)
+}
+
+// stopsEscape reports whether the escape line must halt before entering
+// p: plane border, blocked point (module, foreign terminal), a bend of
+// a routed net, a claimpoint of another net, or a wire running along
+// the escape direction (overlap is never allowed, §5.3).
+func (s *lineSearch) stopsEscape(p geom.Point) bool {
+	if s.pl.Blocked(p) {
+		return true
+	}
+	if s.pl.Bend(p) {
+		return true
+	}
+	if cl := s.pl.Claimpoint(p); cl != 0 && cl != s.net {
+		return true
+	}
+	return false
+}
+
+// wireAcross returns the net of a wire perpendicular to the expansion
+// direction at p (the crossable kind); wireAlong would be the same-axis
+// wire, which stopsEscape treats as blocking through stops in expand.
+func (s *lineSearch) wireAcross(p geom.Point, d geom.Dir) int32 {
+	if d == geom.Up || d == geom.Down {
+		return s.pl.HNet(p) // vertical escape crosses horizontal wires
+	}
+	return s.pl.VNet(p)
+}
+
+func (s *lineSearch) wireAlong(p geom.Point, d geom.Dir) int32 {
+	if d == geom.Up || d == geom.Down {
+		return s.pl.VNet(p)
+	}
+	return s.pl.HNet(p)
+}
+
+// newActives builds the perpendicular borders of the expansion zone.
+// Between neighbouring escape columns with different advances, the
+// taller column's extra cells border unexplored territory on the
+// shorter side; they form a new active segment expanding toward it,
+// with one more bend (NEW_ACTIVES).
+func (s *lineSearch) newActives(a *active, advance []int, crossPos [][]int) []*active {
+	step := a.step()
+	n := len(advance)
+	adv := func(k int) int {
+		if k < 0 || k >= n {
+			return 0
+		}
+		return advance[k]
+	}
+	var out []*active
+
+	// decDir/incDir: the direction along the segment axis.
+	var decDir, incDir geom.Dir
+	if a.dir == geom.Up || a.dir == geom.Down {
+		decDir, incDir = geom.Left, geom.Right
+	} else {
+		decDir, incDir = geom.Down, geom.Up
+	}
+
+	emit := func(k, fromAdv, toAdv int, dir geom.Dir) {
+		// Border cells of column k from advance fromAdv+1 .. toAdv,
+		// split around crossing cells.
+		i := a.iv.Lo + k
+		isCross := map[int]bool{}
+		for _, j := range crossPos[k] {
+			isCross[j] = true
+		}
+		baseCross := a.cross[k]
+		crossUpTo := func(j int) int {
+			c := baseCross
+			for _, cj := range crossPos[k] {
+				if (cj-a.index)*step <= (j-a.index)*step {
+					c++
+				}
+			}
+			return c
+		}
+		flush := func(loAdv, hiAdv int) {
+			if loAdv > hiAdv {
+				return
+			}
+			jLo := a.index + step*loAdv
+			jHi := a.index + step*hiAdv
+			na := &active{
+				index:  i,
+				iv:     geom.Iv(jLo, jHi),
+				dir:    dir,
+				bends:  a.bends + 1,
+				parent: a,
+			}
+			na.cross = make([]int, na.iv.Len())
+			for j := na.iv.Lo; j <= na.iv.Hi; j++ {
+				na.cross[j-na.iv.Lo] = crossUpTo(j)
+			}
+			out = append(out, na)
+		}
+		runLo := fromAdv + 1
+		for advPos := fromAdv + 1; advPos <= toAdv; advPos++ {
+			j := a.index + step*advPos
+			if isCross[j] {
+				flush(runLo, advPos-1)
+				runLo = advPos + 1
+			}
+		}
+		flush(runLo, toAdv)
+	}
+
+	for k := 0; k <= n; k++ {
+		left, right := adv(k-1), adv(k)
+		if left < right {
+			// Column k reaches further: its upper cells border column
+			// k-1's side; they expand toward decreasing segment axis.
+			emit(k, left, right, decDir)
+		} else if left > right {
+			emit(k-1, right, left, incDir)
+		}
+	}
+	return out
+}
+
+// pathBack reconstructs the route from a contact at (i, j) in a's frame
+// back to the source terminal (RECONSTRUCT_PATH): each hop runs along
+// the escape to the originator segment, then jumps into the
+// originator's frame.
+func pathBack(a *active, i, j int) []Segment {
+	var segs []Segment
+	for {
+		from := a.pt(i, j)
+		to := a.pt(i, a.index)
+		if from != to {
+			segs = append(segs, Segment{from, to})
+		}
+		if a.parent == nil {
+			return segs
+		}
+		i, j = a.index, i
+		a = a.parent
+	}
+}
+
+func totalLen(segs []Segment) int {
+	n := 0
+	for _, s := range segs {
+		n += s.Len()
+	}
+	return n
+}
+
+// cleanSegments merges adjacent collinear segments and drops degenerate
+// ones, yielding the minimal corner representation of the path.
+func cleanSegments(segs []Segment) []Segment {
+	var out []Segment
+	for _, s := range segs {
+		if s.A == s.B {
+			continue
+		}
+		if len(out) > 0 {
+			last := &out[len(out)-1]
+			if last.B == s.A && last.Horizontal() == s.Horizontal() {
+				last.B = s.B
+				continue
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}

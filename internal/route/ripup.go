@@ -1,0 +1,203 @@
+package route
+
+import (
+	"sort"
+
+	"netart/internal/geom"
+	"netart/internal/netlist"
+)
+
+// This file implements a rip-up-and-reroute pass, an extension beyond
+// the 1989 paper in the spirit of its §7 outlook ("it is probably
+// better to construct a certain criterion for selecting the next net to
+// be routed"): when a net stays unroutable after the claimpoint retry
+// pass, the router removes one nearby routed net at a time, tries the
+// failed connection again, and re-routes the removed net; the exchange
+// is kept only when both nets end up complete.
+
+// ripUpPass attempts to fix every remaining failure. maxCandidates
+// bounds how many blocking nets are tried per failed net.
+func (rt *router) ripUpPass(maxCandidates int) {
+	for _, rn := range rt.result.Nets {
+		if rn.OK() {
+			continue
+		}
+		rt.ripUpOne(rn, maxCandidates, 2)
+	}
+}
+
+// ripUpOne tries to complete one failed net by displacing its
+// neighbours: candidates are removed cumulatively (nearest first)
+// until the failed net completes, then every removed net is rerouted
+// from scratch. The whole exchange rolls back unless everything ends
+// up complete.
+func (rt *router) ripUpOne(rn *RoutedNet, maxCandidates, depth int) {
+	if depth <= 0 {
+		return
+	}
+	victims := rt.ripCandidates(rn, maxCandidates)
+	if len(victims) == 0 {
+		return
+	}
+	// Snapshot everything any exchange attempt may touch.
+	savedSelf := append([]Segment(nil), rn.Segments...)
+	savedFailed := append([]*netlist.Terminal(nil), rn.Failed...)
+	type victimState struct {
+		segs   []Segment
+		failed []*netlist.Terminal
+	}
+	savedVictims := map[*netlist.Net]victimState{}
+	for _, v := range victims {
+		vrn := rt.result.byNet[v]
+		savedVictims[v] = victimState{
+			segs:   append([]Segment(nil), vrn.Segments...),
+			failed: append([]*netlist.Terminal(nil), vrn.Failed...),
+		}
+	}
+	rollback := func() {
+		rn.Segments = append([]Segment(nil), savedSelf...)
+		rn.Failed = append([]*netlist.Terminal(nil), savedFailed...)
+		for v, st := range savedVictims {
+			rt.result.byNet[v].Segments = append([]Segment(nil), st.segs...)
+			rt.result.byNet[v].Failed = append([]*netlist.Terminal(nil), st.failed...)
+		}
+		rt.rebuildPlane()
+	}
+
+	// Try each rotation of the candidate order: a displaced net that
+	// cannot be rerouted in one order often can in another, because the
+	// failed net then claims a different corridor.
+	for start := 0; start < len(victims); start++ {
+		order := append(append([]*netlist.Net(nil), victims[start:]...), victims[:start]...)
+		var removed []*netlist.Net
+		for _, v := range order {
+			rt.result.byNet[v].Segments = nil
+			removed = append(removed, v)
+			rt.rebuildPlane()
+			rt.completePending(rn)
+			if rn.OK() {
+				break
+			}
+		}
+		if ripDebug {
+			println("ripup:", rn.Net.Name, "start", start, "removed", len(removed), "ok", rn.OK())
+		}
+		ok := rn.OK()
+		if ok {
+			// Reroute the displaced nets on the updated plane; a victim
+			// that cannot be rerouted may displace further (bounded
+			// recursion).
+			for _, v := range removed {
+				fresh := rt.routeNet(v)
+				*rt.result.byNet[v] = *fresh
+				if !fresh.OK() {
+					rt.ripUpOne(rt.result.byNet[v], maxCandidates, depth-1)
+				}
+				if !rt.result.byNet[v].OK() {
+					if ripDebug {
+						println("ripup: reroute of victim failed:", v.Name)
+					}
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			return // exchange kept
+		}
+		rollback()
+	}
+}
+
+// ripDebug enables tracing prints for the rip-up pass in tests.
+var ripDebug = false
+
+// ripCandidates returns nearby routed nets ordered by distance from the
+// failed terminals' neighbourhood.
+func (rt *router) ripCandidates(rn *RoutedNet, max int) []*netlist.Net {
+	if len(rn.Failed) == 0 {
+		return nil
+	}
+	// The neighbourhood: bounding box over the failed terminals and the
+	// net's existing geometry, inflated a little.
+	var lo, hi geom.Point
+	first := true
+	grow := func(p geom.Point) {
+		if first {
+			lo, hi, first = p, p, false
+			return
+		}
+		lo = geom.Pt(geom.Min(lo.X, p.X), geom.Min(lo.Y, p.Y))
+		hi = geom.Pt(geom.Max(hi.X, p.X), geom.Max(hi.Y, p.Y))
+	}
+	for _, t := range rn.Failed {
+		grow(rt.termPoint(t))
+	}
+	for _, s := range rn.Segments {
+		grow(s.A)
+		grow(s.B)
+	}
+	for _, t := range rn.Net.Terms {
+		grow(rt.termPoint(t))
+	}
+	lo = lo.Sub(geom.Pt(2, 2))
+	hi = hi.Add(geom.Pt(2, 2))
+
+	type cand struct {
+		n *netlist.Net
+		d int
+	}
+	center := geom.Pt((lo.X+hi.X)/2, (lo.Y+hi.Y)/2)
+	var cands []cand
+	for _, other := range rt.result.Nets {
+		if other.Net == rn.Net || !other.OK() || len(other.Segments) == 0 {
+			continue
+		}
+		if _, pre := rt.opts.Prerouted[other.Net]; pre {
+			continue // hand-drawn nets are never displaced
+		}
+		inBox := false
+		best := 1 << 30
+		for _, s := range other.Segments {
+			c := s.Canon()
+			// Clamp the box onto the segment's span: the segment
+			// intersects the box iff its line crosses both ranges.
+			if c.A.X <= hi.X && c.B.X >= lo.X && c.A.Y <= hi.Y && c.B.Y >= lo.Y {
+				inBox = true
+			}
+			if d := distToSegment(center, s); d < best {
+				best = d
+			}
+		}
+		if inBox {
+			cands = append(cands, cand{other.Net, best})
+		}
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].d < cands[j].d })
+	if len(cands) > max {
+		cands = cands[:max]
+	}
+	out := make([]*netlist.Net, len(cands))
+	for i, c := range cands {
+		out[i] = c.n
+	}
+	return out
+}
+
+// rebuildPlane reconstructs the obstacle configuration from scratch
+// using every net's current geometry (claims are gone by the time
+// rip-up runs).
+func (rt *router) rebuildPlane() {
+	// buildPlane only fails on inconsistent placements, which were
+	// validated on the first construction.
+	_ = rt.buildPlane()
+	rt.result.Plane = rt.plane
+	for _, rn := range rt.result.Nets {
+		if len(rn.Segments) == 0 {
+			continue
+		}
+		// Existing geometries were legal when laid; they stay legal on
+		// an empty plane.
+		_ = rt.plane.LayWire(rt.netID[rn.Net], rn.Segments)
+	}
+}

@@ -1,0 +1,494 @@
+package route
+
+import (
+	"testing"
+
+	"netart/internal/geom"
+	"netart/internal/netlist"
+	"netart/internal/place"
+)
+
+// scene builds a design with hand-placed modules for routing tests.
+type scene struct {
+	t  *testing.T
+	d  *netlist.Design
+	pr *place.Result
+}
+
+func newScene(t *testing.T) *scene {
+	d := netlist.NewDesign("scene")
+	return &scene{
+		t: t,
+		d: d,
+		pr: &place.Result{
+			Design: d,
+			Mods:   map[*netlist.Module]*place.PlacedModule{},
+			SysPos: map[*netlist.Terminal]geom.Point{},
+		},
+	}
+}
+
+// mod adds a module at an absolute position.
+func (s *scene) mod(name string, x, y, w, h int, terms ...netlist.TermSpec) *netlist.Module {
+	s.t.Helper()
+	m, err := s.d.AddModule(name, "", w, h, terms)
+	if err != nil {
+		s.t.Fatal(err)
+	}
+	s.pr.Mods[m] = &place.PlacedModule{Mod: m, Pos: geom.Pt(x, y)}
+	return m
+}
+
+func (s *scene) sys(name string, typ netlist.TermType, x, y int) *netlist.Terminal {
+	s.t.Helper()
+	st, err := s.d.AddSysTerm(name, typ)
+	if err != nil {
+		s.t.Fatal(err)
+	}
+	s.pr.SysPos[st] = geom.Pt(x, y)
+	return st
+}
+
+func (s *scene) net(name string, pins ...[2]string) *netlist.Net {
+	s.t.Helper()
+	for _, p := range pins {
+		var err error
+		if p[0] == "root" {
+			err = s.d.ConnectSys(name, p[1])
+		} else {
+			err = s.d.Connect(name, p[0], p[1])
+		}
+		if err != nil {
+			s.t.Fatal(err)
+		}
+	}
+	return s.d.Net(name)
+}
+
+// finish computes the placement bounds.
+func (s *scene) finish() *place.Result {
+	var b geom.Rect
+	first := true
+	for _, pm := range s.pr.Mods {
+		if first {
+			b, first = pm.Rect(), false
+		} else {
+			b = b.Union(pm.Rect())
+		}
+	}
+	s.pr.ModuleBounds = b
+	for _, p := range s.pr.SysPos {
+		b = b.Union(geom.Rect{Min: p, Max: p.Add(geom.Pt(1, 1))})
+	}
+	s.pr.Bounds = b
+	return s.pr
+}
+
+func term(name string, typ netlist.TermType, x, y int) netlist.TermSpec {
+	return netlist.TermSpec{Name: name, Type: typ, Pos: geom.Pt(x, y)}
+}
+
+// segBends counts corners in a cleaned segment list.
+func segBends(segs []Segment) int {
+	if len(segs) == 0 {
+		return 0
+	}
+	return len(cleanSegments(append([]Segment(nil), segs...))) - 1
+}
+
+func mustRoute(t *testing.T, pr *place.Result, opts Options) *Result {
+	t.Helper()
+	res, err := Route(pr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// pairScene: two 2x2 modules facing each other with a single net
+// between an out and an in terminal, at the given offsets.
+func pairScene(t *testing.T, bx, by int) (*place.Result, *netlist.Net) {
+	s := newScene(t)
+	s.mod("A", 0, 0, 2, 2, term("Y", netlist.Out, 2, 1))
+	s.mod("B", bx, by, 2, 2, term("A", netlist.In, 0, 1))
+	n := s.net("w", [2]string{"A", "Y"}, [2]string{"B", "A"})
+	return s.finish(), n
+}
+
+func TestStraightConnection(t *testing.T) {
+	pr, n := pairScene(t, 6, 0) // B.A at (6,1), aligned with A.Y at (2,1)
+	res := mustRoute(t, pr, Options{})
+	rn := res.Net(n)
+	if !rn.OK() {
+		t.Fatalf("net failed: %v", rn.Failed)
+	}
+	if got := segBends(rn.Segments); got != 0 {
+		t.Errorf("straight connection has %d bends: %v", got, rn.Segments)
+	}
+	if got := totalLen(cleanSegments(rn.Segments)); got != 4 {
+		t.Errorf("length %d, want 4", got)
+	}
+}
+
+func TestOneBendConnection(t *testing.T) {
+	// B's input on its bottom side: one L suffices.
+	s := newScene(t)
+	s.mod("A", 0, 0, 2, 2, term("Y", netlist.Out, 2, 1))
+	s.mod("B", 4, 4, 2, 2, term("A", netlist.In, 1, 0)) // abs (5,4), faces down
+	n := s.net("w", [2]string{"A", "Y"}, [2]string{"B", "A"})
+	res := mustRoute(t, s.finish(), Options{})
+	rn := res.Net(n)
+	if !rn.OK() {
+		t.Fatalf("net failed: %v", rn.Failed)
+	}
+	if got := segBends(rn.Segments); got != 1 {
+		t.Errorf("%d bends, want 1: %v", got, rn.Segments)
+	}
+}
+
+func TestDetourAroundObstacle(t *testing.T) {
+	// Aligned terminals with a blocking wall between them: the U-shaped
+	// detour around the wall needs exactly 4 bends, which is minimal.
+	s := newScene(t)
+	s.mod("A", 0, 0, 2, 2, term("Y", netlist.Out, 2, 1))
+	s.mod("X", 4, -2, 2, 6) // wall straddling the straight path
+	s.mod("B", 8, 0, 2, 2, term("A", netlist.In, 0, 1))
+	n := s.net("w", [2]string{"A", "Y"}, [2]string{"B", "A"})
+	res := mustRoute(t, s.finish(), Options{})
+	rn := res.Net(n)
+	if !rn.OK() {
+		t.Fatalf("net failed: %v", rn.Failed)
+	}
+	if got := segBends(rn.Segments); got != 4 {
+		t.Errorf("%d bends, want 4: %v", got, rn.Segments)
+	}
+}
+
+func TestTwoBendOffsetObstacle(t *testing.T) {
+	// Offset terminals whose L path is blocked: a Z with 2 bends is
+	// minimal.
+	s := newScene(t)
+	s.mod("A", 0, 0, 2, 2, term("Y", netlist.Out, 2, 1))
+	s.mod("B", 8, 6, 2, 2, term("A", netlist.In, 0, 1)) // in at (8,7)
+	n := s.net("w", [2]string{"A", "Y"}, [2]string{"B", "A"})
+	res := mustRoute(t, s.finish(), Options{})
+	rn := res.Net(n)
+	if !rn.OK() {
+		t.Fatalf("net failed: %v", rn.Failed)
+	}
+	if got := segBends(rn.Segments); got != 2 {
+		t.Errorf("%d bends, want 2: %v", got, rn.Segments)
+	}
+}
+
+func TestCrossingAllowed(t *testing.T) {
+	// A vertical wire of net v crosses the straight path of net h; h
+	// must still route straight (crossings are allowed, overlap not).
+	s := newScene(t)
+	s.mod("A", 0, 0, 2, 2, term("Y", netlist.Out, 2, 1))
+	s.mod("B", 8, 0, 2, 2, term("A", netlist.In, 0, 1))
+	s.mod("C", 4, 4, 2, 2, term("Y", netlist.Out, 1, 0)) // bottom at (5,4)
+	s.mod("D", 4, -6, 2, 2, term("A", netlist.In, 1, 2)) // top at (5,-4)
+	v := s.net("v", [2]string{"C", "Y"}, [2]string{"D", "A"})
+	h := s.net("h", [2]string{"A", "Y"}, [2]string{"B", "A"})
+	res := mustRoute(t, s.finish(), Options{})
+	for _, n := range []*netlist.Net{v, h} {
+		if !res.Net(n).OK() {
+			t.Fatalf("net %s failed", n.Name)
+		}
+	}
+	if got := segBends(res.Net(h).Segments); got != 0 {
+		t.Errorf("h should cross v straight, has %d bends: %v", got, res.Net(h).Segments)
+	}
+}
+
+func TestOverlapForbidden(t *testing.T) {
+	// Two nets whose natural straight paths share row 1. The first one
+	// routed takes the row; the second must detour around it without
+	// ever running on top of the first.
+	s := newScene(t)
+	s.mod("A", 0, 0, 2, 2, term("Y", netlist.Out, 2, 1))
+	s.mod("B", 6, 0, 2, 2, term("A", netlist.In, 0, 1))
+	s.mod("C", -8, 0, 2, 2, term("Y", netlist.Out, 2, 1)) // out at (-6,1)
+	s.mod("D", 12, 0, 2, 2, term("A", netlist.In, 0, 1))  // in at (12,1)
+	inner := s.net("inner", [2]string{"A", "Y"}, [2]string{"B", "A"})
+	outer := s.net("outer", [2]string{"C", "Y"}, [2]string{"D", "A"})
+	res := mustRoute(t, s.finish(), Options{})
+	if !res.Net(inner).OK() {
+		t.Fatalf("inner net failed: %v", res.Net(inner).Failed)
+	}
+	if !res.Net(outer).OK() {
+		t.Fatalf("outer net failed: %v", res.Net(outer).Failed)
+	}
+	if got := segBends(res.Net(inner).Segments); got != 0 {
+		t.Errorf("inner should be straight, has %d bends", got)
+	}
+	// The outer net must leave row 1 to pass the inner wire and the
+	// modules: at least 4 bends, and no shared horizontal run on row 1.
+	outSegs := res.Net(outer).Segments
+	if got := segBends(outSegs); got < 4 {
+		t.Errorf("outer detour has %d bends, want >= 4: %v", got, outSegs)
+	}
+	innerPts := map[geom.Point]bool{}
+	for _, sg := range res.Net(inner).Segments {
+		for _, p := range sg.Points() {
+			innerPts[p] = true
+		}
+	}
+	for _, sg := range outSegs {
+		if !sg.Horizontal() {
+			continue
+		}
+		for _, p := range sg.Points() {
+			if innerPts[p] {
+				t.Errorf("outer runs over inner at %v", p)
+			}
+		}
+	}
+}
+
+func TestMultipointNet(t *testing.T) {
+	// One output fans out to three inputs; the net must form a
+	// connected tree touching all four terminals.
+	s := newScene(t)
+	s.mod("SRC", 0, 4, 2, 2, term("Y", netlist.Out, 2, 1))
+	s.mod("D1", 8, 8, 2, 2, term("A", netlist.In, 0, 1))
+	s.mod("D2", 8, 4, 2, 2, term("A", netlist.In, 0, 1))
+	s.mod("D3", 8, 0, 2, 2, term("A", netlist.In, 0, 1))
+	n := s.net("fan", [2]string{"SRC", "Y"}, [2]string{"D1", "A"},
+		[2]string{"D2", "A"}, [2]string{"D3", "A"})
+	res := mustRoute(t, s.finish(), Options{})
+	rn := res.Net(n)
+	if !rn.OK() {
+		t.Fatalf("fanout failed: %v", rn.Failed)
+	}
+	assertTreeConnectsTerminals(t, res, rn)
+}
+
+// assertTreeConnectsTerminals checks that the union of the net's
+// segment points forms one connected component containing every
+// terminal point.
+func assertTreeConnectsTerminals(t *testing.T, res *Result, rn *RoutedNet) {
+	t.Helper()
+	adj := map[geom.Point][]geom.Point{}
+	nodes := map[geom.Point]bool{}
+	for _, sg := range rn.Segments {
+		pts := sg.Points()
+		for i := range pts {
+			nodes[pts[i]] = true
+			if i > 0 {
+				adj[pts[i-1]] = append(adj[pts[i-1]], pts[i])
+				adj[pts[i]] = append(adj[pts[i]], pts[i-1])
+			}
+		}
+	}
+	if len(nodes) == 0 {
+		t.Fatal("no wire geometry")
+	}
+	var start geom.Point
+	for p := range nodes {
+		start = p
+		break
+	}
+	seen := map[geom.Point]bool{start: true}
+	stack := []geom.Point{start}
+	for len(stack) > 0 {
+		p := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, q := range adj[p] {
+			if !seen[q] {
+				seen[q] = true
+				stack = append(stack, q)
+			}
+		}
+	}
+	for p := range nodes {
+		if !seen[p] {
+			t.Fatalf("wire geometry disconnected at %v", p)
+		}
+	}
+	for _, tm := range rn.Net.Terms {
+		p, err := res.Placement.TermPos(tm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !seen[p] {
+			t.Errorf("terminal %s at %v not on the wire", tm.Label(), p)
+		}
+	}
+}
+
+func TestSystemTerminalRouting(t *testing.T) {
+	s := newScene(t)
+	s.mod("A", 0, 0, 2, 2, term("A", netlist.In, 0, 1))
+	s.sys("IN", netlist.In, -3, 1)
+	n := s.net("w", [2]string{"root", "IN"}, [2]string{"A", "A"})
+	res := mustRoute(t, s.finish(), Options{})
+	if !res.Net(n).OK() {
+		t.Fatalf("system net failed: %v", res.Net(n).Failed)
+	}
+}
+
+func TestBlockedByBendFailsWithoutRetryHelp(t *testing.T) {
+	// A prerouted net with corners directly in front of both terminals
+	// of the second net: the second net must fail (its only escape
+	// cells hold bends).
+	s := newScene(t)
+	s.mod("M0", 0, 0, 3, 4,
+		term("A", netlist.Out, 3, 1),
+		term("C", netlist.Out, 3, 3))
+	s.mod("M1", 5, 0, 3, 4,
+		term("B", netlist.In, 0, 3),
+		term("D", netlist.In, 0, 1))
+	n1 := s.net("n1", [2]string{"M0", "A"}, [2]string{"M1", "B"})
+	n2 := s.net("n2", [2]string{"M0", "C"}, [2]string{"M1", "D"})
+	pre := []Segment{
+		{geom.Pt(3, 1), geom.Pt(4, 1)},
+		{geom.Pt(4, 1), geom.Pt(4, 3)},
+		{geom.Pt(4, 3), geom.Pt(5, 3)},
+	}
+	res := mustRoute(t, s.finish(), Options{
+		Prerouted: map[*netlist.Net][]Segment{n1: pre},
+	})
+	if !res.Net(n1).OK() {
+		t.Fatalf("prerouted net reported failed")
+	}
+	rn2 := res.Net(n2)
+	if rn2.OK() {
+		t.Fatalf("n2 should be blocked by the bends at (4,1)/(4,3), got %v", rn2.Segments)
+	}
+}
+
+func TestClaimpointsRescueCrossPattern(t *testing.T) {
+	// Cross pattern in a two-track channel: without claimpoints (and
+	// without the retry pass) the first net's corners block the second;
+	// with the full §5.7 extension both route.
+	build := func() (*place.Result, *netlist.Net, *netlist.Net) {
+		s := newScene(t)
+		s.mod("M0", 0, 0, 3, 4,
+			term("A", netlist.Out, 3, 1),
+			term("C", netlist.Out, 3, 3))
+		s.mod("M1", 6, 0, 3, 4,
+			term("B", netlist.In, 0, 3),
+			term("D", netlist.In, 0, 1))
+		n1 := s.net("n1", [2]string{"M0", "A"}, [2]string{"M1", "B"})
+		n2 := s.net("n2", [2]string{"M0", "C"}, [2]string{"M1", "D"})
+		return s.finish(), n1, n2
+	}
+
+	pr, n1, n2 := build()
+	bare := mustRoute(t, pr, Options{Claimpoints: false, NoRetry: true})
+	bareFailed := bare.UnroutedCount()
+
+	pr2, m1, m2 := build()
+	full := mustRoute(t, pr2, Options{Claimpoints: true})
+	if !full.Net(m1).OK() || !full.Net(m2).OK() {
+		t.Errorf("with claimpoints both nets should route: n1=%v n2=%v",
+			full.Net(m1).Failed, full.Net(m2).Failed)
+	}
+	if full.UnroutedCount() > bareFailed {
+		t.Errorf("claimpoints made things worse: %d vs %d failures",
+			full.UnroutedCount(), bareFailed)
+	}
+	_ = n1
+	_ = n2
+}
+
+func TestRouteDeterministic(t *testing.T) {
+	run := func() []Segment {
+		pr, n := pairScene(t, 8, 6)
+		res := mustRoute(t, pr, Options{})
+		return cleanSegments(res.Net(n).Segments)
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("nondeterministic segment count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("segment %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestUnroutableReported(t *testing.T) {
+	// A terminal completely walled in must be reported, not looped on.
+	s := newScene(t)
+	s.mod("A", 0, 0, 2, 2, term("Y", netlist.Out, 2, 1))
+	// Wall around B leaving no gap: B sits in a pocket of blockers.
+	s.mod("WU", 6, 4, 6, 2)
+	s.mod("WD", 6, -4, 6, 2)
+	s.mod("WR", 12, -4, 2, 10)
+	s.mod("WL", 6, -2, 2, 6) // left wall closing the pocket
+	s.mod("B", 9, 0, 2, 2, term("A", netlist.In, 0, 1))
+	n := s.net("w", [2]string{"A", "Y"}, [2]string{"B", "A"})
+	res := mustRoute(t, s.finish(), Options{})
+	rn := res.Net(n)
+	if rn.OK() {
+		t.Fatalf("walled net reported success: %v", rn.Segments)
+	}
+	if res.UnroutedCount() != 1 {
+		t.Errorf("UnroutedCount = %d, want 1", res.UnroutedCount())
+	}
+}
+
+func TestFixedBorder(t *testing.T) {
+	// With all four borders fixed there is no margin; a connection that
+	// needs the margin must fail, while an inside connection works.
+	s := newScene(t)
+	s.mod("A", 0, 0, 2, 2, term("Y", netlist.Out, 2, 1))
+	s.mod("B", 6, 0, 2, 2, term("A", netlist.In, 0, 1))
+	n := s.net("w", [2]string{"A", "Y"}, [2]string{"B", "A"})
+	pr := s.finish()
+	res := mustRoute(t, pr, Options{
+		FixedBorder: [4]bool{true, true, true, true},
+	})
+	if !res.Net(n).OK() {
+		t.Fatalf("inside connection failed with fixed borders: %v", res.Net(n).Failed)
+	}
+	// The wire stays within the bounding box.
+	for _, sg := range res.Net(n).Segments {
+		for _, p := range sg.Points() {
+			if p.X < pr.Bounds.Min.X || p.X > pr.Bounds.Max.X ||
+				p.Y < pr.Bounds.Min.Y || p.Y > pr.Bounds.Max.Y {
+				t.Errorf("wire point %v outside fixed borders %v", p, pr.Bounds)
+			}
+		}
+	}
+}
+
+func TestPreroutedPreserved(t *testing.T) {
+	pr, n := pairScene(t, 6, 0)
+	pre := []Segment{{geom.Pt(2, 1), geom.Pt(6, 1)}}
+	res := mustRoute(t, pr, Options{
+		Prerouted: map[*netlist.Net][]Segment{n: pre},
+	})
+	rn := res.Net(n)
+	if !rn.OK() {
+		t.Fatalf("prerouted net failed")
+	}
+	if len(cleanSegments(rn.Segments)) != 1 {
+		t.Errorf("prerouted net re-routed: %v", rn.Segments)
+	}
+}
+
+func TestPreroutedUnknownNetRejected(t *testing.T) {
+	pr, _ := pairScene(t, 6, 0)
+	foreign := &netlist.Net{Name: "ghost"}
+	_, err := Route(pr, Options{
+		Prerouted: map[*netlist.Net][]Segment{foreign: {{geom.Pt(0, 0), geom.Pt(1, 0)}}},
+	})
+	if err == nil {
+		t.Error("foreign prerouted net accepted")
+	}
+}
+
+func TestSwapObjective(t *testing.T) {
+	// Both objectives must produce a legal minimal-bend route; the
+	// swap only reorders tie-breaking.
+	pr, n := pairScene(t, 8, 6)
+	res := mustRoute(t, pr, Options{SwapObjective: true})
+	if !res.Net(n).OK() {
+		t.Fatalf("swap objective failed the net")
+	}
+}

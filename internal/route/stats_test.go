@@ -1,0 +1,62 @@
+package route
+
+import (
+	"testing"
+
+	"netart/internal/place"
+	"netart/internal/workload"
+)
+
+func TestSearchStatsPopulated(t *testing.T) {
+	d := workload.Datapath16()
+	pr, err := place.Place(d, place.Options{PartSize: 7, BoxSize: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mustRoute(t, pr, Options{Claimpoints: true})
+	st := res.Stats
+	if st.Searches == 0 || st.Waves == 0 || st.Actives == 0 || st.Cells == 0 {
+		t.Errorf("stats not populated: %+v", st)
+	}
+	// Sanity relations: at least one wave and one active per search;
+	// cells dominate actives.
+	if st.Waves < st.Searches || st.Actives < st.Searches {
+		t.Errorf("implausible stats: %+v", st)
+	}
+	if st.Cells < st.Actives {
+		t.Errorf("fewer cells than actives: %+v", st)
+	}
+}
+
+func TestSearchStatsGrowWithCongestion(t *testing.T) {
+	// §5.8: "the algorithm becomes slow [when] the number of bends is
+	// large". A bad placement (p=1 clustering) needs strictly more
+	// expansion work per search than the string placement.
+	run := func(po place.Options) (wavesPerSearch float64) {
+		d := workload.Datapath16()
+		pr, err := place.Place(d, po)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := mustRoute(t, pr, Options{Claimpoints: true})
+		return float64(res.Stats.Waves) / float64(res.Stats.Searches)
+	}
+	clustered := run(place.Options{PartSize: 1, BoxSize: 1})
+	strings := run(place.Options{PartSize: 7, BoxSize: 5})
+	if clustered <= strings {
+		t.Errorf("clustered placement needed %.2f waves/search, strings %.2f; expected deeper searches for the bad placement",
+			clustered, strings)
+	}
+}
+
+func TestBaselineAlgorithmsSkipLineStats(t *testing.T) {
+	d := workload.Fig61()
+	pr, err := place.Place(d, place.Options{PartSize: 6, BoxSize: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mustRoute(t, pr, Options{Algorithm: AlgoLee, Claimpoints: true})
+	if res.Stats.Actives != 0 {
+		t.Errorf("Lee run recorded line-expansion actives: %+v", res.Stats)
+	}
+}

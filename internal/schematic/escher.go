@@ -1,0 +1,397 @@
+package schematic
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"netart/internal/geom"
+	"netart/internal/netlist"
+	"netart/internal/place"
+	"netart/internal/route"
+)
+
+// This file implements the ESCHER-readable diagram file of Appendix D:
+// the #TUE-ES-871 header, the template records (tname/lname/repr),
+// contact records for the system terminals, subsys records for the
+// placed module instances and node records for the net geometry.
+//
+// Node records follow the appendix's linked-wire representation: a node
+// at (x, y) carries up/down/left/right lengths of connected net stubs.
+// The writer emits one node per wire-tree vertex with the stub lengths
+// toward its neighbours; the reader reassembles segments from the
+// up/right stubs (each physical segment appears exactly once that way).
+
+const escherMagic = "#TUE-ES-871"
+
+// ioCode maps the terminal type to the appendix's 0/1/2 coding.
+func ioCode(t netlist.TermType) int {
+	switch t {
+	case netlist.InOut:
+		return 0
+	case netlist.In:
+		return 1
+	default:
+		return 2
+	}
+}
+
+func ioType(code int) (netlist.TermType, error) {
+	switch code {
+	case 0:
+		return netlist.InOut, nil
+	case 1:
+		return netlist.In, nil
+	case 2:
+		return netlist.Out, nil
+	default:
+		return 0, fmt.Errorf("schematic: bad io code %d", code)
+	}
+}
+
+// WriteESCHER writes the diagram in the Appendix D format. Creation
+// times are written as 0 for reproducible output.
+func WriteESCHER(w io.Writer, d *Diagram, libName string) error {
+	bw := bufio.NewWriter(w)
+	b := d.Placement.Bounds
+	fmt.Fprintln(bw, escherMagic)
+	fmt.Fprintln(bw, "temp: 0 1 1 0 1")
+	fmt.Fprintf(bw, "tname: %s\n", d.Design.Name)
+	fmt.Fprintf(bw, "lname: %s\n", libName)
+	fmt.Fprintf(bw, "repr: 0 1 0 %d %d %d %d 0\n", b.Min.X, b.Min.Y, b.Max.X, b.Max.Y)
+
+	// Contacts: the system terminals with their placed positions.
+	for i, st := range d.Design.SysTerms {
+		more := 1
+		if i == len(d.Design.SysTerms)-1 {
+			more = 0
+		}
+		p := d.Placement.SysPos[st]
+		fmt.Fprintf(bw, "contact: %d 1 %d 0 0 %d %d 0 1 0\n", more, ioCode(st.Type), p.X, p.Y)
+		fmt.Fprintf(bw, "cname: %s\n", st.Name)
+	}
+
+	fmt.Fprintln(bw, "contents: 1 1")
+
+	// Subsystem records: one per placed module.
+	for i, m := range d.Design.Modules {
+		pm := d.Placement.Mods[m]
+		r := pm.Rect()
+		c := r.Center()
+		more := 1
+		if i == len(d.Design.Modules)-1 {
+			more = 0
+		}
+		tpl := m.Template
+		if tpl == "" {
+			tpl = m.Name
+		}
+		fmt.Fprintf(bw, "subsys: %d 1 1 1 0 %d %d %d %d %d %d %d 0\n",
+			more, c.X, c.Y, r.Min.X, r.Min.Y, r.Max.X, r.Max.Y, int(pm.Orient))
+		fmt.Fprintf(bw, "instname: %s\n", m.Name)
+		fmt.Fprintf(bw, "tempname: %s\n", tpl)
+		fmt.Fprintf(bw, "libname: %s\n", libName)
+	}
+
+	// Node records: wire-tree vertices with directional stub lengths.
+	type nodeRec struct {
+		net                   *netlist.Net
+		p                     geom.Point
+		up, down, left, right int
+	}
+	var nodes []nodeRec
+	if d.Routing != nil {
+		for _, rn := range d.Routing.Nets {
+			g := buildGraph(rn.Segments)
+			// Vertices: terminals, bends, branches, endpoints — any
+			// point whose adjacency is not a straight pass-through.
+			isVertex := func(p geom.Point, ns []geom.Point) bool {
+				if len(ns) != 2 {
+					return true
+				}
+				d0, d1 := ns[0].Sub(p), ns[1].Sub(p)
+				return d0.X*d1.X+d0.Y*d1.Y == 0
+			}
+			// Walk from each vertex along each direction to the next
+			// vertex, recording the stub length.
+			var pts []geom.Point
+			for p := range g.adj {
+				pts = append(pts, p)
+			}
+			sort.Slice(pts, func(i, j int) bool {
+				if pts[i].X != pts[j].X {
+					return pts[i].X < pts[j].X
+				}
+				return pts[i].Y < pts[j].Y
+			})
+			for _, p := range pts {
+				ns := g.adj[p]
+				if !isVertex(p, ns) {
+					continue
+				}
+				rec := nodeRec{net: rn.Net, p: p}
+				for _, q := range ns {
+					dir := q.Sub(p)
+					run := p
+					length := 0
+					for {
+						run = run.Add(dir)
+						length++
+						if isVertex(run, g.adj[run]) {
+							break
+						}
+					}
+					switch dir {
+					case geom.Pt(0, 1):
+						rec.up = length
+					case geom.Pt(0, -1):
+						rec.down = length
+					case geom.Pt(-1, 0):
+						rec.left = length
+					case geom.Pt(1, 0):
+						rec.right = length
+					}
+				}
+				nodes = append(nodes, rec)
+			}
+		}
+	}
+	for i, nr := range nodes {
+		more := 1
+		if i == len(nodes)-1 {
+			more = 0
+		}
+		// b0 next, b1 net-flag, b2 origin(0=net), b3 origin-name
+		// follows, b4 contact-name, b5 electric, b6 b7 position,
+		// b8..b10 ranges/abut, b11 uplength, b12..b14, b15 downlength,
+		// b16..b18, b19 leftlength, b20..b22, b23 rightlength,
+		// b24..b26, b27 io-type (3 = net).
+		fmt.Fprintf(bw, "node: %d 0 0 1 0 1 %d %d 0 0 0 %d 0 0 0 %d 0 0 0 %d 0 0 0 %d 0 0 0 3\n",
+			more, nr.p.X, nr.p.Y, nr.up, nr.down, nr.left, nr.right)
+		fmt.Fprintf(bw, "oname: %s\n", nr.net.Name)
+	}
+	if len(nodes) == 0 {
+		fmt.Fprintln(bw, "node: 0 0 0 0 0 1 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 3")
+	}
+	return bw.Flush()
+}
+
+// ESCHERDiagram is the parsed content of an Appendix D file: enough to
+// rebuild a placement (for PABLO -g preplacement and EUREKA input) and
+// the prerouted net geometry.
+type ESCHERDiagram struct {
+	Name     string
+	Modules  []ESCHERInstance
+	Contacts []ESCHERContact
+	Wires    map[string][]route.Segment // net name -> segments
+}
+
+// ESCHERInstance is one subsys record.
+type ESCHERInstance struct {
+	Name     string
+	Template string
+	Min, Max geom.Point
+	Orient   geom.Orient
+}
+
+// ESCHERContact is one contact record (a system terminal).
+type ESCHERContact struct {
+	Name string
+	Type netlist.TermType
+	Pos  geom.Point
+}
+
+// ReadESCHER parses an Appendix D diagram file.
+func ReadESCHER(r io.Reader) (*ESCHERDiagram, error) {
+	out := &ESCHERDiagram{Wires: map[string][]route.Segment{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineNo := 0
+	sawMagic := false
+	var pendingInst *ESCHERInstance
+	var pendingContact *ESCHERContact
+	var pendingNode *struct {
+		p                     geom.Point
+		up, down, left, right int
+	}
+
+	intFields := func(rest string, want int, what string) ([]int, error) {
+		f := strings.Fields(rest)
+		if len(f) < want {
+			return nil, fmt.Errorf("schematic: line %d: short %s record", lineNo, what)
+		}
+		out := make([]int, len(f))
+		for i, s := range f {
+			v, err := strconv.Atoi(s)
+			if err != nil {
+				return nil, fmt.Errorf("schematic: line %d: bad %s field %q", lineNo, what, s)
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if !sawMagic {
+			if line != escherMagic {
+				return nil, fmt.Errorf("schematic: line %d: missing %s header", lineNo, escherMagic)
+			}
+			sawMagic = true
+			continue
+		}
+		key, rest, ok := strings.Cut(line, ":")
+		if !ok {
+			return nil, fmt.Errorf("schematic: line %d: malformed record %q", lineNo, line)
+		}
+		switch key {
+		case "temp", "lname", "repr", "contents", "symbol", "formal":
+			// structural, nothing to extract
+		case "tname":
+			out.Name = strings.TrimSpace(rest)
+		case "contact":
+			f, err := intFields(rest, 7, "contact")
+			if err != nil {
+				return nil, err
+			}
+			typ, err := ioType(f[2])
+			if err != nil {
+				return nil, fmt.Errorf("schematic: line %d: %w", lineNo, err)
+			}
+			pendingContact = &ESCHERContact{Type: typ, Pos: geom.Pt(f[5], f[6])}
+		case "cname":
+			if pendingContact == nil {
+				return nil, fmt.Errorf("schematic: line %d: cname without contact", lineNo)
+			}
+			pendingContact.Name = strings.TrimSpace(rest)
+			out.Contacts = append(out.Contacts, *pendingContact)
+			pendingContact = nil
+		case "subsys":
+			f, err := intFields(rest, 12, "subsys")
+			if err != nil {
+				return nil, err
+			}
+			pendingInst = &ESCHERInstance{
+				Min:    geom.Pt(f[7], f[8]),
+				Max:    geom.Pt(f[9], f[10]),
+				Orient: geom.Orient(((f[11] % 4) + 4) % 4),
+			}
+		case "instname":
+			if pendingInst == nil {
+				return nil, fmt.Errorf("schematic: line %d: instname without subsys", lineNo)
+			}
+			pendingInst.Name = strings.TrimSpace(rest)
+		case "tempname":
+			if pendingInst == nil {
+				return nil, fmt.Errorf("schematic: line %d: tempname without subsys", lineNo)
+			}
+			pendingInst.Template = strings.TrimSpace(rest)
+			// libname follows but the instance is complete for us.
+			out.Modules = append(out.Modules, *pendingInst)
+			pendingInst = nil
+		case "libname":
+			// after tempname; ignored
+		case "node":
+			f, err := intFields(rest, 28, "node")
+			if err != nil {
+				return nil, err
+			}
+			pendingNode = &struct {
+				p                     geom.Point
+				up, down, left, right int
+			}{geom.Pt(f[6], f[7]), f[11], f[15], f[19], f[23]}
+			if f[3] == 0 { // no origin name follows: bare node
+				pendingNode = nil
+			}
+		case "oname":
+			if pendingNode == nil {
+				return nil, fmt.Errorf("schematic: line %d: oname without node", lineNo)
+			}
+			name := strings.TrimSpace(rest)
+			n := pendingNode
+			add := func(a, b geom.Point) {
+				out.Wires[name] = append(out.Wires[name], route.Segment{A: a, B: b})
+			}
+			// Up and right stubs reconstruct each segment once; left
+			// and down stubs are the mirror ends.
+			if n.up > 0 {
+				add(n.p, n.p.Add(geom.Pt(0, n.up)))
+			}
+			if n.right > 0 {
+				add(n.p, n.p.Add(geom.Pt(n.right, 0)))
+			}
+			pendingNode = nil
+		default:
+			return nil, fmt.Errorf("schematic: line %d: unknown record %q", lineNo, key)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawMagic {
+		return nil, fmt.Errorf("schematic: empty ESCHER file")
+	}
+	return out, nil
+}
+
+// ApplyPlacement builds a place.Result for design d from the parsed
+// diagram's instances and contacts (PABLO -g / EUREKA input).
+func (e *ESCHERDiagram) ApplyPlacement(d *netlist.Design) (*place.Result, error) {
+	res := &place.Result{
+		Design: d,
+		Mods:   map[*netlist.Module]*place.PlacedModule{},
+		SysPos: map[*netlist.Terminal]geom.Point{},
+	}
+	for _, inst := range e.Modules {
+		m := d.Module(inst.Name)
+		if m == nil {
+			return nil, fmt.Errorf("schematic: diagram instance %q not in design", inst.Name)
+		}
+		res.Mods[m] = &place.PlacedModule{Mod: m, Pos: inst.Min, Orient: inst.Orient}
+	}
+	for _, c := range e.Contacts {
+		st := d.SysTerm(c.Name)
+		if st == nil {
+			return nil, fmt.Errorf("schematic: diagram contact %q not in design", c.Name)
+		}
+		res.SysPos[st] = c.Pos
+	}
+	if len(res.Mods) != len(d.Modules) {
+		return nil, fmt.Errorf("schematic: diagram places %d of %d modules",
+			len(res.Mods), len(d.Modules))
+	}
+	var b geom.Rect
+	first := true
+	for _, pm := range res.Mods {
+		if first {
+			b, first = pm.Rect(), false
+		} else {
+			b = b.Union(pm.Rect())
+		}
+	}
+	res.ModuleBounds = b
+	for _, p := range res.SysPos {
+		b = b.Union(geom.Rect{Min: p, Max: p.Add(geom.Pt(1, 1))})
+	}
+	res.Bounds = b
+	return res, nil
+}
+
+// PreroutedFor converts the parsed wires into the router's prerouted
+// map for design d, skipping wire names not present in the design.
+func (e *ESCHERDiagram) PreroutedFor(d *netlist.Design) map[*netlist.Net][]route.Segment {
+	out := map[*netlist.Net][]route.Segment{}
+	for name, segs := range e.Wires {
+		if n := d.Net(name); n != nil {
+			out[n] = segs
+		}
+	}
+	return out
+}

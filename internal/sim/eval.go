@@ -1,0 +1,450 @@
+package sim
+
+import (
+	"fmt"
+
+	"netart/internal/netlist"
+	"netart/internal/schematic"
+)
+
+// Simulator evaluates a design over a connectivity — either the ideal
+// netlist connectivity or the connectivity extracted from routed
+// artwork, so a simulation run validates the artwork end to end.
+type Simulator struct {
+	design *netlist.Design
+	// netOf maps each connected terminal to a net index; values holds
+	// the current value per net index.
+	netOf  map[*netlist.Terminal]int
+	nNets  int
+	values []Bit
+	inputs map[*netlist.Terminal]Bit
+	state  map[*netlist.Module]Bit // one state bit per sequential module
+}
+
+// NewFromDesign builds a simulator over the intended netlist
+// connectivity.
+func NewFromDesign(d *netlist.Design) *Simulator {
+	s := &Simulator{
+		design: d,
+		netOf:  map[*netlist.Terminal]int{},
+		inputs: map[*netlist.Terminal]Bit{},
+		state:  map[*netlist.Module]Bit{},
+	}
+	for i, n := range d.Nets {
+		for _, t := range n.Terms {
+			s.netOf[t] = i
+		}
+	}
+	s.nNets = len(d.Nets)
+	s.values = make([]Bit, s.nNets)
+	s.reset()
+	return s
+}
+
+// NewFromDiagram builds a simulator over the connectivity extracted
+// from the routed artwork. It fails when the extraction disagrees with
+// the intended netlist (shorts, opens, splits).
+func NewFromDiagram(dg *schematic.Diagram) (*Simulator, error) {
+	if err := CheckExtraction(dg); err != nil {
+		return nil, err
+	}
+	nets, err := Extract(dg)
+	if err != nil {
+		return nil, err
+	}
+	s := &Simulator{
+		design: dg.Design,
+		netOf:  map[*netlist.Terminal]int{},
+		inputs: map[*netlist.Terminal]Bit{},
+		state:  map[*netlist.Module]Bit{},
+	}
+	for i, en := range nets {
+		for _, t := range en.Terminals {
+			s.netOf[t] = i
+		}
+	}
+	s.nNets = len(nets)
+	s.values = make([]Bit, s.nNets)
+	s.reset()
+	return s, nil
+}
+
+func (s *Simulator) reset() {
+	for i := range s.values {
+		s.values[i] = X
+	}
+	for _, m := range s.design.Modules {
+		if isSequential(m.Template) {
+			s.state[m] = Lo
+		}
+	}
+}
+
+// SetInput drives a system input terminal.
+func (s *Simulator) SetInput(name string, b Bit) error {
+	st := s.design.SysTerm(name)
+	if st == nil {
+		return fmt.Errorf("sim: unknown system terminal %q", name)
+	}
+	if !st.Type.CanSink() && st.Type != netlist.In {
+		return fmt.Errorf("sim: system terminal %q is not an input", name)
+	}
+	s.inputs[st] = b
+	return nil
+}
+
+// SetState initializes the state bit of a sequential module.
+func (s *Simulator) SetState(mod string, b Bit) error {
+	m := s.design.Module(mod)
+	if m == nil {
+		return fmt.Errorf("sim: unknown module %q", mod)
+	}
+	if !isSequential(m.Template) {
+		return fmt.Errorf("sim: module %q (%s) has no state", mod, m.Template)
+	}
+	s.state[m] = b
+	return nil
+}
+
+// State reads a sequential module's state bit.
+func (s *Simulator) State(mod string) (Bit, error) {
+	m := s.design.Module(mod)
+	if m == nil {
+		return X, fmt.Errorf("sim: unknown module %q", mod)
+	}
+	b, ok := s.state[m]
+	if !ok {
+		return X, fmt.Errorf("sim: module %q has no state", mod)
+	}
+	return b, nil
+}
+
+// net reads the value of the net a terminal sits on.
+func (s *Simulator) net(t *netlist.Terminal) Bit {
+	i, ok := s.netOf[t]
+	if !ok {
+		return X
+	}
+	return s.values[i]
+}
+
+// Output reads a system output terminal.
+func (s *Simulator) Output(name string) (Bit, error) {
+	st := s.design.SysTerm(name)
+	if st == nil {
+		return X, fmt.Errorf("sim: unknown system terminal %q", name)
+	}
+	return s.net(st), nil
+}
+
+// Probe reads the net on a module terminal.
+func (s *Simulator) Probe(mod, term string) (Bit, error) {
+	m := s.design.Module(mod)
+	if m == nil {
+		return X, fmt.Errorf("sim: unknown module %q", mod)
+	}
+	t := m.Term(term)
+	if t == nil {
+		return X, fmt.Errorf("sim: unknown terminal %s.%s", mod, term)
+	}
+	return s.net(t), nil
+}
+
+// Eval relaxes the combinational logic to a fixpoint. Nets with
+// conflicting drivers resolve to X; true combinational cycles that do
+// not converge keep their X values.
+func (s *Simulator) Eval() error {
+	limit := s.nNets + len(s.design.Modules) + 8
+	for iter := 0; iter < limit; iter++ {
+		next := make([]Bit, s.nNets)
+		for i := range next {
+			next[i] = X
+		}
+		drive := func(t *netlist.Terminal, v Bit) {
+			i, ok := s.netOf[t]
+			if !ok || v == X {
+				return
+			}
+			switch next[i] {
+			case X:
+				next[i] = v
+			case v:
+				// agreeing drivers
+			default:
+				next[i] = X // conflict
+			}
+		}
+		for st, v := range s.inputs {
+			drive(st, v)
+		}
+		for _, m := range s.design.Modules {
+			outs := s.evalModule(m)
+			for name, v := range outs {
+				if t := m.Term(name); t != nil {
+					drive(t, v)
+				}
+			}
+		}
+		changed := false
+		for i := range next {
+			if next[i] != s.values[i] {
+				changed = true
+			}
+		}
+		s.values = next
+		if !changed {
+			return nil
+		}
+	}
+	return nil // fixpoint not reached: remaining nets stay X
+}
+
+// Step performs one clock cycle: settle combinational logic, latch
+// every sequential module's next state simultaneously, settle again.
+func (s *Simulator) Step() error {
+	if err := s.Eval(); err != nil {
+		return err
+	}
+	nextState := map[*netlist.Module]Bit{}
+	for _, m := range s.design.Modules {
+		if !isSequential(m.Template) {
+			continue
+		}
+		nextState[m] = s.nextState(m)
+	}
+	for m, v := range nextState {
+		s.state[m] = v
+	}
+	return s.Eval()
+}
+
+// isSequential reports whether the template holds state.
+func isSequential(tpl string) bool {
+	switch tpl {
+	case "DFF", "REG", "LATCH", "CNT", "LIFE8", "CLKGEN", "SEQ":
+		return true
+	default:
+		return false
+	}
+}
+
+// in reads an input terminal value of m by name. A terminal with no
+// net attached reads as inactive (tied low), the usual convention for
+// floating inputs; a terminal on an undriven net reads X.
+func (s *Simulator) in(m *netlist.Module, name string) Bit {
+	t := m.Term(name)
+	if t == nil {
+		return X
+	}
+	if t.Net == nil {
+		return Lo
+	}
+	return s.net(t)
+}
+
+// Logic helpers over three-valued bits: strict (any X in, X out) except
+// where a dominant value decides (as in standard multi-valued logic).
+func and(a, b Bit) Bit {
+	if a == Lo || b == Lo {
+		return Lo
+	}
+	if a == Hi && b == Hi {
+		return Hi
+	}
+	return X
+}
+
+func or(a, b Bit) Bit {
+	if a == Hi || b == Hi {
+		return Hi
+	}
+	if a == Lo && b == Lo {
+		return Lo
+	}
+	return X
+}
+
+func not(a Bit) Bit {
+	switch a {
+	case Hi:
+		return Lo
+	case Lo:
+		return Hi
+	default:
+		return X
+	}
+}
+
+func xor(a, b Bit) Bit {
+	if a == X || b == X {
+		return X
+	}
+	return bitOf(a != b)
+}
+
+// evalModule computes the module's output values from its input nets
+// and state.
+func (s *Simulator) evalModule(m *netlist.Module) map[string]Bit {
+	in := func(n string) Bit { return s.in(m, n) }
+	st := s.state[m]
+	switch m.Template {
+	case "INV":
+		return map[string]Bit{"Y": not(in("A"))}
+	case "BUF":
+		return map[string]Bit{"Y": in("A")}
+	case "AND2":
+		return map[string]Bit{"Y": and(in("A"), in("B"))}
+	case "OR2":
+		return map[string]Bit{"Y": or(in("A"), in("B"))}
+	case "NAND2":
+		return map[string]Bit{"Y": not(and(in("A"), in("B")))}
+	case "NOR2":
+		return map[string]Bit{"Y": not(or(in("A"), in("B")))}
+	case "XOR2":
+		return map[string]Bit{"Y": xor(in("A"), in("B"))}
+	case "XNOR2":
+		return map[string]Bit{"Y": not(xor(in("A"), in("B")))}
+	case "AND3":
+		return map[string]Bit{"Y": and(in("A"), and(in("B"), in("C")))}
+	case "OR3":
+		return map[string]Bit{"Y": or(in("A"), or(in("B"), in("C")))}
+	case "NAND3":
+		return map[string]Bit{"Y": not(and(in("A"), and(in("B"), in("C"))))}
+	case "NOR3":
+		return map[string]Bit{"Y": not(or(in("A"), or(in("B"), in("C"))))}
+	case "DFF":
+		return map[string]Bit{"Q": st, "QN": not(st)}
+	case "LATCH":
+		// Transparent when EN: output follows D combinationally.
+		if in("EN") == Hi {
+			return map[string]Bit{"Q": in("D")}
+		}
+		return map[string]Bit{"Q": st}
+	case "REG":
+		return map[string]Bit{"Q": st}
+	case "CNT":
+		return map[string]Bit{"Q": st}
+	case "MUX2":
+		switch in("S") {
+		case Hi:
+			return map[string]Bit{"Y": in("B")}
+		case Lo:
+			return map[string]Bit{"Y": in("A")}
+		default:
+			return map[string]Bit{"Y": X}
+		}
+	case "DEMUX2":
+		switch in("S") {
+		case Hi:
+			return map[string]Bit{"Y0": Lo, "Y1": in("A")}
+		case Lo:
+			return map[string]Bit{"Y0": in("A"), "Y1": Lo}
+		default:
+			return map[string]Bit{"Y0": X, "Y1": X}
+		}
+	case "ADD":
+		return map[string]Bit{"S": xor(in("A"), in("B")), "CO": and(in("A"), in("B"))}
+	case "ALU":
+		// OP low: AND; OP high: XOR. Z flags a low result.
+		var f Bit
+		switch in("OP") {
+		case Hi:
+			f = xor(in("A"), in("B"))
+		case Lo:
+			f = and(in("A"), in("B"))
+		default:
+			f = X
+		}
+		return map[string]Bit{"F": f, "Z": not(f)}
+	case "CMP":
+		return map[string]Bit{
+			"EQ": not(xor(in("A"), in("B"))),
+			"GT": and(in("A"), not(in("B"))),
+		}
+	case "SHIFT":
+		return map[string]Bit{"Y": in("A")}
+	case "RAM":
+		return map[string]Bit{"DOUT": st} // degenerate 1-bit memory
+	case "ROM":
+		return map[string]Bit{"DATA": Lo}
+	case "TBUF":
+		if in("EN") == Hi {
+			return map[string]Bit{"Y": in("A")}
+		}
+		return map[string]Bit{"Y": X}
+	case "CTRL":
+		// A simple decode of the status and instruction inputs.
+		stat, ir := in("STAT"), in("IR")
+		return map[string]Bit{
+			"C0": stat, "C1": not(stat), "C2": ir,
+			"C3": not(ir), "C4": and(stat, ir), "C5": or(stat, ir),
+		}
+	case "CLKGEN":
+		return map[string]Bit{"CLK": st} // toggles every Step
+	case "SEQ":
+		return map[string]Bit{"PH0": st, "PH1": not(st), "DONE": Lo}
+	case "INPAD":
+		return map[string]Bit{"PAD": X}
+	case "OUTPAD":
+		return nil
+	case "LIFE8":
+		// Every output mirrors the cell state.
+		out := map[string]Bit{"STATE": st}
+		for _, o := range []string{"ON", "OS", "OW", "OE", "ONW", "ONE", "OSW", "OSE"} {
+			out[o] = st
+		}
+		return out
+	default:
+		return nil // unknown template: outputs stay undriven
+	}
+}
+
+// nextState computes a sequential module's state after a clock edge.
+func (s *Simulator) nextState(m *netlist.Module) Bit {
+	in := func(n string) Bit { return s.in(m, n) }
+	st := s.state[m]
+	switch m.Template {
+	case "DFF":
+		return in("D")
+	case "LATCH":
+		if in("EN") == Hi {
+			return in("D")
+		}
+		return st
+	case "REG":
+		if in("EN") == Hi {
+			return in("D")
+		}
+		return st
+	case "CNT":
+		if in("RST") == Hi {
+			return Lo
+		}
+		if in("EN") == Hi {
+			return not(st)
+		}
+		return st
+	case "CLKGEN":
+		return not(st)
+	case "SEQ":
+		return not(st)
+	case "LIFE8":
+		// Conway's rule over the eight neighbour inputs; an undefined
+		// neighbour makes the next state undefined.
+		alive := 0
+		for _, nm := range []string{"IN", "IS", "IW", "IE", "INW", "INE", "ISW", "ISE"} {
+			switch in(nm) {
+			case Hi:
+				alive++
+			case X:
+				return X
+			}
+		}
+		if st == X {
+			return X
+		}
+		return bitOf(alive == 3 || (st == Hi && alive == 2))
+	default:
+		return st
+	}
+}

@@ -1,0 +1,202 @@
+// Package sim is the functional stand-in for the ESCHER+ simulator the
+// paper used to validate routed diagrams (§6: "To check whether the
+// routing has been done correctly, the schematic diagram has been
+// simulated by the simulator in ESCHER+. The results were positive.").
+//
+// It simulates a diagram at the gate level in two steps:
+//
+//  1. Extraction: the electrical connectivity is rebuilt from the
+//     routed artwork geometry alone — two wire segments are joined
+//     when they share a point at which at least one of them ends
+//     (corners, junctions, terminals); two segments merely crossing at
+//     interior points stay separate nets. Routing errors therefore
+//     surface as shorts, opens or mis-binds during extraction.
+//  2. Evaluation: modules evaluate by template semantics (the builtin
+//     gate library plus the LIFE cell), combinational logic to a
+//     fixpoint, sequential elements on an explicit clock step.
+package sim
+
+import (
+	"fmt"
+
+	"netart/internal/geom"
+	"netart/internal/netlist"
+	"netart/internal/route"
+	"netart/internal/schematic"
+)
+
+// Bit is a simulated logic value; the simulator is two-valued with an
+// explicit undefined state for undriven nets.
+type Bit int8
+
+// The logic values.
+const (
+	X Bit = iota - 1 // undefined / undriven
+	Lo
+	Hi
+)
+
+// String implements fmt.Stringer.
+func (b Bit) String() string {
+	switch b {
+	case Lo:
+		return "0"
+	case Hi:
+		return "1"
+	default:
+		return "x"
+	}
+}
+
+// bitOf converts a bool.
+func bitOf(v bool) Bit {
+	if v {
+		return Hi
+	}
+	return Lo
+}
+
+// ExtractedNet is one electrical net recovered from the artwork.
+type ExtractedNet struct {
+	Terminals []*netlist.Terminal
+}
+
+// Extract rebuilds the connectivity of a routed diagram from its wire
+// geometry. It returns one ExtractedNet per connected wire component
+// (plus singleton pseudo-nets for terminals the artwork leaves
+// unconnected are NOT returned — opens show up as missing terminals).
+func Extract(dg *schematic.Diagram) ([]ExtractedNet, error) {
+	if dg.Routing == nil {
+		return nil, fmt.Errorf("sim: diagram has no routing to extract")
+	}
+	// Collect every segment of every net, forgetting net identity.
+	var segs []route.Segment
+	for _, rn := range dg.Routing.Nets {
+		segs = append(segs, rn.Segments...)
+	}
+	// Union-find over segments: joined when sharing a point where at
+	// least one of the two has an endpoint. Interior-interior sharing
+	// is a crossing and does not connect.
+	parent := make([]int, len(segs))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+
+	// Index segments by the points they touch.
+	type touch struct {
+		seg int
+		end bool // the point is an endpoint of the segment
+	}
+	at := map[geom.Point][]touch{}
+	for i, s := range segs {
+		for _, p := range s.Points() {
+			at[p] = append(at[p], touch{i, p == s.A || p == s.B})
+		}
+	}
+	for _, ts := range at {
+		for i := 0; i < len(ts); i++ {
+			for j := i + 1; j < len(ts); j++ {
+				if ts[i].end || ts[j].end {
+					union(ts[i].seg, ts[j].seg)
+				}
+			}
+		}
+	}
+
+	// Attach terminals to the component owning their point.
+	comp := map[int][]*netlist.Terminal{}
+	attach := func(t *netlist.Terminal) error {
+		p, err := dg.Placement.TermPos(t)
+		if err != nil {
+			return err
+		}
+		for _, tc := range at[p] {
+			comp[find(tc.seg)] = append(comp[find(tc.seg)], t)
+			return nil
+		}
+		return nil // open: terminal not on any wire
+	}
+	for _, m := range dg.Design.Modules {
+		for _, t := range m.Terms {
+			if t.Net == nil {
+				continue
+			}
+			if err := attach(t); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, st := range dg.Design.SysTerms {
+		if st.Net == nil {
+			continue
+		}
+		if err := attach(st); err != nil {
+			return nil, err
+		}
+	}
+
+	var out []ExtractedNet
+	for _, terms := range comp {
+		out = append(out, ExtractedNet{Terminals: terms})
+	}
+	return out, nil
+}
+
+// CheckExtraction compares the artwork connectivity against the
+// intended netlist: every complete net of the design must come back as
+// exactly one component carrying exactly its own terminals. This is
+// the "results were positive" check of §6 in executable form.
+func CheckExtraction(dg *schematic.Diagram) error {
+	nets, err := Extract(dg)
+	if err != nil {
+		return err
+	}
+	byTerm := map[*netlist.Terminal]int{}
+	for i, en := range nets {
+		for _, t := range en.Terminals {
+			if prev, dup := byTerm[t]; dup && prev != i {
+				return fmt.Errorf("sim: terminal %s extracted into two nets", t.Label())
+			}
+			byTerm[t] = i
+		}
+	}
+	for _, rn := range dg.Routing.Nets {
+		if !rn.OK() || rn.Net.Degree() < 2 {
+			continue
+		}
+		want := rn.Net.Terms
+		id, ok := byTerm[want[0]]
+		if !ok {
+			return fmt.Errorf("sim: net %q: terminal %s is open in the artwork",
+				rn.Net.Name, want[0].Label())
+		}
+		for _, t := range want[1:] {
+			got, ok := byTerm[t]
+			if !ok {
+				return fmt.Errorf("sim: net %q: terminal %s is open in the artwork",
+					rn.Net.Name, t.Label())
+			}
+			if got != id {
+				return fmt.Errorf("sim: net %q split in the artwork at %s",
+					rn.Net.Name, t.Label())
+			}
+		}
+		// No foreign terminal may share the component (short).
+		for _, t := range nets[id].Terminals {
+			if t.Net != rn.Net {
+				return fmt.Errorf("sim: net %q shorted to %q at terminal %s",
+					rn.Net.Name, t.Net.Name, t.Label())
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,522 @@
+// Package workload constructs the evaluation networks of Koster & Stok
+// §6 — the string of figure 6.1, the 16-module/24-net controller +
+// datapath network of figures 6.2–6.5, and the 27-module/222-net game
+// of LIFE network of figures 6.6/6.7 — plus a seeded random network
+// generator for property tests and ablations.
+//
+// The authors' original netlists are not published; these are
+// deterministic synthetic equivalents with exactly the module and net
+// counts of Table 6.1 (see DESIGN.md, "Substitutions").
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"netart/internal/geom"
+	"netart/internal/library"
+	"netart/internal/netlist"
+)
+
+// must panics on error: the workloads are static data, so construction
+// errors are programming mistakes.
+func must(err error) {
+	if err != nil {
+		panic("workload: " + err.Error())
+	}
+}
+
+func mustModule(d *netlist.Design, lib *library.Library, name, template string) *netlist.Module {
+	spec, err := lib.Template(template)
+	must(err)
+	m, err := d.AddModule(name, template, spec.W, spec.H, spec.Terms)
+	must(err)
+	return m
+}
+
+// Fig61 builds the network of figure 6.1: six modules forming a single
+// string, six nets (one system input plus five chain nets). Placed with
+// -p 6 -b 6 it yields one partition containing one box.
+func Fig61() *netlist.Design {
+	lib := library.Builtin()
+	d := netlist.NewDesign("fig61")
+	templates := []string{"BUF", "INV", "AND2", "OR2", "XOR2", "INV"}
+	for i, tpl := range templates {
+		mustModule(d, lib, fmt.Sprintf("m%d", i), tpl)
+	}
+	_, err := d.AddSysTerm("IN", netlist.In)
+	must(err)
+	must(d.ConnectSys("n0", "IN"))
+	must(d.Connect("n0", "m0", "A"))
+	for i := 0; i < 5; i++ {
+		net := fmt.Sprintf("n%d", i+1)
+		must(d.Connect(net, fmt.Sprintf("m%d", i), "Y"))
+		must(d.Connect(net, fmt.Sprintf("m%d", i+1), "A"))
+	}
+	return d
+}
+
+// Chain builds a string of n INV modules connected head to tail with a
+// system input, for scaling experiments. It has n modules and n nets.
+func Chain(n int) *netlist.Design {
+	lib := library.Builtin()
+	d := netlist.NewDesign(fmt.Sprintf("chain%d", n))
+	for i := 0; i < n; i++ {
+		mustModule(d, lib, fmt.Sprintf("m%d", i), "INV")
+	}
+	_, err := d.AddSysTerm("IN", netlist.In)
+	must(err)
+	must(d.ConnectSys("c0", "IN"))
+	must(d.Connect("c0", "m0", "A"))
+	for i := 0; i < n-1; i++ {
+		net := fmt.Sprintf("c%d", i+1)
+		must(d.Connect(net, fmt.Sprintf("m%d", i), "Y"))
+		must(d.Connect(net, fmt.Sprintf("m%d", i+1), "A"))
+	}
+	return d
+}
+
+// Datapath16 builds the network behind figures 6.2–6.5: 16 modules and
+// 24 nets. A central controller (the "controller in the center" that
+// figure 6.3 describes) drives three five-module datapath lanes, each a
+// mux → register → ALU → register → comparator string, so partition
+// sweeps with -p 1/5/7 and -b 1/5 reproduce the figures' clustering
+// behaviour.
+func Datapath16() *netlist.Design {
+	lib := library.Builtin()
+	d := netlist.NewDesign("datapath16")
+
+	mustModule(d, lib, "ctrl", "CTRL")
+	for g := 0; g < 3; g++ {
+		mustModule(d, lib, fmt.Sprintf("mux%d", g), "MUX2")
+		mustModule(d, lib, fmt.Sprintf("rega%d", g), "REG")
+		mustModule(d, lib, fmt.Sprintf("alu%d", g), "ALU")
+		mustModule(d, lib, fmt.Sprintf("regb%d", g), "REG")
+		mustModule(d, lib, fmt.Sprintf("cmp%d", g), "CMP")
+	}
+	for _, io := range []struct {
+		name string
+		typ  netlist.TermType
+	}{
+		{"DIN0", netlist.In}, {"DIN1", netlist.In}, {"DIN2", netlist.In},
+		{"DOUT", netlist.Out}, {"CLK", netlist.In},
+	} {
+		_, err := d.AddSysTerm(io.name, io.typ)
+		must(err)
+	}
+
+	// Twelve intra-lane nets (four per lane).
+	for g := 0; g < 3; g++ {
+		lane := func(net, fromMod, fromTerm, toMod, toTerm string) {
+			must(d.Connect(net, fmt.Sprintf(fromMod, g), fromTerm))
+			must(d.Connect(net, fmt.Sprintf(toMod, g), toTerm))
+		}
+		lane(fmt.Sprintf("l%d_muxq", g), "mux%d", "Y", "rega%d", "D")
+		lane(fmt.Sprintf("l%d_regq", g), "rega%d", "Q", "alu%d", "A")
+		lane(fmt.Sprintf("l%d_aluf", g), "alu%d", "F", "regb%d", "D")
+		lane(fmt.Sprintf("l%d_res", g), "regb%d", "Q", "cmp%d", "A")
+	}
+
+	// Six control nets from the central controller.
+	for g := 0; g < 3; g++ {
+		net := fmt.Sprintf("csel%d", g)
+		must(d.Connect(net, "ctrl", fmt.Sprintf("C%d", g)))
+		must(d.Connect(net, fmt.Sprintf("mux%d", g), "S"))
+	}
+	must(d.Connect("cena", "ctrl", "C3"))
+	must(d.Connect("cena", "rega0", "EN"))
+	must(d.Connect("cena", "rega1", "EN"))
+	must(d.Connect("cenb", "ctrl", "C4"))
+	must(d.Connect("cenb", "rega2", "EN"))
+	must(d.Connect("cop", "ctrl", "C5"))
+	for g := 0; g < 3; g++ {
+		must(d.Connect("cop", fmt.Sprintf("alu%d", g), "OP"))
+	}
+
+	// Status feedback to the controller.
+	must(d.Connect("stat", "cmp0", "EQ"))
+	must(d.Connect("stat", "ctrl", "STAT"))
+
+	// Five system nets: three data inputs, one output, the clock.
+	for g := 0; g < 3; g++ {
+		net := fmt.Sprintf("din%d", g)
+		must(d.ConnectSys(net, fmt.Sprintf("DIN%d", g)))
+		must(d.Connect(net, fmt.Sprintf("mux%d", g), "A"))
+		must(d.Connect(net, fmt.Sprintf("alu%d", g), "B"))
+	}
+	must(d.ConnectSys("dout", "DOUT"))
+	must(d.Connect("dout", "cmp2", "GT"))
+	must(d.ConnectSys("clk", "CLK"))
+	must(d.Connect("clk", "ctrl", "CLK"))
+	for g := 0; g < 3; g++ {
+		must(d.Connect("clk", fmt.Sprintf("rega%d", g), "CLK"))
+		must(d.Connect("clk", fmt.Sprintf("regb%d", g), "CLK"))
+	}
+	return d
+}
+
+// lifeRows and lifeCols give the 5x5 cell array of the LIFE network.
+const (
+	lifeRows = 5
+	lifeCols = 5
+	// lifeBorderInputs is the number of border neighbour inputs fed
+	// from system input terminals, chosen so the net total is exactly
+	// 222 as in Table 6.1: 144 internal neighbour nets + clock + phase
+	// + 25 state observers + 51 border inputs.
+	lifeBorderInputs = 51
+)
+
+// lifeCellSpec is the workload-local cell template: eight neighbour
+// inputs, eight neighbour outputs, a clock input and a state output.
+func lifeCellSpec() netlist.TemplateSpec {
+	in := func(name string, x, y int) netlist.TermSpec {
+		return netlist.TermSpec{Name: name, Type: netlist.In, Pos: geom.Pt(x, y)}
+	}
+	out := func(name string, x, y int) netlist.TermSpec {
+		return netlist.TermSpec{Name: name, Type: netlist.Out, Pos: geom.Pt(x, y)}
+	}
+	// Terminal sides match signal directions so direct neighbour nets
+	// are straight wires in a grid placement: north-facing ports on
+	// top, south-facing on the bottom, east/west on the sides. Aligned
+	// pairs (ON under IS, OS above IN, OE across IW, OW across IE)
+	// make the orthogonal neighbour nets bend-free.
+	return netlist.TemplateSpec{
+		Name: "LIFE8", W: 9, H: 9,
+		Terms: []netlist.TermSpec{
+			// Top: outputs toward and inputs from the north.
+			out("ON", 1, 9), in("IN", 2, 9), out("ONE", 3, 9),
+			in("INE", 4, 9), out("ONW", 5, 9), in("INW", 6, 9),
+			// Bottom: mirror of the top of the row below.
+			in("IS", 1, 0), out("OS", 2, 0), in("ISW", 3, 0),
+			out("OSW", 4, 0), in("ISE", 5, 0), out("OSE", 6, 0),
+			// Left and right, aligned across the vertical channels.
+			in("IW", 0, 3), out("OW", 0, 5), in("CLK", 0, 7),
+			out("OE", 9, 3), in("IE", 9, 5), out("STATE", 9, 7),
+		},
+	}
+}
+
+// lifeDirs lists the eight neighbour directions as (dr, dc, outTerm,
+// inTerm): the OUT terminal of the cell feeds the IN terminal of the
+// neighbour at (r+dr, c+dc) when that neighbour is inside the grid.
+var lifeDirs = []struct {
+	dr, dc  int
+	out, in string
+}{
+	{-1, 0, "ON", "IS"}, {1, 0, "OS", "IN"},
+	{0, -1, "OW", "IE"}, {0, 1, "OE", "IW"},
+	{-1, -1, "ONW", "ISE"}, {-1, 1, "ONE", "ISW"},
+	{1, -1, "OSW", "INE"}, {1, 1, "OSE", "INW"},
+}
+
+// Life27 builds the LIFE network of figures 6.6/6.7: 27 modules and
+// exactly 222 nets. Twenty-five LIFE cells form a 5x5 array; every
+// cell drives each of its in-grid neighbours over a dedicated
+// two-point net (144 nets). A clock generator feeds a sequencer
+// (1 net) whose phase output clocks all cells (1 multipoint net),
+// every cell state is exported to a system output terminal (25 nets),
+// and 51 of the 56 unused border neighbour inputs are fed from system
+// input terminals (51 nets).
+func Life27() *netlist.Design {
+	lib := library.Builtin()
+	d := netlist.NewDesign("life27")
+	cellSpec := lifeCellSpec()
+
+	cellName := func(r, c int) string { return fmt.Sprintf("cell_%d_%d", r, c) }
+	for r := 0; r < lifeRows; r++ {
+		for c := 0; c < lifeCols; c++ {
+			_, err := d.AddModule(cellName(r, c), cellSpec.Name, cellSpec.W, cellSpec.H, cellSpec.Terms)
+			must(err)
+		}
+	}
+	mustModule(d, lib, "clkgen", "CLKGEN")
+	mustModule(d, lib, "seq", "SEQ")
+
+	// 144 dedicated neighbour nets (in-grid pairs only).
+	for r := 0; r < lifeRows; r++ {
+		for c := 0; c < lifeCols; c++ {
+			for _, dir := range lifeDirs {
+				nr, nc := r+dir.dr, c+dir.dc
+				if nr < 0 || nr >= lifeRows || nc < 0 || nc >= lifeCols {
+					continue
+				}
+				net := fmt.Sprintf("nb_%d_%d_%s", r, c, dir.out)
+				must(d.Connect(net, cellName(r, c), dir.out))
+				must(d.Connect(net, cellName(nr, nc), dir.in))
+			}
+		}
+	}
+
+	// Clock spine: clkgen -> seq, seq phase -> every cell.
+	must(d.Connect("mclk", "clkgen", "CLK"))
+	must(d.Connect("mclk", "seq", "CLK"))
+	must(d.Connect("phase", "seq", "PH0"))
+	for r := 0; r < lifeRows; r++ {
+		for c := 0; c < lifeCols; c++ {
+			must(d.Connect("phase", cellName(r, c), "CLK"))
+		}
+	}
+
+	// Twenty-five observation nets to system output terminals.
+	obs := 0
+	for r := 0; r < lifeRows; r++ {
+		for c := 0; c < lifeCols; c++ {
+			term := fmt.Sprintf("OBS%d", obs)
+			_, err := d.AddSysTerm(term, netlist.Out)
+			must(err)
+			net := fmt.Sprintf("obs%d", obs)
+			must(d.ConnectSys(net, term))
+			must(d.Connect(net, cellName(r, c), "STATE"))
+			obs++
+		}
+	}
+
+	// Border inputs: the grid-edge cells have neighbour inputs with no
+	// in-grid driver; feed 51 of them from system input terminals.
+	fed := 0
+	for r := 0; r < lifeRows && fed < lifeBorderInputs; r++ {
+		for c := 0; c < lifeCols && fed < lifeBorderInputs; c++ {
+			for _, dir := range lifeDirs {
+				if fed >= lifeBorderInputs {
+					break
+				}
+				nr, nc := r+dir.dr, c+dir.dc
+				if nr >= 0 && nr < lifeRows && nc >= 0 && nc < lifeCols {
+					continue // has an in-grid driver
+				}
+				// The input of cell (r,c) that would have come from the
+				// missing neighbour in direction dir is dir.in of the
+				// *reverse* direction; equivalently, cell (r,c) lacks a
+				// driver on the input fed by the neighbour at (nr,nc).
+				term := fmt.Sprintf("BIN%d", fed)
+				_, err := d.AddSysTerm(term, netlist.In)
+				must(err)
+				net := fmt.Sprintf("bin%d", fed)
+				must(d.ConnectSys(net, term))
+				must(d.Connect(net, cellName(r, c), reverseIn(dir.out)))
+				fed++
+			}
+		}
+	}
+	return d
+}
+
+// reverseIn maps an output direction name to the input terminal of the
+// cell that this output would feed: a cell missing the neighbour in
+// direction X leaves its own input (fed by that neighbour's opposite
+// output) undriven.
+func reverseIn(out string) string {
+	switch out {
+	case "ON":
+		return "IN"
+	case "OS":
+		return "IS"
+	case "OW":
+		return "IW"
+	case "OE":
+		return "IE"
+	case "ONW":
+		return "INW"
+	case "ONE":
+		return "INE"
+	case "OSW":
+		return "ISW"
+	case "OSE":
+		return "ISE"
+	}
+	return out
+}
+
+// HandPos pins a module for a manual placement.
+type HandPos struct {
+	Pos    geom.Point
+	Orient geom.Orient
+}
+
+// LifeHandPlacement returns the manual placement of the LIFE network
+// used for figure 6.6: the cells in a regular 5x5 array with routing
+// channels between them, the clock generator and sequencer to the left.
+// Keys are module instance names.
+func LifeHandPlacement() map[string]HandPos {
+	spec := lifeCellSpec()
+	const gap = 8 // routing channel width between cells
+	out := map[string]HandPos{}
+	for r := 0; r < lifeRows; r++ {
+		for c := 0; c < lifeCols; c++ {
+			x := (spec.W + gap) * c
+			y := (spec.H + gap) * (lifeRows - 1 - r)
+			out[fmt.Sprintf("cell_%d_%d", r, c)] = HandPos{Pos: geom.Pt(x, y)}
+		}
+	}
+	mid := (spec.H + gap) * lifeRows / 2
+	out["clkgen"] = HandPos{Pos: geom.Pt(-2*gap-10, mid+6)}
+	out["seq"] = HandPos{Pos: geom.Pt(-2*gap-10, mid-6)}
+	return out
+}
+
+// Datapath16HandTweak returns the manual preplacement of figure 6.5: the
+// network of figure 6.2 with one module (the controller) moved from the
+// centre to the top left.
+func Datapath16HandTweak() map[string]HandPos {
+	return map[string]HandPos{
+		"ctrl": {Pos: geom.Pt(0, 40)},
+	}
+}
+
+// Random builds a pseudo-random connected network with n modules drawn
+// from the builtin gate library and roughly 1.5*n nets of degree 2..4,
+// plus a few system terminals. The same seed always yields the same
+// network (math/rand with a fixed source; no global state).
+func Random(n int, seed int64) *netlist.Design {
+	rng := rand.New(rand.NewSource(seed))
+	lib := library.Builtin()
+	names := []string{"INV", "BUF", "AND2", "OR2", "NAND2", "XOR2", "DFF", "MUX2", "REG", "ADD"}
+	d := netlist.NewDesign(fmt.Sprintf("random%d_%d", n, seed))
+
+	type pin struct {
+		mod  string
+		term string
+	}
+	var drivers, sinks []pin
+	for i := 0; i < n; i++ {
+		tpl := names[rng.Intn(len(names))]
+		name := fmt.Sprintf("r%d", i)
+		m := mustModule(d, lib, name, tpl)
+		for _, t := range m.Terms {
+			if t.Type.CanDrive() {
+				drivers = append(drivers, pin{name, t.Name})
+			} else {
+				sinks = append(sinks, pin{name, t.Name})
+			}
+		}
+	}
+	rng.Shuffle(len(sinks), func(i, j int) { sinks[i], sinks[j] = sinks[j], sinks[i] })
+	rng.Shuffle(len(drivers), func(i, j int) { drivers[i], drivers[j] = drivers[j], drivers[i] })
+
+	// Connect a spanning chain first so the network is connected, then
+	// add random fanout until sinks or drivers run out.
+	netID := 0
+	si := 0
+	for di := 0; di < len(drivers) && si < len(sinks); di++ {
+		drv := drivers[di]
+		deg := 1 + rng.Intn(3) // 1..3 sinks per net
+		net := fmt.Sprintf("w%d", netID)
+		netID++
+		if err := d.Connect(net, drv.mod, drv.term); err != nil {
+			continue
+		}
+		for k := 0; k < deg && si < len(sinks); k++ {
+			s := sinks[si]
+			si++
+			if s.mod == drv.mod {
+				k-- // avoid trivial self-loop pins; try the next sink
+				continue
+			}
+			must(d.Connect(net, s.mod, s.term))
+		}
+	}
+
+	// A couple of system terminals on fresh nets.
+	for i := 0; i < 2 && si < len(sinks); i++ {
+		term := fmt.Sprintf("SIN%d", i)
+		_, err := d.AddSysTerm(term, netlist.In)
+		must(err)
+		net := fmt.Sprintf("sys%d", i)
+		must(d.ConnectSys(net, term))
+		must(d.Connect(net, sinks[si].mod, sinks[si].term))
+		si++
+	}
+	return d
+}
+
+// CPU builds a small accumulator machine used as an additional
+// integration workload beyond the paper's own networks: a fetch /
+// decode / execute structure with 21 modules. It exercises deeper
+// combinational chains and a register-heavy control section.
+func CPU() *netlist.Design {
+	lib := library.Builtin()
+	d := netlist.NewDesign("cpu21")
+
+	// Fetch: program counter chain.
+	mustModule(d, lib, "pc", "CNT")
+	mustModule(d, lib, "pcbuf", "BUF")
+	mustModule(d, lib, "imem", "ROM")
+	// Decode.
+	mustModule(d, lib, "ir", "REG")
+	mustModule(d, lib, "dec0", "AND2")
+	mustModule(d, lib, "dec1", "INV")
+	mustModule(d, lib, "dec2", "OR2")
+	mustModule(d, lib, "seq", "SEQ")
+	// Execute: accumulator datapath.
+	mustModule(d, lib, "amux", "MUX2")
+	mustModule(d, lib, "acc", "REG")
+	mustModule(d, lib, "alu", "ALU")
+	mustModule(d, lib, "badd", "ADD")
+	mustModule(d, lib, "zflag", "DFF")
+	mustModule(d, lib, "cflag", "DFF")
+	// Memory interface.
+	mustModule(d, lib, "dmem", "RAM")
+	mustModule(d, lib, "wrbuf", "TBUF")
+	mustModule(d, lib, "cmp", "CMP")
+	// Clocking and I/O conditioning.
+	mustModule(d, lib, "ckg", "CLKGEN")
+	mustModule(d, lib, "ckbuf", "BUF")
+	mustModule(d, lib, "ibuf", "BUF")
+	mustModule(d, lib, "obuf", "BUF")
+
+	for _, io := range []struct {
+		name string
+		typ  netlist.TermType
+	}{{"RUN", netlist.In}, {"DATAIN", netlist.In}, {"DATAOUT", netlist.Out}, {"ZERO", netlist.Out}} {
+		_, err := d.AddSysTerm(io.name, io.typ)
+		must(err)
+	}
+
+	c := func(net string, pins ...[2]string) {
+		for _, p := range pins {
+			var err error
+			if p[0] == "root" {
+				err = d.ConnectSys(net, p[1])
+			} else {
+				err = d.Connect(net, p[0], p[1])
+			}
+			must(err)
+		}
+	}
+	// Clock spine.
+	c("run", [2]string{"root", "RUN"}, [2]string{"ckg", "EN"})
+	c("mclk", [2]string{"ckg", "CLK"}, [2]string{"ckbuf", "A"})
+	c("clk", [2]string{"ckbuf", "Y"}, [2]string{"pc", "CLK"}, [2]string{"ir", "CLK"},
+		[2]string{"acc", "CLK"}, [2]string{"zflag", "CLK"}, [2]string{"cflag", "CLK"},
+		[2]string{"seq", "CLK"}, [2]string{"dmem", "CLK"})
+	// Fetch.
+	c("pcv", [2]string{"pc", "Q"}, [2]string{"pcbuf", "A"})
+	c("iaddr", [2]string{"pcbuf", "Y"}, [2]string{"imem", "ADDR"})
+	c("inst", [2]string{"imem", "DATA"}, [2]string{"ir", "D"})
+	// Decode.
+	c("irq", [2]string{"ir", "Q"}, [2]string{"dec0", "A"}, [2]string{"dec1", "A"},
+		[2]string{"alu", "OP"})
+	c("ph0", [2]string{"seq", "PH0"}, [2]string{"dec0", "B"}, [2]string{"ir", "EN"})
+	c("notop", [2]string{"dec1", "Y"}, [2]string{"dec2", "A"})
+	c("go", [2]string{"seq", "PH1"}, [2]string{"dec2", "B"}, [2]string{"pc", "EN"})
+	c("ldacc", [2]string{"dec2", "Y"}, [2]string{"acc", "EN"})
+	c("wr", [2]string{"dec0", "Y"}, [2]string{"wrbuf", "EN"}, [2]string{"dmem", "WE"})
+	// Execute.
+	c("din", [2]string{"root", "DATAIN"}, [2]string{"ibuf", "A"})
+	c("opnd", [2]string{"ibuf", "Y"}, [2]string{"amux", "A"}, [2]string{"badd", "A"})
+	c("mdata", [2]string{"dmem", "DOUT"}, [2]string{"amux", "B"}, [2]string{"cmp", "B"})
+	c("aluin", [2]string{"amux", "Y"}, [2]string{"alu", "B"})
+	c("accq", [2]string{"acc", "Q"}, [2]string{"alu", "A"}, [2]string{"badd", "B"},
+		[2]string{"wrbuf", "A"}, [2]string{"obuf", "A"}, [2]string{"cmp", "A"})
+	c("aluf", [2]string{"alu", "F"}, [2]string{"acc", "D"})
+	c("aluz", [2]string{"alu", "Z"}, [2]string{"zflag", "D"})
+	c("carry", [2]string{"badd", "CO"}, [2]string{"cflag", "D"})
+	c("daddr", [2]string{"badd", "S"}, [2]string{"dmem", "ADDR"})
+	c("wdata", [2]string{"wrbuf", "Y"}, [2]string{"dmem", "DIN"})
+	c("sel", [2]string{"cmp", "EQ"}, [2]string{"amux", "S"})
+	c("rst", [2]string{"cmp", "GT"}, [2]string{"pc", "RST"})
+	c("seqgo", [2]string{"zflag", "Q"}, [2]string{"seq", "GO"})
+	c("dout", [2]string{"obuf", "Y"}, [2]string{"root", "DATAOUT"})
+	c("zero", [2]string{"zflag", "QN"}, [2]string{"root", "ZERO"})
+	return d
+}
