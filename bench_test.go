@@ -9,7 +9,12 @@
 package netart
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 
 	"netart/internal/geom"
@@ -19,6 +24,7 @@ import (
 	"netart/internal/place"
 	"netart/internal/route"
 	"netart/internal/schematic"
+	"netart/internal/service"
 	"netart/internal/workload"
 )
 
@@ -355,6 +361,91 @@ func BenchmarkCompletionLadder(b *testing.B) {
 			b.ReportMetric(float64(unrouted), "unrouted")
 		})
 	}
+}
+
+// BenchmarkServiceGenerate measures the netartd service core, cold
+// versus warm cache. "cold" disables the result cache so every
+// iteration runs the full pipeline through the worker pool; "warm"
+// primes the content-addressed cache once and then serves the LIFE
+// workload from it — warm-direct through the service core, warm-http
+// through a real POST /v1/generate round trip. The warm paths are the
+// <1ms acceptance gate of the service subsystem.
+func BenchmarkServiceGenerate(b *testing.B) {
+	lifeReq := service.Request{
+		Workload: "life",
+		Format:   service.FormatSummary,
+		Options: service.GenOptions{
+			PartSize: 5, BoxSize: 5,
+			ModSpacing: 1, BoxSpacing: 2, PartSpacing: 3,
+		},
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		s := service.New(service.Config{Workers: 1, CacheEntries: 0})
+		defer s.Close()
+		req := service.Request{Workload: "fig61", Format: service.FormatASCII,
+			Options: service.GenOptions{PartSize: 6, BoxSize: 6}}
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Generate(context.Background(), &req); err != nil {
+				b.Fatal(err)
+			}
+		}
+		st := s.Stats()
+		b.ReportMetric(float64(st.Cache.Misses)/float64(b.N), "miss/op")
+	})
+
+	b.Run("warm-direct", func(b *testing.B) {
+		s := service.New(service.Config{Workers: 2, CacheEntries: 64})
+		defer s.Close()
+		if _, err := s.Generate(context.Background(), &lifeReq); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			resp, err := s.Generate(context.Background(), &lifeReq)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !resp.Cached {
+				b.Fatal("warm request missed the cache")
+			}
+		}
+		st := s.Stats()
+		b.ReportMetric(float64(st.Cache.Hits)/float64(b.N), "hit/op")
+	})
+
+	b.Run("warm-http", func(b *testing.B) {
+		s := service.New(service.Config{Workers: 2, CacheEntries: 64})
+		defer s.Close()
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		body, err := json.Marshal(lifeReq)
+		if err != nil {
+			b.Fatal(err)
+		}
+		post := func() *service.Response {
+			r, err := http.Post(ts.URL+"/v1/generate", "application/json", bytes.NewReader(body))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer r.Body.Close()
+			if r.StatusCode != http.StatusOK {
+				b.Fatalf("status %d", r.StatusCode)
+			}
+			var resp service.Response
+			if err := json.NewDecoder(r.Body).Decode(&resp); err != nil {
+				b.Fatal(err)
+			}
+			return &resp
+		}
+		post() // prime
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if !post().Cached {
+				b.Fatal("warm request missed the cache")
+			}
+		}
+	})
 }
 
 // BenchmarkDualFront measures the §5.5.3 two-front initiation against

@@ -1,0 +1,26 @@
+#!/bin/sh
+# ci.sh — the repo's test tiers.
+#
+#   tier 1 (default):  go vet + build + full test suite
+#   tier 2 (-race):    tier 1 with the race detector (slower; exercises
+#                      the netartd worker pool / cache / stats paths)
+#
+# Usage: ./ci.sh [-race]
+set -eu
+cd "$(dirname "$0")"
+
+RACE=""
+if [ "${1:-}" = "-race" ]; then
+	RACE="-race"
+fi
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test ${RACE} ./..."
+go test ${RACE} ./...
+
+echo "ci.sh: all green"

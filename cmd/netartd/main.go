@@ -1,0 +1,89 @@
+// Netartd is the schematic-generation daemon: the netlist→schematic
+// pipeline of Koster & Stok (EUT 89-E-219) behind an HTTP/JSON API.
+// Requests run on a bounded worker pool with per-request deadlines
+// propagated into the routing wavefronts; identical requests are
+// served from a content-addressed LRU result cache.
+//
+// Usage:
+//
+//	netartd [-addr :8417] [-workers N] [-queue N] [-cache N]
+//	        [-timeout 30s] [-max-timeout 2m]
+//
+// Endpoints:
+//
+//	POST /v1/generate  {"workload":"life","format":"svg"} → diagram
+//	POST /v1/batch     {"requests":[...]}                 → per-item results
+//	GET  /v1/healthz   liveness
+//	GET  /v1/stats     counters, cache hit/miss, stage latency histograms
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"netart/internal/service"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "netartd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":8417", "listen address")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent generation workers")
+	queue := flag.Int("queue", 0, "queued requests before shedding with 429 (0 = 4×workers)")
+	cacheEnts := flag.Int("cache", 256, "result cache entries (0 disables)")
+	timeout := flag.Duration("timeout", 30*time.Second, "default per-request generation deadline")
+	maxTimeout := flag.Duration("max-timeout", 2*time.Minute, "upper bound for client-supplied timeouts")
+	flag.Parse()
+
+	srv := service.New(service.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheEntries:   *cacheEnts,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+	})
+	defer srv.Close()
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("netartd: listening on %s (%d workers, queue %d, cache %d entries)",
+			*addr, *workers, *queue, *cacheEnts)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Print("netartd: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	return nil
+}

@@ -5,6 +5,7 @@
 package gen
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -74,17 +75,52 @@ func PlaceDesign(d *netlist.Design, opts Options) (*place.Result, error) {
 }
 
 // Generate runs placement followed by routing and returns the finished
-// diagram.
+// diagram. It is a thin wrapper over GenerateCtx with a background
+// context, so the existing CLIs keep their uncancellable fast path.
 func Generate(d *netlist.Design, opts Options) (*schematic.Diagram, error) {
+	return GenerateCtx(context.Background(), d, opts)
+}
+
+// GenerateCtx is Generate with cancellation: the context's deadline or
+// cancel signal is honored between the pipeline stages and inside the
+// routing wavefront loops (the hottest paths; see route.RouteCtx). On
+// cancellation it returns ctx.Err().
+func GenerateCtx(ctx context.Context, d *netlist.Design, opts Options) (*schematic.Diagram, error) {
+	dg, _, err := GenerateTimedCtx(ctx, d, opts)
+	return dg, err
+}
+
+// StageTimings records the wall time each pipeline stage consumed
+// during one GenerateTimedCtx run.
+type StageTimings struct {
+	Place time.Duration
+	Route time.Duration
+}
+
+// GenerateTimedCtx runs the cancellable pipeline and additionally
+// reports per-stage wall times, which the service layer feeds into its
+// latency histograms.
+func GenerateTimedCtx(ctx context.Context, d *netlist.Design, opts Options) (*schematic.Diagram, StageTimings, error) {
+	var st StageTimings
+	if err := ctx.Err(); err != nil {
+		return nil, st, err
+	}
+	t0 := time.Now()
 	pr, err := PlaceDesign(d, opts)
+	st.Place = time.Since(t0)
 	if err != nil {
-		return nil, err
+		return nil, st, err
 	}
-	rr, err := route.Route(pr, opts.Route)
+	if err := ctx.Err(); err != nil {
+		return nil, st, err
+	}
+	t1 := time.Now()
+	rr, err := route.RouteCtx(ctx, pr, opts.Route)
+	st.Route = time.Since(t1)
 	if err != nil {
-		return nil, err
+		return nil, st, err
 	}
-	return schematic.FromRouting(rr), nil
+	return schematic.FromRouting(rr), st, nil
 }
 
 // GenerateOnPlacement routes a diagram over an existing placement (the

@@ -1,0 +1,48 @@
+package netlist
+
+// Clone returns a deep copy of the design: fresh Module, Terminal and
+// Net values with all cross-pointers (terminal→module, terminal→net,
+// net→terminal) remapped into the copy. The original and the clone
+// share no mutable state, so one parsed design can serve many
+// concurrent generations — the placement phase reorients modules and
+// assigns positions through the design's pointers, which makes running
+// two generations over the *same* Design value a data race; the
+// service layer clones per request instead (see internal/service).
+func (d *Design) Clone() *Design {
+	nd := NewDesign(d.Name)
+	termMap := make(map[*Terminal]*Terminal)
+
+	for _, m := range d.Modules {
+		nm := &Module{
+			Name:     m.Name,
+			Template: m.Template,
+			W:        m.W,
+			H:        m.H,
+			Terms:    make([]*Terminal, 0, len(m.Terms)),
+		}
+		for _, t := range m.Terms {
+			nt := &Terminal{Name: t.Name, Type: t.Type, Pos: t.Pos, Module: nm}
+			nm.Terms = append(nm.Terms, nt)
+			termMap[t] = nt
+		}
+		nd.Modules = append(nd.Modules, nm)
+		nd.modByName[nm.Name] = nm
+	}
+	for _, st := range d.SysTerms {
+		nt := &Terminal{Name: st.Name, Type: st.Type, Pos: st.Pos}
+		termMap[st] = nt
+		nd.SysTerms = append(nd.SysTerms, nt)
+		nd.sysByName[nt.Name] = nt
+	}
+	for _, n := range d.Nets {
+		nn := &Net{Name: n.Name, Terms: make([]*Terminal, 0, len(n.Terms))}
+		for _, t := range n.Terms {
+			nt := termMap[t]
+			nn.Terms = append(nn.Terms, nt)
+			nt.Net = nn
+		}
+		nd.Nets = append(nd.Nets, nn)
+		nd.netByName[nn.Name] = nn
+	}
+	return nd
+}

@@ -1,0 +1,122 @@
+package netlist_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"netart/internal/gen"
+	"netart/internal/netlist"
+	"netart/internal/workload"
+)
+
+// snapshot serializes every field of the design that any pipeline stage
+// could conceivably touch: module geometry, terminal positions/types,
+// net membership order, and system terminals. Two designs with equal
+// snapshots are structurally identical.
+func snapshot(d *netlist.Design) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "design %s\n", d.Name)
+	for _, m := range d.Modules {
+		fmt.Fprintf(&b, "module %s template=%s w=%d h=%d\n", m.Name, m.Template, m.W, m.H)
+		for _, t := range m.Terms {
+			net := "-"
+			if t.Net != nil {
+				net = t.Net.Name
+			}
+			fmt.Fprintf(&b, "  term %s type=%v pos=%v net=%s\n", t.Name, t.Type, t.Pos, net)
+		}
+	}
+	for _, st := range d.SysTerms {
+		net := "-"
+		if st.Net != nil {
+			net = st.Net.Name
+		}
+		fmt.Fprintf(&b, "systerm %s type=%v pos=%v net=%s\n", st.Name, st.Type, st.Pos, net)
+	}
+	for _, n := range d.Nets {
+		fmt.Fprintf(&b, "net %s:", n.Name)
+		for _, t := range n.Terms {
+			fmt.Fprintf(&b, " %s", t.Label())
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// TestCloneDeepCopy asserts the clone is structurally identical but
+// shares no pointers with the original.
+func TestCloneDeepCopy(t *testing.T) {
+	d := workload.Datapath16()
+	c := d.Clone()
+
+	if got, want := snapshot(c), snapshot(d); got != want {
+		t.Fatalf("clone snapshot differs from original:\n--- clone\n%s\n--- original\n%s", got, want)
+	}
+	if len(d.Modules) == 0 || len(d.Nets) == 0 {
+		t.Fatal("workload unexpectedly empty")
+	}
+	for i, m := range d.Modules {
+		cm := c.Modules[i]
+		if m == cm {
+			t.Fatalf("module %q shared between original and clone", m.Name)
+		}
+		for j, term := range m.Terms {
+			if term == cm.Terms[j] {
+				t.Fatalf("terminal %s shared between original and clone", term.Label())
+			}
+			if cm.Terms[j].Module != cm {
+				t.Fatalf("clone terminal %s points at foreign module", cm.Terms[j].Label())
+			}
+			if term.Net != nil && term.Net == cm.Terms[j].Net {
+				t.Fatalf("net %q shared through terminal %s", term.Net.Name, term.Label())
+			}
+		}
+	}
+	for i, n := range d.Nets {
+		if n == c.Nets[i] {
+			t.Fatalf("net %q shared between original and clone", n.Name)
+		}
+		if c.Net(n.Name) != c.Nets[i] {
+			t.Fatalf("clone lookup map misses net %q", n.Name)
+		}
+	}
+	for i, st := range d.SysTerms {
+		if st == c.SysTerms[i] {
+			t.Fatalf("system terminal %q shared", st.Name)
+		}
+	}
+	if err := c.Validate(1); err != nil {
+		t.Fatalf("clone fails validation: %v", err)
+	}
+}
+
+// TestCloneIsolatesGeneration guards the placement-mutates-design
+// hazard: running the full Generate pipeline on a clone must leave the
+// original design byte-identical.
+func TestCloneIsolatesGeneration(t *testing.T) {
+	d := workload.Datapath16()
+	before := snapshot(d)
+
+	clone := d.Clone()
+	if _, err := gen.Generate(clone, gen.DefaultOptions()); err != nil {
+		t.Fatalf("Generate(clone): %v", err)
+	}
+
+	if after := snapshot(d); after != before {
+		t.Errorf("Generate on a clone mutated the original design:\n--- before\n%s\n--- after\n%s", before, after)
+	}
+}
+
+// TestCloneIndependentMutation asserts edits to the clone do not leak
+// back.
+func TestCloneIndependentMutation(t *testing.T) {
+	d := workload.Fig61()
+	before := snapshot(d)
+	c := d.Clone()
+	c.Modules[0].W += 7
+	c.Modules[0].Terms[0].Pos.Y++
+	if after := snapshot(d); after != before {
+		t.Error("mutating clone changed the original")
+	}
+}

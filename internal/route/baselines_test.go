@@ -74,7 +74,7 @@ func TestLeeLengthObjective(t *testing.T) {
 	_ = pl.SetTerminal(a, 1)
 	_ = pl.SetTerminal(b, 1)
 	dirs := []geom.Dir{geom.Left, geom.Right, geom.Up, geom.Down}
-	segs, ok := leeSearch(pl, 1, a, dirs, func(q geom.Point) bool { return q == b }, LengthFirst)
+	segs, ok := leeSearch(pl, 1, a, dirs, func(q geom.Point) bool { return q == b }, LengthFirst, nil)
 	if !ok {
 		t.Fatal("no path")
 	}

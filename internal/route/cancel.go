@@ -1,0 +1,68 @@
+package route
+
+import "context"
+
+// cancelCheck amortizes context cancellation polling over the router's
+// hot loops. Checking ctx.Done() involves a channel select, which is
+// far too expensive per swept cell; the checker polls the channel only
+// once every cancelPollInterval ticks and latches the result, so the
+// per-cell cost in the common (non-cancelled) case is one increment and
+// one mask. A nil *cancelCheck is valid and never cancels, which keeps
+// the background-context path allocation-free.
+type cancelCheck struct {
+	done  <-chan struct{}
+	ticks uint32
+	fired bool
+}
+
+// cancelPollInterval is the number of tick() calls between real channel
+// polls. Expansion sweeps cost tens of nanoseconds per cell, so 1024
+// bounds the cancellation latency to well under a millisecond of work.
+const cancelPollInterval = 1024
+
+// newCancelCheck returns a checker for ctx, or nil when ctx can never
+// be cancelled (context.Background / nil), so the hot loops pay nothing.
+func newCancelCheck(ctx context.Context) *cancelCheck {
+	if ctx == nil {
+		return nil
+	}
+	done := ctx.Done()
+	if done == nil {
+		return nil
+	}
+	return &cancelCheck{done: done}
+}
+
+// tick is the amortized per-iteration check used inside wavefront and
+// cell-sweep loops.
+func (c *cancelCheck) tick() bool {
+	if c == nil {
+		return false
+	}
+	if c.fired {
+		return true
+	}
+	c.ticks++
+	if c.ticks&(cancelPollInterval-1) != 0 {
+		return false
+	}
+	return c.poll()
+}
+
+// poll checks the channel immediately: used at wave and per-net
+// boundaries where the check is infrequent anyway.
+func (c *cancelCheck) poll() bool {
+	if c == nil {
+		return false
+	}
+	if c.fired {
+		return true
+	}
+	select {
+	case <-c.done:
+		c.fired = true
+		return true
+	default:
+		return false
+	}
+}

@@ -46,11 +46,13 @@ type joint struct {
 // terminal points. On success the combined path runs from the A start
 // to the B start.
 func dualSearch(pl *Plane, net int32, fromA geom.Point, dirsA []geom.Dir,
-	fromB geom.Point, dirsB []geom.Dir, swap bool, stats *SearchStats) ([]Segment, bool) {
+	fromB geom.Point, dirsB []geom.Dir, swap bool, stats *SearchStats,
+	cancel *cancelCheck) ([]Segment, bool) {
 
 	mk := func(from geom.Point, dirs []geom.Dir) *frontState {
 		ls := newLineSearch(pl, net, func(geom.Point) bool { return false }, swap)
 		ls.stats = stats
+		ls.cancel = cancel
 		f := &frontState{search: ls, owner: map[int]cellOwner{}}
 		f.wave = terminalActives(from, dirs)
 		for _, a := range f.wave {
@@ -69,6 +71,9 @@ func dualSearch(pl *Plane, net int32, fromA geom.Point, dirsA []geom.Dir,
 
 	var sols []joint
 	for len(fa.wave) > 0 || len(fb.wave) > 0 {
+		if cancel.poll() {
+			return nil, false // abandoned search: caller checks ctx.Err()
+		}
 		if len(fa.wave) > 0 {
 			expandFrontWave(pl, fa, fb, &sols, true, stats)
 			if len(sols) > 0 {

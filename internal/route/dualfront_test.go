@@ -27,7 +27,7 @@ func TestDualFrontMatchesSingleFront(t *testing.T) {
 		single := newLineSearch(pl, 1, func(q geom.Point) bool { return q == b }, false)
 		sSegs, sOK := single.run(terminalActives(a, allDirs))
 
-		dSegs, dOK := dualSearch(pl, 1, a, allDirs, b, allDirs, false, &stats)
+		dSegs, dOK := dualSearch(pl, 1, a, allDirs, b, allDirs, false, &stats, nil)
 
 		if sOK != dOK {
 			t.Fatalf("iter %d: single ok=%v dual ok=%v (a=%v b=%v)", iter, sOK, dOK, a, b)
@@ -104,7 +104,7 @@ func TestDualFrontSearchesLess(t *testing.T) {
 
 	pl2, a2, b2 := mkPlane()
 	var dStats SearchStats
-	if _, ok := dualSearch(pl2, 1, a2, allDirs, b2, allDirs, false, &dStats); !ok {
+	if _, ok := dualSearch(pl2, 1, a2, allDirs, b2, allDirs, false, &dStats, nil); !ok {
 		t.Fatal("dual failed")
 	}
 	if dStats.Cells >= sStats.Cells {

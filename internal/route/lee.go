@@ -104,7 +104,7 @@ func (q *leeQueue) Pop() any {
 // (cost), may never overlap parallel ones, stop at modules, bends,
 // claims and the plane border, and cannot turn on a crossing cell.
 func leeSearch(pl *Plane, net int32, from geom.Point, dirs []geom.Dir,
-	target func(geom.Point) bool, obj Objective) ([]Segment, bool) {
+	target func(geom.Point) bool, obj Objective, cancel *cancelCheck) ([]Segment, bool) {
 
 	type visitKey struct {
 		idx int
@@ -173,6 +173,9 @@ func leeSearch(pl *Plane, net int32, from geom.Point, dirs []geom.Dir,
 	}
 
 	for q.Len() > 0 {
+		if cancel.tick() {
+			return nil, false // abandoned wavefront: caller checks ctx.Err()
+		}
 		it := heap.Pop(q).(*leeItem)
 		st, cost := it.st, it.cost
 		key := visitKey{pl.idx(st.p), st.d}

@@ -74,6 +74,7 @@ type lineSearch struct {
 	sols    []solution
 	swap    bool         // -s: compare length before crossings
 	stats   *SearchStats // optional counters; nil disables
+	cancel  *cancelCheck // optional cancellation; nil never cancels
 }
 
 // SearchStats counts the work the expansion engine performs — the
@@ -158,6 +159,9 @@ func (s *lineSearch) run(starts []*active) ([]Segment, bool) {
 	wave := starts
 	bends := 0
 	for len(wave) > 0 {
+		if s.cancel.poll() {
+			return nil, false // abandoned search: caller checks ctx.Err()
+		}
 		s.stats.addWave()
 		var next []*active
 		for _, a := range wave {
@@ -217,6 +221,9 @@ func (s *lineSearch) expand(a *active) []*active {
 		c := a.cross[k]
 		j := a.index
 		for {
+			if s.cancel.tick() {
+				return nil // abandoned sweep; run's wave poll ends the search
+			}
 			nj := j + step
 			p := a.pt(i, nj)
 			if s.target(p) {

@@ -75,7 +75,7 @@ func TestLineExpansionMatchesLee(t *testing.T) {
 		ls := newLineSearch(pl, 1, target, false)
 		leSegs, leOK := ls.run(terminalActives(a, allDirs))
 
-		leeSegs, leeOK := leeSearch(pl, 1, a, allDirs, target, BendsFirst)
+		leeSegs, leeOK := leeSearch(pl, 1, a, allDirs, target, BendsFirst, nil)
 
 		if leOK != leeOK {
 			t.Fatalf("iter %d: lineexp ok=%v, lee ok=%v (a=%v b=%v)", iter, leOK, leeOK, a, b)

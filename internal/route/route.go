@@ -1,6 +1,7 @@
 package route
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -141,11 +142,27 @@ type router struct {
 	opts   Options
 	netID  map[*netlist.Net]int32
 	result *Result
+	cancel *cancelCheck
 }
 
 // Route runs the routing phase over a placement.
 func Route(pr *place.Result, opts Options) (*Result, error) {
-	rt := &router{pl: pr, opts: opts, netID: map[*netlist.Net]int32{}}
+	return RouteCtx(context.Background(), pr, opts)
+}
+
+// RouteCtx runs the routing phase over a placement with cancellation:
+// the deadline or cancel signal of ctx is polled inside the wavefront
+// loops of every search engine (the hottest paths), between nets, and
+// between the retry/rip-up passes, so a cancelled route returns within
+// a bounded amount of residual work. On cancellation the partial result
+// is discarded and ctx.Err() is returned.
+func RouteCtx(ctx context.Context, pr *place.Result, opts Options) (*Result, error) {
+	rt := &router{
+		pl:     pr,
+		opts:   opts,
+		netID:  map[*netlist.Net]int32{},
+		cancel: newCancelCheck(ctx),
+	}
 	if err := rt.buildPlane(); err != nil {
 		return nil, err
 	}
@@ -162,12 +179,15 @@ func Route(pr *place.Result, opts Options) (*Result, error) {
 		rt.placeClaims()
 	}
 	rt.routeAll()
-	if !opts.NoRetry {
+	if !opts.NoRetry && !rt.cancel.poll() {
 		rt.retryFailed()
 	}
-	if opts.RipUp {
+	if opts.RipUp && !rt.cancel.poll() {
 		rt.plane.ReleaseAllClaims()
 		rt.ripUpPass(4)
+	}
+	if rt.cancel.poll() {
+		return nil, ctx.Err()
 	}
 	return rt.result, nil
 }
@@ -284,12 +304,19 @@ func (rt *router) routeAll() {
 	}
 	byNet := map[*netlist.Net]*RoutedNet{}
 	for _, n := range order {
+		if rt.cancel.poll() {
+			break // abandoned run; RouteCtx discards the result
+		}
 		byNet[n] = rt.routeNet(n)
 	}
 	// Report in design order regardless of routing order.
 	for _, n := range rt.pl.Design.Nets {
-		rt.result.Nets = append(rt.result.Nets, byNet[n])
-		rt.result.byNet[n] = byNet[n]
+		rn := byNet[n]
+		if rn == nil {
+			rn = &RoutedNet{Net: n, Failed: append([]*netlist.Terminal(nil), n.Terms...)}
+		}
+		rt.result.Nets = append(rt.result.Nets, rn)
+		rt.result.byNet[n] = rn
 	}
 }
 
@@ -430,7 +457,7 @@ func (rt *router) initiate(terms []*netlist.Terminal, id int32) ([2]*netlist.Ter
 			segs, ok = dualSearch(rt.plane, id,
 				rt.termPoint(p.a), rt.escapeDirs(p.a),
 				target, rt.escapeDirs(p.b),
-				rt.opts.SwapObjective, &rt.result.Stats)
+				rt.opts.SwapObjective, &rt.result.Stats, rt.cancel)
 		} else {
 			segs, ok = rt.search(p.a, id, func(q geom.Point) bool { return q == target },
 				[]geom.Point{target})
@@ -487,9 +514,9 @@ func (rt *router) search(t *netlist.Terminal, id int32, target func(geom.Point) 
 		if rt.opts.SwapObjective {
 			obj = LengthCrossBends
 		}
-		return leeSearch(rt.plane, id, from, dirs, target, obj)
+		return leeSearch(rt.plane, id, from, dirs, target, obj, rt.cancel)
 	case AlgoLeeLength:
-		return leeSearch(rt.plane, id, from, dirs, target, LengthFirst)
+		return leeSearch(rt.plane, id, from, dirs, target, LengthFirst, rt.cancel)
 	case AlgoHightower:
 		// Hightower is point to point: aim at the nearest hint.
 		best := geom.Point{}
@@ -506,6 +533,7 @@ func (rt *router) search(t *netlist.Terminal, id int32, target func(geom.Point) 
 	default:
 		ls := newLineSearch(rt.plane, id, target, rt.opts.SwapObjective)
 		ls.stats = &rt.result.Stats
+		ls.cancel = rt.cancel
 		rt.result.Stats.Searches++
 		return ls.run(terminalActives(from, dirs))
 	}
@@ -558,6 +586,9 @@ func removeTerms(terms []*netlist.Terminal, drop ...*netlist.Terminal) []*netlis
 func (rt *router) retryFailed() {
 	rt.plane.ReleaseAllClaims()
 	for _, rn := range rt.result.Nets {
+		if rt.cancel.poll() {
+			return
+		}
 		if rn.OK() {
 			continue
 		}

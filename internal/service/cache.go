@@ -1,0 +1,130 @@
+package service
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+	"sync/atomic"
+)
+
+// cacheKey is the content address of one generation request: the
+// SHA-256 of the canonical netlist serialization plus the canonical
+// option string plus the output format (see DESIGN.md "Service result
+// cache"). Canonicalizing through the parsed design means two
+// syntactically different but semantically identical inline netlists
+// (reordered records, comments, whitespace) hash to the same key.
+type cacheKey [sha256.Size]byte
+
+// makeCacheKey hashes the canonical request identity. Fields are
+// length-prefixed by separator bytes so concatenations cannot collide.
+func makeCacheKey(canonicalDesign, canonicalOptions, format string) cacheKey {
+	h := sha256.New()
+	h.Write([]byte("netartd/v1\x00"))
+	h.Write([]byte(canonicalDesign))
+	h.Write([]byte{0})
+	h.Write([]byte(canonicalOptions))
+	h.Write([]byte{0})
+	h.Write([]byte(format))
+	var k cacheKey
+	h.Sum(k[:0])
+	return k
+}
+
+func (k cacheKey) String() string { return hex.EncodeToString(k[:]) }
+
+// resultCache is a mutex-guarded LRU over finished responses keyed by
+// content address. Entries store the Response by value; readers get a
+// copy, so a cached response is immutable shared state.
+type resultCache struct {
+	mu      sync.Mutex
+	maxEnts int
+	ll      *list.List // front = most recently used
+	items   map[cacheKey]*list.Element
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+}
+
+type cacheEntry struct {
+	key  cacheKey
+	resp Response
+}
+
+// newResultCache returns a cache holding up to maxEntries responses;
+// maxEntries <= 0 disables caching (every lookup misses).
+func newResultCache(maxEntries int) *resultCache {
+	return &resultCache{
+		maxEnts: maxEntries,
+		ll:      list.New(),
+		items:   make(map[cacheKey]*list.Element),
+	}
+}
+
+// get returns a copy of the cached response and promotes the entry.
+func (c *resultCache) get(k cacheKey) (Response, bool) {
+	if c.maxEnts <= 0 {
+		c.misses.Add(1)
+		return Response{}, false
+	}
+	c.mu.Lock()
+	el, ok := c.items[k]
+	if !ok {
+		c.mu.Unlock()
+		c.misses.Add(1)
+		return Response{}, false
+	}
+	c.ll.MoveToFront(el)
+	resp := el.Value.(*cacheEntry).resp
+	c.mu.Unlock()
+	c.hits.Add(1)
+	return resp, true
+}
+
+// put stores a response, evicting from the LRU tail when full.
+func (c *resultCache) put(k cacheKey, resp Response) {
+	if c.maxEnts <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		el.Value.(*cacheEntry).resp = resp
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[k] = c.ll.PushFront(&cacheEntry{key: k, resp: resp})
+	for c.ll.Len() > c.maxEnts {
+		tail := c.ll.Back()
+		c.ll.Remove(tail)
+		delete(c.items, tail.Value.(*cacheEntry).key)
+		c.evictions.Add(1)
+	}
+}
+
+// len reports the current entry count.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// CacheStats is the /v1/stats slice owned by the result cache.
+type CacheStats struct {
+	Entries   int    `json:"entries"`
+	Capacity  int    `json:"capacity"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+}
+
+func (c *resultCache) stats() CacheStats {
+	return CacheStats{
+		Entries:   c.len(),
+		Capacity:  c.maxEnts,
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+	}
+}

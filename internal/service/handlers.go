@@ -1,0 +1,148 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// maxBodyBytes bounds request bodies; inline netlists larger than this
+// are rejected with 413 before parsing.
+const maxBodyBytes = 8 << 20
+
+// maxBatchItems bounds one batch call; bigger batches should be split
+// client-side so the queue-based load shedding stays meaningful.
+const maxBatchItems = 64
+
+// Handler returns the daemon's HTTP surface:
+//
+//	POST /v1/generate  one generation request
+//	POST /v1/batch     up to 64 requests fanned out over the pool
+//	GET  /v1/healthz   liveness + pool shape
+//	GET  /v1/stats     counters, cache stats, latency histograms
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/generate", s.handleGenerate)
+	mux.HandleFunc("/v1/batch", s.handleBatch)
+	mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	var se *svcError
+	if errors.As(err, &se) {
+		writeJSON(w, se.status, ErrorResponse{Error: se.msg})
+		return
+	}
+	writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return &svcError{status: http.StatusRequestEntityTooLarge,
+				msg: fmt.Sprintf("body exceeds %d bytes", maxBodyBytes)}
+		}
+		return badRequest("invalid JSON body: %v", err)
+	}
+	return nil
+}
+
+func requirePost(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "use POST"})
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	var req Request
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	resp, err := s.Generate(r.Context(), &req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleBatch fans the items out over the worker pool concurrently and
+// reports per-item outcomes in request order. Items shed by the full
+// queue fail individually with 429 — one oversized batch cannot wedge
+// the daemon.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	var batch BatchRequest
+	if err := decodeBody(w, r, &batch); err != nil {
+		writeError(w, err)
+		return
+	}
+	if len(batch.Requests) == 0 {
+		writeError(w, badRequest("batch carries no requests"))
+		return
+	}
+	if len(batch.Requests) > maxBatchItems {
+		writeError(w, badRequest("batch carries %d requests (max %d)", len(batch.Requests), maxBatchItems))
+		return
+	}
+	results := make([]BatchItem, len(batch.Requests))
+	var wg sync.WaitGroup
+	for i := range batch.Requests {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := s.Generate(r.Context(), &batch.Requests[i])
+			if err != nil {
+				status := http.StatusInternalServerError
+				var se *svcError
+				if errors.As(err, &se) {
+					status = se.status
+				}
+				results[i] = BatchItem{Error: err.Error(), Status: status}
+				return
+			}
+			results[i] = BatchItem{Response: resp, Status: http.StatusOK}
+		}(i)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, BatchResponse{Results: results})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:  "ok",
+		Workers: s.cfg.Workers,
+		Queue:   s.cfg.QueueDepth,
+		UptimeS: time.Since(s.stats.start).Seconds(),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}

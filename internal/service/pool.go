@@ -1,0 +1,107 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrQueueFull is returned by submit when the bounded queue cannot
+// accept another task; the HTTP layer maps it to 429 Too Many Requests
+// (load shedding instead of unbounded buffering).
+var ErrQueueFull = errors.New("service: worker queue full")
+
+// errPoolClosed is returned for submissions after Close.
+var errPoolClosed = errors.New("service: pool closed")
+
+// task is one queued unit of work. run executes on a worker goroutine;
+// the submitter waits on done (the worker always closes it), so result
+// hand-off needs no extra synchronization beyond the closure.
+type task struct {
+	ctx  context.Context
+	run  func(ctx context.Context)
+	done chan struct{}
+}
+
+// workerPool is a fixed set of workers draining a bounded queue.
+// Capping the workers keeps heavy generation requests from starving
+// the scheduler; capping the queue converts overload into fast 429s.
+type workerPool struct {
+	queue chan *task
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+
+	workers int
+	depth   int
+}
+
+// newWorkerPool starts `workers` goroutines behind a queue of `depth`
+// waiting slots (in addition to the tasks being executed).
+func newWorkerPool(workers, depth int) *workerPool {
+	if workers < 1 {
+		workers = 1
+	}
+	if depth < 0 {
+		depth = 0
+	}
+	p := &workerPool{
+		queue:   make(chan *task, depth),
+		workers: workers,
+		depth:   depth,
+	}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *workerPool) worker() {
+	defer p.wg.Done()
+	for t := range p.queue {
+		// A task whose deadline expired while queued is not worth
+		// starting; its waiter still gets woken via done.
+		if t.ctx.Err() == nil {
+			t.run(t.ctx)
+		}
+		close(t.done)
+	}
+}
+
+// submit enqueues fn without blocking. It returns ErrQueueFull when all
+// waiting slots are taken. On success the returned channel closes when
+// the task has finished (or was skipped because its context expired).
+func (p *workerPool) submit(ctx context.Context, fn func(ctx context.Context)) (<-chan struct{}, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, errPoolClosed
+	}
+	t := &task{ctx: ctx, run: fn, done: make(chan struct{})}
+	select {
+	case p.queue <- t:
+		p.mu.Unlock()
+		return t.done, nil
+	default:
+		p.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+}
+
+// queued reports how many tasks are waiting (not yet picked up).
+func (p *workerPool) queued() int { return len(p.queue) }
+
+// close stops accepting work and waits for in-flight tasks to drain.
+func (p *workerPool) close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	close(p.queue)
+	p.mu.Unlock()
+	p.wg.Wait()
+}

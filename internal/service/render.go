@@ -1,0 +1,141 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"netart/internal/schematic"
+)
+
+// The output formats of POST /v1/generate.
+const (
+	FormatSVG     = "svg"
+	FormatESCHER  = "escher"
+	FormatASCII   = "ascii"
+	FormatJSON    = "json"
+	FormatSummary = "summary"
+)
+
+func resolveFormat(f string) (string, error) {
+	switch f {
+	case "":
+		return FormatSummary, nil
+	case FormatSVG, FormatESCHER, FormatASCII, FormatJSON, FormatSummary:
+		return f, nil
+	default:
+		return "", badRequest("unknown format %q (svg, escher, ascii, json, summary)", f)
+	}
+}
+
+// jsonModule is one placed symbol in the json rendering.
+type jsonModule struct {
+	Name     string `json:"name"`
+	Template string `json:"template,omitempty"`
+	X        int    `json:"x"`
+	Y        int    `json:"y"`
+	W        int    `json:"w"`
+	H        int    `json:"h"`
+	Orient   string `json:"orient"`
+}
+
+// jsonNet is one routed net: segments as [x1,y1,x2,y2] quadruples.
+type jsonNet struct {
+	Name     string   `json:"name"`
+	Segments [][4]int `json:"segments"`
+	Failed   []string `json:"failed,omitempty"`
+}
+
+type jsonTerm struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+	X    int    `json:"x"`
+	Y    int    `json:"y"`
+}
+
+type jsonDiagram struct {
+	Name     string            `json:"name"`
+	Bounds   [4]int            `json:"bounds"` // minX, minY, maxX, maxY
+	Modules  []jsonModule      `json:"modules"`
+	SysTerms []jsonTerm        `json:"sys_terms,omitempty"`
+	Nets     []jsonNet         `json:"nets"`
+	Metrics  schematic.Metrics `json:"metrics"`
+}
+
+// renderDiagram serializes a finished diagram in the requested format.
+func renderDiagram(dg *schematic.Diagram, format string) (string, error) {
+	switch format {
+	case FormatSummary:
+		return dg.Summary(), nil
+	case FormatASCII:
+		return dg.ASCII(), nil
+	case FormatSVG:
+		var b strings.Builder
+		if err := dg.WriteSVG(&b); err != nil {
+			return "", fmt.Errorf("render svg: %w", err)
+		}
+		return b.String(), nil
+	case FormatESCHER:
+		var b strings.Builder
+		if err := schematic.WriteESCHER(&b, dg, "userlib"); err != nil {
+			return "", fmt.Errorf("render escher: %w", err)
+		}
+		return b.String(), nil
+	case FormatJSON:
+		return renderJSON(dg)
+	default:
+		return "", badRequest("unknown format %q", format)
+	}
+}
+
+func renderJSON(dg *schematic.Diagram) (string, error) {
+	pr := dg.Placement
+	out := jsonDiagram{
+		Name: dg.Design.Name,
+		Bounds: [4]int{pr.Bounds.Min.X, pr.Bounds.Min.Y,
+			pr.Bounds.Max.X, pr.Bounds.Max.Y},
+		Metrics: dg.Metrics(),
+	}
+	for _, m := range dg.Design.Modules {
+		pm, ok := pr.Mods[m]
+		if !ok {
+			continue
+		}
+		w, h := pm.Size()
+		out.Modules = append(out.Modules, jsonModule{
+			Name:     m.Name,
+			Template: m.Template,
+			X:        pm.Pos.X,
+			Y:        pm.Pos.Y,
+			W:        w,
+			H:        h,
+			Orient:   pm.Orient.String(),
+		})
+	}
+	for _, st := range dg.Design.SysTerms {
+		p, ok := pr.SysPos[st]
+		if !ok {
+			continue
+		}
+		out.SysTerms = append(out.SysTerms, jsonTerm{
+			Name: st.Name, Type: st.Type.String(), X: p.X, Y: p.Y,
+		})
+	}
+	if dg.Routing != nil {
+		for _, rn := range dg.Routing.Nets {
+			jn := jsonNet{Name: rn.Net.Name, Segments: make([][4]int, 0, len(rn.Segments))}
+			for _, s := range rn.Segments {
+				jn.Segments = append(jn.Segments, [4]int{s.A.X, s.A.Y, s.B.X, s.B.Y})
+			}
+			for _, t := range rn.Failed {
+				jn.Failed = append(jn.Failed, t.Label())
+			}
+			out.Nets = append(out.Nets, jn)
+		}
+	}
+	b, err := json.Marshal(out)
+	if err != nil {
+		return "", fmt.Errorf("render json: %w", err)
+	}
+	return string(b), nil
+}

@@ -1,0 +1,323 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"time"
+
+	"netart/internal/gen"
+	"netart/internal/library"
+	"netart/internal/netlist"
+	"netart/internal/workload"
+)
+
+// Config sizes the daemon.
+type Config struct {
+	// Workers is the number of concurrent generation goroutines
+	// (default GOMAXPROCS). Generation is CPU-bound, so more workers
+	// than cores only adds scheduling pressure.
+	Workers int
+	// QueueDepth is the number of requests that may wait behind the
+	// busy workers before the server sheds load with 429 (default
+	// 4×Workers).
+	QueueDepth int
+	// CacheEntries caps the content-addressed result cache; 0 disables
+	// caching, negative uses the default (256).
+	CacheEntries int
+	// DefaultTimeout bounds requests that carry no timeout_ms (default
+	// 30s); MaxTimeout clips requests that ask for more (default 2min).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.CacheEntries < 0 {
+		c.CacheEntries = 256
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	return c
+}
+
+// Server is the schematic-generation daemon: a worker pool, a result
+// cache, the stats registry, and the pre-parsed built-in workloads.
+type Server struct {
+	cfg   Config
+	pool  *workerPool
+	cache *resultCache
+	stats *serverStats
+	lib   *library.Library
+
+	// builtins maps workload names to designs parsed once at startup.
+	// Placement mutates designs through their pointers, so requests
+	// never touch these directly: process() hands a Clone to the
+	// pipeline (see netlist.(*Design).Clone).
+	builtins map[string]*netlist.Design
+
+	// testHook, when non-nil, runs inside every pooled task before the
+	// pipeline; tests use it to hold workers busy deterministically.
+	testHook func()
+}
+
+// New builds a Server (no listener; pair Handler() with http.Serve or
+// call Generate directly).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		pool:  newWorkerPool(cfg.Workers, cfg.QueueDepth),
+		cache: newResultCache(cfg.CacheEntries),
+		stats: newServerStats(),
+		lib:   library.Builtin(),
+		builtins: map[string]*netlist.Design{
+			"fig61":    workload.Fig61(),
+			"datapath": workload.Datapath16(),
+			"cpu":      workload.CPU(),
+			"life":     workload.Life27(),
+		},
+	}
+	return s
+}
+
+// Close drains the worker pool. In-flight requests finish; queued
+// requests whose contexts expire are skipped.
+func (s *Server) Close() { s.pool.close() }
+
+// Stats returns the current counters (also served at /v1/stats).
+func (s *Server) Stats() StatsResponse {
+	sr := s.stats.snapshot()
+	sr.Cache = s.cache.stats()
+	sr.Queued = s.pool.queued()
+	sr.Workers = s.cfg.Workers
+	return sr
+}
+
+// svcError pairs an error message with the HTTP status it maps to.
+type svcError struct {
+	status int
+	msg    string
+}
+
+func (e *svcError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) *svcError {
+	return &svcError{status: 400, msg: fmt.Sprintf(format, args...)}
+}
+
+// Generate runs one request through the bounded worker pool and waits
+// for its completion. It is the programmatic entry the HTTP handlers
+// and the benchmarks share. Returned errors are *svcError with an
+// embedded HTTP status.
+func (s *Server) Generate(ctx context.Context, req *Request) (*Response, error) {
+	s.stats.requests.Add(1)
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMs > 0 {
+		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+
+	var (
+		resp *Response
+		err  error
+		ran  bool
+	)
+	done, serr := s.pool.submit(ctx, func(ctx context.Context) {
+		ran = true
+		if s.testHook != nil {
+			s.testHook()
+		}
+		resp, err = s.process(ctx, req)
+	})
+	if serr != nil {
+		s.stats.shed.Add(1)
+		return nil, &svcError{status: 429, msg: serr.Error()}
+	}
+	<-done
+	if !ran {
+		// Deadline expired while the task sat in the queue.
+		s.stats.timeouts.Add(1)
+		return nil, &svcError{status: 504, msg: ctx.Err().Error()}
+	}
+	if err != nil {
+		if ctx.Err() != nil {
+			s.stats.timeouts.Add(1)
+			return nil, &svcError{status: 504, msg: err.Error()}
+		}
+		s.stats.failed.Add(1)
+		if se, ok := err.(*svcError); ok {
+			return nil, se
+		}
+		return nil, &svcError{status: 500, msg: err.Error()}
+	}
+	s.stats.ok.Add(1)
+	return resp, nil
+}
+
+// process executes the pipeline on a worker goroutine: resolve/parse,
+// cache lookup, place+route, render, cache fill. Every stage feeds its
+// latency histogram.
+func (s *Server) process(ctx context.Context, req *Request) (*Response, error) {
+	t0 := time.Now()
+	s.stats.inflight.Add(1)
+	defer s.stats.inflight.Add(-1)
+
+	format, err := resolveFormat(req.Format)
+	if err != nil {
+		return nil, err
+	}
+	opts, err := req.Options.resolve()
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+
+	// Parse stage: obtain a request-private design plus its canonical
+	// serialization (the cache-key half derived from the network).
+	tp := time.Now()
+	design, canonical, err := s.resolveDesign(req)
+	parseDur := time.Since(tp)
+	s.stats.parse.observe(parseDur)
+	if err != nil {
+		return nil, err
+	}
+
+	key := makeCacheKey(canonical, req.Options.canonical(), format)
+	if hit, ok := s.cache.get(key); ok {
+		hit.Cached = true
+		hit.ElapsedMs = msSince(t0)
+		s.stats.total.observe(time.Since(t0))
+		return &hit, nil
+	}
+
+	dg, stages, err := gen.GenerateTimedCtx(ctx, design, opts)
+	if stages.Place > 0 {
+		s.stats.place.observe(stages.Place)
+	}
+	if err != nil {
+		// Route did not finish: only placement latency is meaningful.
+		return nil, err
+	}
+	s.stats.route.observe(stages.Route)
+
+	tr := time.Now()
+	rendered, err := renderDiagram(dg, format)
+	renderDur := time.Since(tr)
+	s.stats.render.observe(renderDur)
+	if err != nil {
+		return nil, err
+	}
+
+	m := dg.Metrics()
+	resp := Response{
+		Name:     design.Name,
+		Format:   format,
+		Diagram:  rendered,
+		Metrics:  m,
+		Unrouted: m.Unrouted,
+		CacheKey: key.String(),
+		Stages: StageTimings{
+			ParseMs:  durMs(parseDur),
+			PlaceMs:  durMs(stages.Place),
+			RouteMs:  durMs(stages.Route),
+			RenderMs: durMs(renderDur),
+		},
+	}
+	resp.ElapsedMs = msSince(t0)
+	s.cache.put(key, resp)
+	s.stats.total.observe(time.Since(t0))
+	return &resp, nil
+}
+
+func durMs(d time.Duration) float64 {
+	return float64(d.Microseconds()) / 1000.0
+}
+
+func msSince(t time.Time) float64 {
+	return durMs(time.Since(t))
+}
+
+// resolveDesign turns a request into a private *netlist.Design plus
+// its canonical serialization. Built-in workloads are cloned from the
+// startup parse; inline Appendix A text is parsed against the builtin
+// library.
+func (s *Server) resolveDesign(req *Request) (*netlist.Design, string, error) {
+	hasInline := req.Netlist != "" || req.Calls != "" || req.IO != ""
+	switch {
+	case req.Workload != "" && hasInline:
+		return nil, "", badRequest("request carries both a workload name and inline netlist text")
+	case req.Workload != "":
+		if req.Workload == "chain" {
+			n := req.ChainLength
+			if n <= 0 {
+				n = 16
+			}
+			if n > 1024 {
+				return nil, "", badRequest("chain_length %d too large (max 1024)", n)
+			}
+			d := workload.Chain(n)
+			return d, canonicalDesign(d), nil
+		}
+		base, ok := s.builtins[req.Workload]
+		if !ok {
+			return nil, "", badRequest("unknown workload %q (fig61, datapath, cpu, life, chain)", req.Workload)
+		}
+		// The base is shared across requests and placement mutates
+		// through design pointers: clone before generating.
+		return base.Clone(), canonicalDesign(base), nil
+	case req.Netlist == "" || req.Calls == "":
+		return nil, "", badRequest("request needs either workload or both netlist and calls")
+	default:
+		name := req.Name
+		if name == "" {
+			name = "design"
+		}
+		var ioR io.Reader
+		if req.IO != "" {
+			ioR = strings.NewReader(req.IO)
+		}
+		d, err := netlist.Load(name, strings.NewReader(req.Calls), strings.NewReader(req.Netlist), ioR, s.lib)
+		if err != nil {
+			return nil, "", badRequest("%v", err)
+		}
+		if err := d.Validate(1); err != nil {
+			return nil, "", badRequest("%v", err)
+		}
+		return d, canonicalDesign(d), nil
+	}
+}
+
+// canonicalDesign serializes a design into the cache-key form: module
+// geometry in insertion order, then the io and net-list records in the
+// writers' deterministic order. Two inline netlists differing only in
+// record order, comments or whitespace canonicalize identically; see
+// DESIGN.md "Service result cache".
+func canonicalDesign(d *netlist.Design) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "design %s\n", d.Name)
+	for _, m := range d.Modules {
+		fmt.Fprintf(&b, "mod %s tpl=%s %dx%d\n", m.Name, m.Template, m.W, m.H)
+		for _, t := range m.Terms {
+			fmt.Fprintf(&b, " t %s %d %d,%d\n", t.Name, int(t.Type), t.Pos.X, t.Pos.Y)
+		}
+	}
+	_ = netlist.WriteIOFile(&b, d)
+	_ = netlist.WriteNetListFile(&b, d)
+	return b.String()
+}

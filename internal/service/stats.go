@@ -1,0 +1,156 @@
+package service
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the bucket count of the latency histograms: bucket i
+// holds observations with ceil(log2(µs)) == i, so the range spans 1µs
+// to ~2.2s with the last bucket catching everything slower.
+const histBuckets = 22
+
+// latencyHistogram is a lock-free log2 histogram over microseconds.
+// All fields are atomics: observation is one Add per field, snapshots
+// are torn-read tolerant (counters only ever grow, and /v1/stats is
+// diagnostic, not transactional).
+type latencyHistogram struct {
+	count   atomic.Uint64
+	sumUs   atomic.Uint64
+	maxUs   atomic.Uint64
+	buckets [histBuckets]atomic.Uint64
+}
+
+func bucketFor(us uint64) int {
+	b := 0
+	for v := us; v > 1 && b < histBuckets-1; v >>= 1 {
+		b++
+	}
+	return b
+}
+
+func (h *latencyHistogram) observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	us := uint64(d.Microseconds())
+	h.count.Add(1)
+	h.sumUs.Add(us)
+	h.buckets[bucketFor(us)].Add(1)
+	for {
+		old := h.maxUs.Load()
+		if us <= old || h.maxUs.CompareAndSwap(old, us) {
+			return
+		}
+	}
+}
+
+// HistogramSnapshot is the JSON view of one stage's latency histogram.
+type HistogramSnapshot struct {
+	Count   uint64  `json:"count"`
+	TotalMs float64 `json:"total_ms"`
+	MeanMs  float64 `json:"mean_ms"`
+	P50Ms   float64 `json:"p50_ms"`
+	P99Ms   float64 `json:"p99_ms"`
+	MaxMs   float64 `json:"max_ms"`
+	// Buckets[i] counts observations in (2^(i-1), 2^i] microseconds.
+	Buckets []uint64 `json:"buckets"`
+}
+
+// quantile returns the upper bound (in ms) of the bucket holding the
+// q-th observation — a log2-resolution estimate, good enough for a
+// stats endpoint.
+func quantileMs(buckets []uint64, total uint64, q float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for i, c := range buckets {
+		seen += c
+		if seen >= rank {
+			return float64(uint64(1)<<uint(i)) / 1000.0
+		}
+	}
+	return float64(uint64(1)<<uint(len(buckets)-1)) / 1000.0
+}
+
+func (h *latencyHistogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count:   h.count.Load(),
+		TotalMs: float64(h.sumUs.Load()) / 1000.0,
+		MaxMs:   float64(h.maxUs.Load()) / 1000.0,
+		Buckets: make([]uint64, histBuckets),
+	}
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	if s.Count > 0 {
+		s.MeanMs = s.TotalMs / float64(s.Count)
+		s.P50Ms = quantileMs(s.Buckets, s.Count, 0.50)
+		s.P99Ms = quantileMs(s.Buckets, s.Count, 0.99)
+	}
+	return s
+}
+
+// serverStats aggregates the daemon-wide counters: request outcomes,
+// in-flight gauge, and one latency histogram per pipeline stage.
+type serverStats struct {
+	start time.Time
+
+	requests atomic.Uint64 // accepted generation requests (incl. batch items)
+	ok       atomic.Uint64
+	failed   atomic.Uint64 // generation/parse errors
+	shed     atomic.Uint64 // 429s from the full queue
+	timeouts atomic.Uint64 // deadline/cancellation aborts
+	inflight atomic.Int64
+
+	parse  latencyHistogram
+	place  latencyHistogram
+	route  latencyHistogram
+	render latencyHistogram
+	total  latencyHistogram
+}
+
+func newServerStats() *serverStats {
+	return &serverStats{start: time.Now()}
+}
+
+// StatsResponse is the body of GET /v1/stats.
+type StatsResponse struct {
+	UptimeS  float64    `json:"uptime_s"`
+	Requests uint64     `json:"requests"`
+	OK       uint64     `json:"ok"`
+	Failed   uint64     `json:"failed"`
+	Shed     uint64     `json:"shed"`
+	Timeouts uint64     `json:"timeouts"`
+	Inflight int64      `json:"inflight"`
+	Queued   int        `json:"queued"`
+	Workers  int        `json:"workers"`
+	Cache    CacheStats `json:"cache"`
+
+	Stages map[string]HistogramSnapshot `json:"stages"`
+}
+
+func (st *serverStats) snapshot() StatsResponse {
+	return StatsResponse{
+		UptimeS:  time.Since(st.start).Seconds(),
+		Requests: st.requests.Load(),
+		OK:       st.ok.Load(),
+		Failed:   st.failed.Load(),
+		Shed:     st.shed.Load(),
+		Timeouts: st.timeouts.Load(),
+		Inflight: st.inflight.Load(),
+		Stages: map[string]HistogramSnapshot{
+			"parse":  st.parse.snapshot(),
+			"place":  st.place.snapshot(),
+			"route":  st.route.snapshot(),
+			"render": st.render.snapshot(),
+			"total":  st.total.snapshot(),
+		},
+	}
+}

@@ -1,0 +1,206 @@
+// Package service wraps the netlist→schematic pipeline of gen in a
+// long-running, concurrency-safe HTTP/JSON daemon: a bounded worker
+// pool executes generation requests under per-request deadlines, a
+// content-addressed LRU cache serves repeated requests without
+// recomputation, and atomic counters plus per-stage latency histograms
+// make the whole thing observable at /v1/stats. cmd/netartd is the
+// binary front end.
+package service
+
+import (
+	"fmt"
+	"strings"
+
+	"netart/internal/gen"
+	"netart/internal/place"
+	"netart/internal/route"
+	"netart/internal/schematic"
+)
+
+// Request is the body of POST /v1/generate: either a built-in workload
+// name or an inline Appendix A description (net-list + call records,
+// optional io records), plus placement/routing options and the desired
+// output format.
+type Request struct {
+	// Workload names a built-in network: fig61, datapath, cpu, life, or
+	// chain (with ChainLength modules). Mutually exclusive with Netlist.
+	Workload string `json:"workload,omitempty"`
+	// ChainLength sizes the chain workload (default 16).
+	ChainLength int `json:"chain_length,omitempty"`
+
+	// Netlist/Calls/IO carry an inline Appendix A description: the
+	// net-list records (<NET> <INSTANCE> <TERMINAL>), the call records
+	// (<INSTANCE> <TEMPLATE>), and the optional io records
+	// (<TERMINAL> in|out|inout). Templates resolve against the builtin
+	// library.
+	Netlist string `json:"netlist,omitempty"`
+	Calls   string `json:"calls,omitempty"`
+	IO      string `json:"io,omitempty"`
+	// Name labels an inline design (default "design").
+	Name string `json:"name,omitempty"`
+
+	Options GenOptions `json:"options"`
+
+	// Format selects the rendering: svg, escher, ascii, json, or
+	// summary (default).
+	Format string `json:"format,omitempty"`
+
+	// TimeoutMs bounds this request's generation time; 0 uses the
+	// server default. The deadline is propagated into the routing
+	// wavefront loops via context.Context.
+	TimeoutMs int `json:"timeout_ms,omitempty"`
+}
+
+// GenOptions is the JSON shape of the placement and routing knobs; the
+// zero value reproduces gen.DefaultOptions.
+type GenOptions struct {
+	Placer         string `json:"placer,omitempty"` // paper, epitaxial, mincut, columns
+	PartSize       int    `json:"part_size,omitempty"`
+	BoxSize        int    `json:"box_size,omitempty"`
+	MaxConnections int    `json:"max_connections,omitempty"`
+	PartSpacing    int    `json:"part_spacing,omitempty"`
+	BoxSpacing     int    `json:"box_spacing,omitempty"`
+	ModSpacing     int    `json:"mod_spacing,omitempty"`
+
+	Algorithm     string `json:"algorithm,omitempty"` // line-expansion, lee-bends, lee-length, hightower
+	NoClaimpoints bool   `json:"no_claimpoints,omitempty"`
+	SwapObjective bool   `json:"swap_objective,omitempty"`
+	ShortestFirst bool   `json:"shortest_first,omitempty"`
+	RipUp         bool   `json:"rip_up,omitempty"`
+	DualFront     bool   `json:"dual_front,omitempty"`
+	Margin        int    `json:"margin,omitempty"`
+}
+
+// resolve maps the JSON options onto gen.Options, filling defaults.
+func (o GenOptions) resolve() (gen.Options, error) {
+	opts := gen.Options{
+		Place: place.Options{
+			PartSize:       o.PartSize,
+			BoxSize:        o.BoxSize,
+			MaxConnections: o.MaxConnections,
+			PartSpacing:    o.PartSpacing,
+			BoxSpacing:     o.BoxSpacing,
+			ModSpacing:     o.ModSpacing,
+		},
+		Route: route.Options{
+			Claimpoints:        !o.NoClaimpoints,
+			SwapObjective:      o.SwapObjective,
+			OrderShortestFirst: o.ShortestFirst,
+			RipUp:              o.RipUp,
+			DualFront:          o.DualFront,
+			Margin:             o.Margin,
+		},
+	}
+	if opts.Place.PartSize == 0 {
+		opts.Place.PartSize = 7
+	}
+	if opts.Place.BoxSize == 0 {
+		opts.Place.BoxSize = 5
+	}
+	switch o.Placer {
+	case "", "paper":
+		opts.Placer = gen.PlacePaper
+	case "epitaxial":
+		opts.Placer = gen.PlaceEpitaxial
+	case "mincut":
+		opts.Placer = gen.PlaceMinCut
+	case "columns":
+		opts.Placer = gen.PlaceLogicColumns
+	default:
+		return opts, fmt.Errorf("unknown placer %q (paper, epitaxial, mincut, columns)", o.Placer)
+	}
+	switch o.Algorithm {
+	case "", "line-expansion":
+		opts.Route.Algorithm = route.AlgoLineExpansion
+	case "lee-bends":
+		opts.Route.Algorithm = route.AlgoLee
+	case "lee-length":
+		opts.Route.Algorithm = route.AlgoLeeLength
+	case "hightower":
+		opts.Route.Algorithm = route.AlgoHightower
+	default:
+		return opts, fmt.Errorf("unknown algorithm %q (line-expansion, lee-bends, lee-length, hightower)", o.Algorithm)
+	}
+	return opts, nil
+}
+
+// canonical renders the options in a fixed field order for the cache
+// key; every field participates, so any knob change misses the cache.
+func (o GenOptions) canonical() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "placer=%s part=%d box=%d conn=%d", orDefault(o.Placer, "paper"),
+		orDefaultInt(o.PartSize, 7), orDefaultInt(o.BoxSize, 5), o.MaxConnections)
+	fmt.Fprintf(&b, " pspc=%d bspc=%d mspc=%d", o.PartSpacing, o.BoxSpacing, o.ModSpacing)
+	fmt.Fprintf(&b, " algo=%s claims=%t swap=%t shortest=%t ripup=%t dual=%t margin=%d",
+		orDefault(o.Algorithm, "line-expansion"), !o.NoClaimpoints, o.SwapObjective,
+		o.ShortestFirst, o.RipUp, o.DualFront, o.Margin)
+	return b.String()
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}
+
+func orDefaultInt(v, def int) int {
+	if v == 0 {
+		return def
+	}
+	return v
+}
+
+// StageTimings reports per-stage wall time of one generation.
+type StageTimings struct {
+	ParseMs  float64 `json:"parse_ms"`
+	PlaceMs  float64 `json:"place_ms"`
+	RouteMs  float64 `json:"route_ms"`
+	RenderMs float64 `json:"render_ms"`
+}
+
+// Response is the body of a successful generation.
+type Response struct {
+	Name     string            `json:"name"`
+	Format   string            `json:"format"`
+	Diagram  string            `json:"diagram"`
+	Metrics  schematic.Metrics `json:"metrics"`
+	Unrouted int               `json:"unrouted"`
+	Cached   bool              `json:"cached"`
+	// CacheKey is the hex SHA-256 content address of this result.
+	CacheKey  string       `json:"cache_key"`
+	ElapsedMs float64      `json:"elapsed_ms"`
+	Stages    StageTimings `json:"stages"`
+}
+
+// ErrorResponse is the body of a failed request.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// BatchRequest is the body of POST /v1/batch.
+type BatchRequest struct {
+	Requests []Request `json:"requests"`
+}
+
+// BatchItem is one outcome inside a BatchResponse: exactly one of
+// Response or Error is set.
+type BatchItem struct {
+	Response *Response `json:"response,omitempty"`
+	Error    string    `json:"error,omitempty"`
+	// Status is the HTTP status the item would have had standalone.
+	Status int `json:"status"`
+}
+
+// BatchResponse preserves request order.
+type BatchResponse struct {
+	Results []BatchItem `json:"results"`
+}
+
+// HealthResponse is the body of GET /v1/healthz.
+type HealthResponse struct {
+	Status  string `json:"status"`
+	Workers int    `json:"workers"`
+	Queue   int    `json:"queue_depth"`
+	UptimeS float64 `json:"uptime_s"`
+}
