@@ -2,8 +2,11 @@
 # ci.sh — the repo's test tiers.
 #
 #   tier 1 (default):  go vet + build + full test suite
+#                      (+ staticcheck when installed, + 5s fuzz smoke
+#                      of the Appendix-A netlist parser)
 #   tier 2 (-race):    tier 1 with the race detector (slower; exercises
-#                      the netartd worker pool / cache / stats paths)
+#                      the netartd worker pool / cache / stats paths and
+#                      the chaos suite's injected panics)
 #
 # Usage: ./ci.sh [-race]
 set -eu
@@ -17,10 +20,23 @@ fi
 echo "== go vet ./..."
 go vet ./...
 
+if command -v staticcheck >/dev/null 2>&1; then
+	echo "== staticcheck ./..."
+	staticcheck ./...
+else
+	echo "== staticcheck not installed; skipping"
+fi
+
 echo "== go build ./..."
 go build ./...
 
 echo "== go test ${RACE} ./..."
 go test ${RACE} ./...
+
+# Fuzz smoke: a short bounded run of the netlist parser fuzz target.
+# Regressions show up as crashers within seconds; the long exploratory
+# runs stay a manual job (go test -fuzz=FuzzParseDesign ./internal/netlist).
+echo "== go test -fuzz=FuzzParseDesign -fuzztime=5s ./internal/netlist"
+go test -run='^$' -fuzz=FuzzParseDesign -fuzztime=5s ./internal/netlist
 
 echo "ci.sh: all green"

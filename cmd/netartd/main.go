@@ -4,17 +4,38 @@
 // propagated into the routing wavefronts; identical requests are
 // served from a content-addressed LRU result cache.
 //
+// The daemon is hardened for long-running operation: panics anywhere
+// in the pipeline are isolated per request and surfaced in /v1/stats,
+// oversized bodies and pathological designs are rejected early (413 /
+// 422), transient batch-item failures are retried with jittered
+// backoff, and a degradation policy decides whether an incompletely
+// routable design fails or ships as annotated partial artwork.
+//
 // Usage:
 //
 //	netartd [-addr :8417] [-workers N] [-queue N] [-cache N]
 //	        [-timeout 30s] [-max-timeout 2m]
+//	        [-degrade-mode none|strict|escalate|best-effort]
+//	        [-batch-retries N] [-retry-base 10ms] [-retry-max 250ms]
+//	        [-max-body BYTES] [-max-modules N] [-max-nets N] [-max-area N]
+//	        [-faults SPEC] [-fault-seed N]
+//
+// Fault injection (chaos testing) is enabled with -faults or the
+// NETART_FAULTS environment variable, e.g.
+//
+//	netartd -faults 'route.wavefront:error:0.05;render:panic:0.01:x3'
+//
+// (sites: parse, place.box, route.wavefront, render; modes: error,
+// panic, latency). While faults are armed the result cache is
+// bypassed so injected failures cannot poison cached artwork.
 //
 // Endpoints:
 //
 //	POST /v1/generate  {"workload":"life","format":"svg"} → diagram
 //	POST /v1/batch     {"requests":[...]}                 → per-item results
-//	GET  /v1/healthz   liveness
-//	GET  /v1/stats     counters, cache hit/miss, stage latency histograms
+//	GET  /v1/healthz   liveness (+ "degraded" advisory status)
+//	GET  /v1/stats     counters, cache hit/miss, stage latency
+//	                   histograms, recovered panics
 package main
 
 import (
@@ -30,6 +51,8 @@ import (
 	"syscall"
 	"time"
 
+	"netart/internal/gen"
+	"netart/internal/resilience"
 	"netart/internal/service"
 )
 
@@ -47,7 +70,43 @@ func run() error {
 	cacheEnts := flag.Int("cache", 256, "result cache entries (0 disables)")
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-request generation deadline")
 	maxTimeout := flag.Duration("max-timeout", 2*time.Minute, "upper bound for client-supplied timeouts")
+
+	degrade := flag.String("degrade-mode", "none",
+		"default routing-failure policy: none, strict, escalate, best-effort")
+	batchRetries := flag.Int("batch-retries", 2,
+		"extra attempts for transient batch-item failures (negative disables)")
+	retryBase := flag.Duration("retry-base", 10*time.Millisecond, "base backoff between batch retries")
+	retryMax := flag.Duration("retry-max", 250*time.Millisecond, "backoff cap between batch retries")
+
+	maxBody := flag.Int64("max-body", 8<<20, "request body cap in bytes (413 beyond)")
+	maxModules := flag.Int("max-modules", 4096, "design module cap (422 beyond; negative disables)")
+	maxNets := flag.Int("max-nets", 16384, "design net cap (422 beyond; negative disables)")
+	maxArea := flag.Int("max-area", 4<<20, "routing-plane point cap (422 beyond; negative disables)")
+
+	faults := flag.String("faults", "",
+		"fault-injection spec site:mode[:prob][:latency][:xN][;...] (also env "+resilience.EnvFaults+")")
+	faultSeed := flag.Int64("fault-seed", 0, "injector RNG seed (0 = time-based)")
 	flag.Parse()
+
+	dm, err := gen.ParseDegradeMode(*degrade)
+	if err != nil {
+		return err
+	}
+
+	inj, err := resilience.ParseSpec(*faults, *faultSeed)
+	if err != nil {
+		return err
+	}
+	if inj == nil {
+		// Fall back to the environment spec so chaos runs need no
+		// command-line changes.
+		if inj, err = resilience.FromEnv(); err != nil {
+			return err
+		}
+	}
+	if inj != nil {
+		log.Printf("netartd: fault injection armed: %s (result cache bypassed)", inj)
+	}
 
 	srv := service.New(service.Config{
 		Workers:        *workers,
@@ -55,6 +114,15 @@ func run() error {
 		CacheEntries:   *cacheEnts,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
+		MaxBodyBytes:   *maxBody,
+		MaxModules:     *maxModules,
+		MaxNets:        *maxNets,
+		MaxPlaneArea:   *maxArea,
+		DegradeMode:    dm,
+		BatchRetries:   *batchRetries,
+		RetryBase:      *retryBase,
+		RetryMax:       *retryMax,
+		Inject:         inj,
 	})
 	defer srv.Close()
 
@@ -69,8 +137,8 @@ func run() error {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("netartd: listening on %s (%d workers, queue %d, cache %d entries)",
-			*addr, *workers, *queue, *cacheEnts)
+		log.Printf("netartd: listening on %s (%d workers, queue %d, cache %d entries, degrade %s)",
+			*addr, *workers, *queue, *cacheEnts, dm)
 		errc <- httpSrv.ListenAndServe()
 	}()
 

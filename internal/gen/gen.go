@@ -7,10 +7,12 @@ package gen
 import (
 	"context"
 	"fmt"
+	"strings"
 	"time"
 
 	"netart/internal/netlist"
 	"netart/internal/place"
+	"netart/internal/resilience"
 	"netart/internal/route"
 	"netart/internal/schematic"
 	"netart/internal/workload"
@@ -44,11 +46,88 @@ func (p Placer) String() string {
 	}
 }
 
+// DegradeMode selects how GenerateCtx responds to routing failure
+// (nets left with unconnected terminals). The zero value preserves the
+// historical behavior, so existing callers are unaffected.
+type DegradeMode int
+
+// The degradation policies, from laissez-faire to most protective.
+const (
+	// DegradeNone is the legacy behavior: unrouted nets are reported in
+	// the diagram's metrics but neither escalate nor fail the call.
+	DegradeNone DegradeMode = iota
+	// DegradeStrict fails with *UnroutableError as soon as the
+	// configured router leaves any net unrouted (no escalation).
+	DegradeStrict
+	// DegradeEscalate walks the ladder — dual-front line expansion,
+	// then Lee with rip-up — and fails with *UnroutableError only when
+	// every rung leaves failures.
+	DegradeEscalate
+	// DegradeBestEffort walks the ladder and, when failures remain,
+	// returns the least-bad partial diagram with Diagram.Degraded
+	// carrying the unrouted report instead of an error.
+	DegradeBestEffort
+)
+
+// String implements fmt.Stringer.
+func (m DegradeMode) String() string {
+	switch m {
+	case DegradeNone:
+		return "none"
+	case DegradeStrict:
+		return "strict"
+	case DegradeEscalate:
+		return "escalate"
+	case DegradeBestEffort:
+		return "best-effort"
+	default:
+		return fmt.Sprintf("DegradeMode(%d)", int(m))
+	}
+}
+
+// ParseDegradeMode maps the flag/JSON spelling onto a DegradeMode.
+func ParseDegradeMode(s string) (DegradeMode, error) {
+	switch s {
+	case "", "none":
+		return DegradeNone, nil
+	case "strict":
+		return DegradeStrict, nil
+	case "escalate":
+		return DegradeEscalate, nil
+	case "best-effort", "besteffort":
+		return DegradeBestEffort, nil
+	default:
+		return DegradeNone, fmt.Errorf("gen: unknown degrade mode %q (none, strict, escalate, best-effort)", s)
+	}
+}
+
+// UnroutableError reports a generation whose routing stayed incomplete
+// after every permitted attempt (DegradeStrict/DegradeEscalate).
+type UnroutableError struct {
+	// Unrouted lists the incomplete nets as "net: term1 term2 ...".
+	Unrouted []string
+	// Attempts names the ladder rungs that were tried, in order.
+	Attempts []string
+}
+
+// Error implements error.
+func (e *UnroutableError) Error() string {
+	return fmt.Sprintf("gen: %d nets unrouted after %s",
+		len(e.Unrouted), strings.Join(e.Attempts, ", "))
+}
+
 // Options configures a full generation run.
 type Options struct {
 	Placer Placer
 	Place  place.Options
 	Route  route.Options
+	// Degrade selects the failure policy for incomplete routings; see
+	// DegradeMode. The ladder never runs when routing succeeds, so the
+	// fast path is untouched.
+	Degrade DegradeMode
+	// Inject, when non-nil, is propagated to the place.box and
+	// route.wavefront fault sites for deterministic chaos testing.
+	Inject *resilience.Injector
 }
 
 // DefaultOptions returns the settings used by the examples: the paper's
@@ -100,13 +179,34 @@ type StageTimings struct {
 // GenerateTimedCtx runs the cancellable pipeline and additionally
 // reports per-stage wall times, which the service layer feeds into its
 // latency histograms.
+//
+// Robustness: both stages run under resilience.Recover, so a panic
+// anywhere in placement or routing surfaces as a structured
+// *resilience.StageError instead of unwinding into the caller; and
+// when routing leaves nets unconnected the degradation ladder selected
+// by Options.Degrade decides between failing, escalating to stronger
+// routers, and returning a partial diagram with Diagram.Degraded set.
 func GenerateTimedCtx(ctx context.Context, d *netlist.Design, opts Options) (*schematic.Diagram, StageTimings, error) {
 	var st StageTimings
 	if err := ctx.Err(); err != nil {
 		return nil, st, err
 	}
+	if opts.Inject != nil {
+		if opts.Place.Inject == nil {
+			opts.Place.Inject = opts.Inject
+		}
+		if opts.Route.Inject == nil {
+			opts.Route.Inject = opts.Inject
+		}
+	}
+
 	t0 := time.Now()
-	pr, err := PlaceDesign(d, opts)
+	var pr *place.Result
+	err := resilience.Recover("place", func() error {
+		var perr error
+		pr, perr = PlaceDesign(d, opts)
+		return perr
+	})
 	st.Place = time.Since(t0)
 	if err != nil {
 		return nil, st, err
@@ -114,13 +214,143 @@ func GenerateTimedCtx(ctx context.Context, d *netlist.Design, opts Options) (*sc
 	if err := ctx.Err(); err != nil {
 		return nil, st, err
 	}
+
 	t1 := time.Now()
-	rr, err := route.RouteCtx(ctx, pr, opts.Route)
+	rr, attempts, err := routeWithLadder(ctx, pr, opts)
 	st.Route = time.Since(t1)
 	if err != nil {
 		return nil, st, err
 	}
-	return schematic.FromRouting(rr), st, nil
+
+	dg := schematic.FromRouting(rr)
+	if unrouted := unroutedReport(rr); len(unrouted) > 0 {
+		switch opts.Degrade {
+		case DegradeStrict, DegradeEscalate:
+			return nil, st, &UnroutableError{Unrouted: unrouted, Attempts: attempts}
+		case DegradeBestEffort:
+			dg.Degraded = &schematic.Degradation{
+				Attempts: attempts,
+				Unrouted: unrouted,
+				Reason: fmt.Sprintf("%d of %d nets unrouted after %d routing attempt(s)",
+					len(unrouted), len(d.Nets), len(attempts)),
+			}
+		}
+	}
+	return dg, st, nil
+}
+
+// ladderRung is one escalation step of the degradation ladder.
+type ladderRung struct {
+	name string
+	opts route.Options
+}
+
+// ladderRungs derives the escalation sequence from the request's base
+// routing options: first the dual-front line-expansion variant (§5.5.3
+// halves the searched area, often finding corridors the single front
+// missed), then the Lee maze runner with the rip-up pass (complete
+// search plus displacement of blocking nets). Rungs identical to the
+// base configuration are skipped — re-running the same router cannot
+// improve a deterministic result.
+func ladderRungs(base route.Options) []ladderRung {
+	var rungs []ladderRung
+	dual := base
+	dual.Algorithm = route.AlgoLineExpansion
+	dual.DualFront = true
+	if !(base.Algorithm == route.AlgoLineExpansion && base.DualFront) {
+		rungs = append(rungs, ladderRung{"route[dual-front]", dual})
+	}
+	lee := base
+	lee.Algorithm = route.AlgoLee
+	lee.DualFront = false
+	lee.RipUp = true
+	if !(base.Algorithm == route.AlgoLee && base.RipUp) {
+		rungs = append(rungs, ladderRung{"route[lee+rip-up]", lee})
+	}
+	return rungs
+}
+
+// routeWithLadder routes the placement, escalating through the ladder
+// when the policy asks for it. It returns the best (fewest-failures)
+// result seen, the names of the attempts made, and an error only when
+// the first attempt fails hard or the context dies. Later rungs fail
+// soft: an injected fault or panic in an escalation attempt must never
+// destroy the base result it was trying to improve.
+func routeWithLadder(ctx context.Context, pr *place.Result, opts Options) (*route.Result, []string, error) {
+	run := func(ro route.Options) (*route.Result, error) {
+		var rr *route.Result
+		err := resilience.Recover("route", func() error {
+			var rerr error
+			rr, rerr = route.RouteCtx(ctx, pr, ro)
+			return rerr
+		})
+		if err != nil {
+			return nil, err
+		}
+		return rr, nil
+	}
+
+	attempts := []string{fmt.Sprintf("route[%s]", describeRoute(opts.Route))}
+	best, err := run(opts.Route)
+	if err != nil {
+		return nil, attempts, err
+	}
+	if best.UnroutedCount() == 0 || opts.Degrade < DegradeEscalate {
+		return best, attempts, nil
+	}
+
+	for _, rung := range ladderRungs(opts.Route) {
+		if ctx.Err() != nil {
+			return nil, attempts, ctx.Err()
+		}
+		attempts = append(attempts, rung.name)
+		rr, err := run(rung.opts)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, attempts, ctx.Err()
+			}
+			continue // soft failure: keep the best result so far
+		}
+		if rr.UnroutedCount() < best.UnroutedCount() {
+			best = rr
+		}
+		if best.UnroutedCount() == 0 {
+			break
+		}
+	}
+	return best, attempts, nil
+}
+
+// describeRoute names the base routing configuration for the attempts
+// report.
+func describeRoute(o route.Options) string {
+	name := o.Algorithm.String()
+	if o.DualFront && o.Algorithm == route.AlgoLineExpansion {
+		name += "+dual-front"
+	}
+	if o.RipUp {
+		name += "+rip-up"
+	}
+	return name
+}
+
+// unroutedReport lists every incomplete net as "net: term1 term2 ...".
+func unroutedReport(rr *route.Result) []string {
+	var out []string
+	for _, rn := range rr.Nets {
+		if rn.OK() {
+			continue
+		}
+		var b strings.Builder
+		b.WriteString(rn.Net.Name)
+		b.WriteByte(':')
+		for _, t := range rn.Failed {
+			b.WriteByte(' ')
+			b.WriteString(t.Label())
+		}
+		out = append(out, b.String())
+	}
+	return out
 }
 
 // GenerateOnPlacement routes a diagram over an existing placement (the

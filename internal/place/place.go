@@ -13,6 +13,7 @@ import (
 	"netart/internal/geom"
 	"netart/internal/netlist"
 	"netart/internal/partition"
+	"netart/internal/resilience"
 )
 
 // Options mirrors the PABLO command line of Appendix E.
@@ -27,6 +28,11 @@ type Options struct {
 	// partition of their own, pinned at their given absolute positions;
 	// the remaining modules are placed around them.
 	Fixed map[*netlist.Module]Fixed
+	// Inject, when non-nil, arms the resilience.SitePlaceBox fault
+	// site: it is fired once per box before module placement, so chaos
+	// tests can force deterministic placement failures. Nil costs one
+	// pointer compare per box.
+	Inject *resilience.Injector
 }
 
 // Fixed pins one module at an absolute position and orientation.
@@ -219,6 +225,9 @@ func Place(d *netlist.Design, opts Options) (*Result, error) {
 	for i, p := range parts {
 		pp := &placedPart{part: p}
 		for _, b := range bxs[i] {
+			if err := opts.Inject.Fire(resilience.SitePlaceBox); err != nil {
+				return nil, fmt.Errorf("place: box placement: %w", err)
+			}
 			pb, err := placeBoxModules(b, opts)
 			if err != nil {
 				return nil, err

@@ -1,0 +1,73 @@
+package resilience
+
+import (
+	"errors"
+	"fmt"
+)
+
+// LimitError reports an input that exceeds a configured resource cap.
+// The service layer maps it to HTTP 422: the request is well-formed
+// but unprocessable at this deployment's limits, and retrying it
+// unchanged can never help (Transient() is deliberately absent).
+type LimitError struct {
+	What  string
+	Got   int
+	Limit int
+}
+
+// Error implements error.
+func (e *LimitError) Error() string {
+	return fmt.Sprintf("resilience: %s %d exceeds limit %d", e.What, e.Got, e.Limit)
+}
+
+// AsLimitError unwraps err down to a *LimitError, if one is present.
+func AsLimitError(err error) (*LimitError, bool) {
+	var le *LimitError
+	if errors.As(err, &le) {
+		return le, true
+	}
+	return nil, false
+}
+
+// Guards holds the resource caps applied before a request reaches the
+// worker pool (counts) and before the router allocates its plane
+// (area). Zero fields disable the corresponding check, so the zero
+// Guards is a no-op.
+type Guards struct {
+	MaxModules   int
+	MaxNets      int
+	MaxPlaneArea int
+}
+
+// CheckCounts validates the design-size caps.
+func (g Guards) CheckCounts(modules, nets int) error {
+	if g.MaxModules > 0 && modules > g.MaxModules {
+		return &LimitError{What: "module count", Got: modules, Limit: g.MaxModules}
+	}
+	if g.MaxNets > 0 && nets > g.MaxNets {
+		return &LimitError{What: "net count", Got: nets, Limit: g.MaxNets}
+	}
+	return nil
+}
+
+// CheckArea validates the routing-plane area cap for a w×h plane,
+// overflow-safe for degenerate inputs.
+func (g Guards) CheckArea(w, h int) error {
+	if g.MaxPlaneArea <= 0 {
+		return nil
+	}
+	if w < 0 {
+		w = 0
+	}
+	if h < 0 {
+		h = 0
+	}
+	if a := int64(w) * int64(h); a > int64(g.MaxPlaneArea) {
+		got := g.MaxPlaneArea + 1 // clamp for the report on 32-bit overflow
+		if a <= int64(^uint(0)>>1) {
+			got = int(a)
+		}
+		return &LimitError{What: "routing-plane area", Got: got, Limit: g.MaxPlaneArea}
+	}
+	return nil
+}

@@ -1,0 +1,65 @@
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"strings"
+)
+
+// StageError is a panic converted into a value: the pipeline stage it
+// escaped from, the panic payload, and a trimmed stack. The service
+// layer surfaces these in /v1/stats instead of letting one poisoned
+// request crash the daemon.
+type StageError struct {
+	Stage string
+	Cause any
+	Stack string
+}
+
+// Error implements error.
+func (e *StageError) Error() string {
+	return fmt.Sprintf("resilience: panic in stage %q: %v", e.Stage, e.Cause)
+}
+
+// Transient reports whether the panic was an injected fault (chaos
+// testing) rather than a genuine bug; only injected panics are safe to
+// retry automatically.
+func (e *StageError) Transient() bool {
+	_, ok := e.Cause.(InjectedPanic)
+	return ok
+}
+
+// AsStageError unwraps err down to a *StageError, if one is present.
+func AsStageError(err error) (*StageError, bool) {
+	var se *StageError
+	if errors.As(err, &se) {
+		return se, true
+	}
+	return nil, false
+}
+
+// maxStackLines bounds the retained stack trace: enough frames to find
+// the crash site, small enough for a JSON stats payload.
+const maxStackLines = 24
+
+func trimStack(stack []byte) string {
+	lines := strings.Split(strings.TrimRight(string(stack), "\n"), "\n")
+	if len(lines) > maxStackLines {
+		lines = append(lines[:maxStackLines], "...")
+	}
+	return strings.Join(lines, "\n")
+}
+
+// Recover runs fn and converts any panic into a *StageError tagged
+// with the stage name. Non-panicking calls pass their error through
+// untouched. This is the isolation boundary every worker-pool task and
+// every pipeline stage runs under.
+func Recover(stage string, fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &StageError{Stage: stage, Cause: r, Stack: trimStack(debug.Stack())}
+		}
+	}()
+	return fn()
+}

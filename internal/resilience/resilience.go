@@ -1,0 +1,375 @@
+// Package resilience is the failure substrate of the netlist→schematic
+// pipeline: a deterministic fault-injection framework addressed by
+// named pipeline sites, panic isolation that converts crashes into
+// structured StageError values, transient-error classification with
+// exponential-backoff retry schedules, and resource guards that reject
+// pathological inputs before they consume a worker.
+//
+// The package deliberately depends on nothing but the standard library
+// so every layer (place, route, gen, service) can import it without
+// cycles. A nil *Injector is fully functional and free: all methods
+// are nil-receiver safe, so production builds pay one pointer compare
+// per site when chaos testing is off.
+package resilience
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Site names one addressable fault-injection point in the pipeline.
+// Sites are stable strings so they can be spelled in env vars, flags
+// and test specs.
+type Site string
+
+// The named injection points threaded through the pipeline. Each is
+// fired once per unit of the work it names: SiteParse per request
+// parse, SitePlaceBox per placed box, SiteRouteWavefront per wavefront
+// search, SiteRender per rendering.
+const (
+	SiteParse          Site = "parse"
+	SitePlaceBox       Site = "place.box"
+	SiteRouteWavefront Site = "route.wavefront"
+	SiteRender         Site = "render"
+)
+
+// KnownSites lists every site the pipeline fires, in pipeline order.
+func KnownSites() []Site {
+	return []Site{SiteParse, SitePlaceBox, SiteRouteWavefront, SiteRender}
+}
+
+func knownSite(s Site) bool {
+	for _, k := range KnownSites() {
+		if k == s {
+			return true
+		}
+	}
+	return false
+}
+
+// Mode is the kind of fault a rule injects.
+type Mode int
+
+// The fault modes: return an error, panic, or sleep (artificial
+// latency). Latency faults return nil from Fire after sleeping, so
+// they exercise timeout/deadline paths without changing control flow.
+const (
+	ModeError Mode = iota
+	ModePanic
+	ModeLatency
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeError:
+		return "error"
+	case ModePanic:
+		return "panic"
+	case ModeLatency:
+		return "latency"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+func parseMode(s string) (Mode, error) {
+	switch s {
+	case "error":
+		return ModeError, nil
+	case "panic":
+		return ModePanic, nil
+	case "latency":
+		return ModeLatency, nil
+	default:
+		return 0, fmt.Errorf("resilience: unknown fault mode %q (error, panic, latency)", s)
+	}
+}
+
+// Rule arms one fault at one site.
+type Rule struct {
+	Site Site
+	Mode Mode
+	// Prob is the per-Fire probability in (0,1]; 0 means 1 (always).
+	Prob float64
+	// Latency is the sleep of a ModeLatency fault (default 10ms).
+	Latency time.Duration
+	// Count caps how many times the rule may fire; 0 means unlimited.
+	Count int
+}
+
+type armedRule struct {
+	rule  Rule
+	fires int
+}
+
+func (a *armedRule) spent() bool {
+	return a.rule.Count > 0 && a.fires >= a.rule.Count
+}
+
+// InjectedError is the error returned by a ModeError fault. It is
+// transient by definition: the fault simulates a recoverable condition,
+// so retry layers treat it as worth another attempt.
+type InjectedError struct {
+	Site Site
+}
+
+// Error implements error.
+func (e *InjectedError) Error() string {
+	return fmt.Sprintf("resilience: injected fault at %s", e.Site)
+}
+
+// Transient marks injected errors as retryable (see IsTransient).
+func (e *InjectedError) Transient() bool { return true }
+
+// InjectedPanic is the value a ModePanic fault panics with; Recover
+// detects it to classify the resulting StageError as transient.
+type InjectedPanic struct {
+	Site Site
+}
+
+// String implements fmt.Stringer.
+func (p InjectedPanic) String() string {
+	return fmt.Sprintf("injected panic at %s", p.Site)
+}
+
+// Injector holds the armed fault rules of one pipeline instance. The
+// zero of usefulness is the nil Injector: Fire, Enabled and Counts are
+// all nil-safe, so call sites never branch on configuration.
+//
+// Determinism: all probability draws come from one seeded PRNG behind
+// the injector's mutex, so a single-threaded pipeline run with a fixed
+// seed produces an identical fault sequence every time. Concurrent
+// runs interleave draws but each individual decision stays seeded.
+type Injector struct {
+	mu     sync.Mutex
+	rng    *rand.Rand
+	bySite map[Site][]*armedRule
+	nrules int
+	fired  map[Site]uint64
+	// sleep is stubbed in tests; production uses time.Sleep.
+	sleep func(time.Duration)
+}
+
+// NewInjector returns an empty injector with a deterministic PRNG.
+func NewInjector(seed int64) *Injector {
+	return &Injector{
+		rng:    rand.New(rand.NewSource(seed)),
+		bySite: map[Site][]*armedRule{},
+		fired:  map[Site]uint64{},
+		sleep:  time.Sleep,
+	}
+}
+
+// Arm adds one rule. Unknown sites are rejected so typos in chaos
+// specs fail loudly instead of silently never firing.
+func (in *Injector) Arm(r Rule) error {
+	if !knownSite(r.Site) {
+		return fmt.Errorf("resilience: unknown site %q (known: %v)", r.Site, KnownSites())
+	}
+	if r.Prob < 0 || r.Prob > 1 {
+		return fmt.Errorf("resilience: rule probability %v out of [0,1]", r.Prob)
+	}
+	if r.Prob == 0 {
+		r.Prob = 1
+	}
+	if r.Mode == ModeLatency && r.Latency <= 0 {
+		r.Latency = 10 * time.Millisecond
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.bySite[r.Site] = append(in.bySite[r.Site], &armedRule{rule: r})
+	in.nrules++
+	return nil
+}
+
+// Enabled reports whether any rule is armed. Nil-safe; the pipeline
+// uses it to skip work (e.g. result caching) that chaos runs would
+// poison.
+func (in *Injector) Enabled() bool {
+	if in == nil {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.nrules > 0
+}
+
+// Fire evaluates the rules armed at site. It returns an *InjectedError
+// (ModeError), panics with InjectedPanic (ModePanic), or sleeps and
+// returns nil (ModeLatency). With no matching rule — or a nil injector
+// — it returns nil. At most one rule fires per call, in Arm order.
+func (in *Injector) Fire(site Site) error {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	var act *armedRule
+	for _, r := range in.bySite[site] {
+		if r.spent() {
+			continue
+		}
+		if r.rule.Prob >= 1 || in.rng.Float64() < r.rule.Prob {
+			act = r
+			break
+		}
+	}
+	if act == nil {
+		in.mu.Unlock()
+		return nil
+	}
+	act.fires++
+	in.fired[site]++
+	mode, lat, sleep := act.rule.Mode, act.rule.Latency, in.sleep
+	in.mu.Unlock()
+
+	switch mode {
+	case ModePanic:
+		panic(InjectedPanic{Site: site})
+	case ModeLatency:
+		sleep(lat)
+		return nil
+	default:
+		return &InjectedError{Site: site}
+	}
+}
+
+// Counts reports how many faults have fired per site (for tests and
+// chaos-run assertions). Nil-safe.
+func (in *Injector) Counts() map[Site]uint64 {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[Site]uint64, len(in.fired))
+	for s, n := range in.fired {
+		out[s] = n
+	}
+	return out
+}
+
+// String renders the armed rules for logs, in deterministic order.
+func (in *Injector) String() string {
+	if in == nil {
+		return "<no faults>"
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var sites []string
+	for s := range in.bySite {
+		sites = append(sites, string(s))
+	}
+	sort.Strings(sites)
+	var parts []string
+	for _, s := range sites {
+		for _, r := range in.bySite[Site(s)] {
+			c := fmt.Sprintf("%s:%s:p=%g", s, r.rule.Mode, r.rule.Prob)
+			if r.rule.Mode == ModeLatency {
+				c += ":" + r.rule.Latency.String()
+			}
+			if r.rule.Count > 0 {
+				c += fmt.Sprintf(":x%d", r.rule.Count)
+			}
+			parts = append(parts, c)
+		}
+	}
+	if len(parts) == 0 {
+		return "<no faults>"
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseSpec compiles a fault-spec string into an injector. The spec is
+// a comma- or semicolon-separated list of clauses:
+//
+//	site:mode[:TOKEN]...
+//
+// where site is one of parse, place.box, route.wavefront, render; mode
+// is error, panic or latency; and each optional TOKEN is either a
+// probability ("0.25"), a duration ("15ms", latency mode only), or a
+// firing cap ("x3"). Examples:
+//
+//	route.wavefront:error                 always fail every search
+//	render:panic:0.1                      panic 10% of renders
+//	parse:latency:0.5:20ms                20ms stall on half the parses
+//	place.box:error:x2                    fail the first two boxes only
+//
+// An empty spec returns (nil, nil): the nil injector, zero cost.
+func ParseSpec(spec string, seed int64) (*Injector, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	in := NewInjector(seed)
+	for _, clause := range strings.FieldsFunc(spec, func(r rune) bool { return r == ',' || r == ';' }) {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		fields := strings.Split(clause, ":")
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("resilience: clause %q needs at least site:mode", clause)
+		}
+		mode, err := parseMode(fields[1])
+		if err != nil {
+			return nil, err
+		}
+		r := Rule{Site: Site(fields[0]), Mode: mode}
+		for _, tok := range fields[2:] {
+			switch {
+			case strings.HasPrefix(tok, "x"):
+				n, err := strconv.Atoi(tok[1:])
+				if err != nil || n <= 0 {
+					return nil, fmt.Errorf("resilience: clause %q: bad count %q", clause, tok)
+				}
+				r.Count = n
+			default:
+				if p, err := strconv.ParseFloat(tok, 64); err == nil {
+					r.Prob = p
+					continue
+				}
+				if d, err := time.ParseDuration(tok); err == nil {
+					r.Latency = d
+					continue
+				}
+				return nil, fmt.Errorf("resilience: clause %q: token %q is neither probability, duration nor xN", clause, tok)
+			}
+		}
+		if err := in.Arm(r); err != nil {
+			return nil, err
+		}
+	}
+	return in, nil
+}
+
+// Env variable names read by FromEnv.
+const (
+	EnvFaults    = "NETART_FAULTS"
+	EnvFaultSeed = "NETART_FAULT_SEED"
+)
+
+// FromEnv builds an injector from NETART_FAULTS / NETART_FAULT_SEED.
+// Unset or empty NETART_FAULTS yields (nil, nil), keeping production
+// runs injector-free without any configuration.
+func FromEnv() (*Injector, error) {
+	spec := os.Getenv(EnvFaults)
+	if spec == "" {
+		return nil, nil
+	}
+	seed := int64(1)
+	if s := os.Getenv(EnvFaultSeed); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("resilience: %s=%q is not an integer", EnvFaultSeed, s)
+		}
+		seed = v
+	}
+	return ParseSpec(spec, seed)
+}

@@ -1,0 +1,294 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilInjectorIsFree(t *testing.T) {
+	var in *Injector
+	if err := in.Fire(SiteParse); err != nil {
+		t.Fatalf("nil injector fired: %v", err)
+	}
+	if in.Enabled() {
+		t.Fatal("nil injector claims enabled")
+	}
+	if in.Counts() != nil {
+		t.Fatal("nil injector has counts")
+	}
+	if got := in.String(); got != "<no faults>" {
+		t.Fatalf("nil injector String() = %q", got)
+	}
+}
+
+func TestInjectorErrorMode(t *testing.T) {
+	in := NewInjector(1)
+	if err := in.Arm(Rule{Site: SiteRouteWavefront, Mode: ModeError}); err != nil {
+		t.Fatal(err)
+	}
+	err := in.Fire(SiteRouteWavefront)
+	var ie *InjectedError
+	if !errors.As(err, &ie) || ie.Site != SiteRouteWavefront {
+		t.Fatalf("want InjectedError at route.wavefront, got %v", err)
+	}
+	if !IsTransient(err) {
+		t.Fatal("injected error must classify transient")
+	}
+	// Other sites stay silent.
+	if err := in.Fire(SiteRender); err != nil {
+		t.Fatalf("unarmed site fired: %v", err)
+	}
+	if got := in.Counts()[SiteRouteWavefront]; got != 1 {
+		t.Fatalf("count = %d, want 1", got)
+	}
+}
+
+func TestInjectorPanicMode(t *testing.T) {
+	in := NewInjector(1)
+	if err := in.Arm(Rule{Site: SiteRender, Mode: ModePanic}); err != nil {
+		t.Fatal(err)
+	}
+	err := Recover("render", func() error { return in.Fire(SiteRender) })
+	se, ok := AsStageError(err)
+	if !ok {
+		t.Fatalf("want StageError, got %v", err)
+	}
+	if se.Stage != "render" {
+		t.Fatalf("stage = %q", se.Stage)
+	}
+	if _, ok := se.Cause.(InjectedPanic); !ok {
+		t.Fatalf("cause = %#v, want InjectedPanic", se.Cause)
+	}
+	if !se.Transient() || !IsTransient(err) {
+		t.Fatal("injected panic must classify transient")
+	}
+	if se.Stack == "" {
+		t.Fatal("StageError lost its stack")
+	}
+}
+
+func TestInjectorLatencyMode(t *testing.T) {
+	in := NewInjector(1)
+	var slept time.Duration
+	in.sleep = func(d time.Duration) { slept = d }
+	if err := in.Arm(Rule{Site: SiteParse, Mode: ModeLatency, Latency: 42 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Fire(SiteParse); err != nil {
+		t.Fatalf("latency fault returned error: %v", err)
+	}
+	if slept != 42*time.Millisecond {
+		t.Fatalf("slept %v, want 42ms", slept)
+	}
+}
+
+func TestInjectorCountCapAndDeterminism(t *testing.T) {
+	in := NewInjector(7)
+	if err := in.Arm(Rule{Site: SiteParse, Mode: ModeError, Count: 2}); err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	for i := 0; i < 10; i++ {
+		if in.Fire(SiteParse) != nil {
+			fired++
+		}
+	}
+	if fired != 2 {
+		t.Fatalf("capped rule fired %d times, want 2", fired)
+	}
+
+	// Same seed + same probability sequence → identical decisions.
+	seq := func(seed int64) string {
+		in := NewInjector(seed)
+		if err := in.Arm(Rule{Site: SiteRender, Mode: ModeError, Prob: 0.5}); err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		for i := 0; i < 64; i++ {
+			if in.Fire(SiteRender) != nil {
+				b.WriteByte('1')
+			} else {
+				b.WriteByte('0')
+			}
+		}
+		return b.String()
+	}
+	if seq(3) != seq(3) {
+		t.Fatal("same seed produced different fault sequences")
+	}
+	if seq(3) == seq(4) {
+		t.Fatal("different seeds produced identical sequences (suspicious)")
+	}
+}
+
+func TestInjectorRejectsBadRules(t *testing.T) {
+	in := NewInjector(1)
+	if err := in.Arm(Rule{Site: "nonsense", Mode: ModeError}); err == nil {
+		t.Fatal("unknown site accepted")
+	}
+	if err := in.Arm(Rule{Site: SiteParse, Mode: ModeError, Prob: 1.5}); err == nil {
+		t.Fatal("probability > 1 accepted")
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	in, err := ParseSpec("route.wavefront:error, render:panic:0.1; parse:latency:0.5:20ms, place.box:error:x2", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.Enabled() {
+		t.Fatal("spec armed nothing")
+	}
+	s := in.String()
+	for _, want := range []string{"route.wavefront:error:p=1", "render:panic:p=0.1", "parse:latency:p=0.5:20ms", "place.box:error:p=1:x2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+
+	if in, err := ParseSpec("", 1); err != nil || in != nil {
+		t.Fatalf("empty spec: got (%v, %v), want (nil, nil)", in, err)
+	}
+	for _, bad := range []string{"route.wavefront", "parse:flaky", "nowhere:error", "parse:error:zz", "parse:error:x0"} {
+		if _, err := ParseSpec(bad, 1); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+func TestRecoverPassthrough(t *testing.T) {
+	want := errors.New("plain")
+	if got := Recover("s", func() error { return want }); got != want {
+		t.Fatalf("got %v", got)
+	}
+	if got := Recover("s", func() error { return nil }); got != nil {
+		t.Fatalf("got %v", got)
+	}
+	err := Recover("route", func() error { panic("boom") })
+	se, ok := AsStageError(err)
+	if !ok || se.Stage != "route" || se.Cause != "boom" {
+		t.Fatalf("got %#v", err)
+	}
+	if se.Transient() {
+		t.Fatal("genuine panic classified transient")
+	}
+	// Wrapped StageErrors still unwrap.
+	wrapped := fmt.Errorf("outer: %w", err)
+	if _, ok := AsStageError(wrapped); !ok {
+		t.Fatal("wrapped StageError not found")
+	}
+}
+
+func TestBackoffScheduleBounds(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 5, BaseDelay: 10 * time.Millisecond, MaxDelay: 80 * time.Millisecond}
+	lo := func(d time.Duration) time.Duration { return d / 2 }
+	for retry, step := range map[int]time.Duration{1: 10 * time.Millisecond, 2: 20 * time.Millisecond, 3: 40 * time.Millisecond, 4: 80 * time.Millisecond, 9: 80 * time.Millisecond} {
+		min := p.Backoff(retry, func() float64 { return 0 })
+		max := p.Backoff(retry, func() float64 { return 0.999999 })
+		if min != lo(step) {
+			t.Errorf("retry %d: floor %v, want %v", retry, min, lo(step))
+		}
+		if max < lo(step) || max > step {
+			t.Errorf("retry %d: ceiling %v outside (%v, %v]", retry, max, lo(step), step)
+		}
+	}
+}
+
+func TestRetryStopsOnPermanent(t *testing.T) {
+	calls := 0
+	perm := errors.New("permanent")
+	n, err := Retry(context.Background(), RetryPolicy{MaxAttempts: 5, BaseDelay: time.Microsecond}, nil, nil, func(int) error {
+		calls++
+		return perm
+	})
+	if n != 1 || calls != 1 || !errors.Is(err, perm) {
+		t.Fatalf("permanent error retried: n=%d calls=%d err=%v", n, calls, err)
+	}
+}
+
+func TestRetryRecoversTransient(t *testing.T) {
+	calls := 0
+	n, err := Retry(context.Background(), RetryPolicy{MaxAttempts: 4, BaseDelay: time.Microsecond, MaxDelay: time.Microsecond}, nil, nil, func(int) error {
+		calls++
+		if calls < 3 {
+			return &InjectedError{Site: SiteRender}
+		}
+		return nil
+	})
+	if err != nil || n != 3 || calls != 3 {
+		t.Fatalf("n=%d calls=%d err=%v", n, calls, err)
+	}
+}
+
+func TestRetryHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	n, err := Retry(ctx, RetryPolicy{MaxAttempts: 10, BaseDelay: time.Hour}, nil, nil, func(int) error {
+		calls++
+		return &InjectedError{Site: SiteParse}
+	})
+	if n != 1 || calls != 1 {
+		t.Fatalf("cancelled retry kept going: n=%d calls=%d", n, calls)
+	}
+	if err == nil {
+		t.Fatal("lost the attempt error")
+	}
+}
+
+func TestGuards(t *testing.T) {
+	var zero Guards
+	if err := zero.CheckCounts(1<<30, 1<<30); err != nil {
+		t.Fatalf("zero guards rejected: %v", err)
+	}
+	if err := zero.CheckArea(1<<15, 1<<15); err != nil {
+		t.Fatalf("zero guards rejected area: %v", err)
+	}
+
+	g := Guards{MaxModules: 10, MaxNets: 20, MaxPlaneArea: 100}
+	if err := g.CheckCounts(10, 20); err != nil {
+		t.Fatalf("at-limit rejected: %v", err)
+	}
+	err := g.CheckCounts(11, 0)
+	le, ok := AsLimitError(err)
+	if !ok || le.Got != 11 || le.Limit != 10 {
+		t.Fatalf("got %v", err)
+	}
+	if _, ok := AsLimitError(g.CheckCounts(0, 21)); !ok {
+		t.Fatal("net cap not enforced")
+	}
+	if err := g.CheckArea(10, 10); err != nil {
+		t.Fatalf("at-limit area rejected: %v", err)
+	}
+	if _, ok := AsLimitError(g.CheckArea(101, 1)); !ok {
+		t.Fatal("area cap not enforced")
+	}
+	// Overflow-safe.
+	if _, ok := AsLimitError(g.CheckArea(1<<31, 1<<31)); !ok {
+		t.Fatal("overflowing area slipped past the guard")
+	}
+	if IsTransient(err) {
+		t.Fatal("limit errors must be permanent")
+	}
+}
+
+func TestFromEnv(t *testing.T) {
+	t.Setenv(EnvFaults, "")
+	if in, err := FromEnv(); err != nil || in != nil {
+		t.Fatalf("empty env: (%v, %v)", in, err)
+	}
+	t.Setenv(EnvFaults, "render:error:0.5")
+	t.Setenv(EnvFaultSeed, "99")
+	in, err := FromEnv()
+	if err != nil || !in.Enabled() {
+		t.Fatalf("env spec failed: (%v, %v)", in, err)
+	}
+	t.Setenv(EnvFaultSeed, "not-a-number")
+	if _, err := FromEnv(); err == nil {
+		t.Fatal("bad seed accepted")
+	}
+}

@@ -1,0 +1,114 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// transient is the classification interface: errors that opt in to
+// automatic retry implement Transient() true.
+type transient interface {
+	Transient() bool
+}
+
+// IsTransient walks the unwrap chain of err and reports whether any
+// link classifies itself as transient (worth retrying). Injected
+// faults are transient; StageErrors are transient only when the panic
+// was injected; everything else defaults to permanent — retrying a
+// genuine bug or a malformed input just burns workers.
+func IsTransient(err error) bool {
+	for err != nil {
+		if t, ok := err.(transient); ok && t.Transient() {
+			return true
+		}
+		err = errors.Unwrap(err)
+	}
+	return false
+}
+
+// RetryPolicy is a bounded exponential-backoff schedule with full
+// jitter. The zero value means "one attempt, no retries", so callers
+// that never configure retry get the old behavior.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries including the first
+	// (<=1 disables retry).
+	MaxAttempts int
+	// BaseDelay seeds the schedule (default 10ms); retry n waits
+	// BaseDelay·2^(n-1) scaled by jitter.
+	BaseDelay time.Duration
+	// MaxDelay caps any single wait (default 250ms).
+	MaxDelay time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 1
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 10 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 250 * time.Millisecond
+	}
+	return p
+}
+
+// Backoff returns the wait before retry number `retry` (1-based): the
+// capped exponential step scaled into [½,1] by rnd, a "equal jitter"
+// schedule that decorrelates the retry storms of concurrent batch
+// items while keeping a floor so tests can bound the delay from both
+// sides. rnd must return values in [0,1); pass rand.Float64 or a
+// deterministic stub.
+func (p RetryPolicy) Backoff(retry int, rnd func() float64) time.Duration {
+	p = p.withDefaults()
+	if retry < 1 {
+		retry = 1
+	}
+	d := p.BaseDelay
+	for i := 1; i < retry; i++ {
+		d *= 2
+		if d >= p.MaxDelay {
+			d = p.MaxDelay
+			break
+		}
+	}
+	if d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	// Equal jitter: half fixed, half uniform.
+	return d/2 + time.Duration(rnd()*float64(d/2))
+}
+
+// Retry runs fn until it succeeds, the classifier rejects the error,
+// attempts are exhausted, or ctx is done. classify decides
+// retryability (nil means IsTransient); rnd feeds the jitter (nil
+// means a fixed mid-range 0.5 for determinism). It returns the number
+// of attempts actually made and the final error.
+func Retry(ctx context.Context, p RetryPolicy, classify func(error) bool, rnd func() float64, fn func(attempt int) error) (int, error) {
+	p = p.withDefaults()
+	if classify == nil {
+		classify = IsTransient
+	}
+	if rnd == nil {
+		rnd = func() float64 { return 0.5 }
+	}
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = fn(attempt)
+		if err == nil || attempt >= p.MaxAttempts || !classify(err) {
+			return attempt, err
+		}
+		if ctx != nil {
+			t := time.NewTimer(p.Backoff(attempt, rnd))
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return attempt, err
+			case <-t.C:
+			}
+		} else {
+			time.Sleep(p.Backoff(attempt, rnd))
+		}
+	}
+}

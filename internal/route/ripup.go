@@ -16,9 +16,15 @@ import (
 // is kept only when both nets end up complete.
 
 // ripUpPass attempts to fix every remaining failure. maxCandidates
-// bounds how many blocking nets are tried per failed net.
+// bounds how many blocking nets are tried per failed net. The pass
+// polls the router's cancellation between nets: rip-up multiplies the
+// per-net work (every exchange reroutes several nets), so a cancelled
+// context must not sit through the whole pass.
 func (rt *router) ripUpPass(maxCandidates int) {
 	for _, rn := range rt.result.Nets {
+		if rt.cancel.poll() {
+			return
+		}
 		if rn.OK() {
 			continue
 		}
@@ -68,6 +74,10 @@ func (rt *router) ripUpOne(rn *RoutedNet, maxCandidates, depth int) {
 	// cannot be rerouted in one order often can in another, because the
 	// failed net then claims a different corridor.
 	for start := 0; start < len(victims); start++ {
+		if rt.cancel.poll() {
+			rollback()
+			return
+		}
 		order := append(append([]*netlist.Net(nil), victims[start:]...), victims[:start]...)
 		var removed []*netlist.Net
 		for _, v := range order {

@@ -1,0 +1,159 @@
+package route
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"netart/internal/netlist"
+	"netart/internal/place"
+)
+
+// buildRouter replicates RouteCtx's construction up through the base
+// routing pass so tests can poke at the rip-up internals directly.
+func buildRouter(t *testing.T, ctx context.Context, pr *place.Result, opts Options) *router {
+	t.Helper()
+	rt := &router{
+		pl:     pr,
+		opts:   opts,
+		netID:  map[*netlist.Net]int32{},
+		cancel: newCancelCheck(ctx),
+	}
+	if err := rt.buildPlane(); err != nil {
+		t.Fatal(err)
+	}
+	rt.result = &Result{
+		Placement: pr,
+		Plane:     rt.plane,
+		NetID:     rt.netID,
+		byNet:     map[*netlist.Net]*RoutedNet{},
+	}
+	if err := rt.addPrerouted(); err != nil {
+		t.Fatal(err)
+	}
+	if opts.Claimpoints {
+		rt.placeClaims()
+	}
+	rt.routeAll()
+	return rt
+}
+
+func snapshotSegments(res *Result) map[*netlist.Net][]Segment {
+	out := map[*netlist.Net][]Segment{}
+	for _, rn := range res.Nets {
+		out[rn.Net] = append([]Segment(nil), rn.Segments...)
+	}
+	return out
+}
+
+func sameSegments(t *testing.T, res *Result, want map[*netlist.Net][]Segment) {
+	t.Helper()
+	for _, rn := range res.Nets {
+		saved := want[rn.Net]
+		if len(saved) != len(rn.Segments) {
+			t.Fatalf("net %s: segment count changed %d → %d", rn.Net.Name, len(saved), len(rn.Segments))
+		}
+		for i := range saved {
+			if saved[i] != rn.Segments[i] {
+				t.Fatalf("net %s: segment %d changed %v → %v", rn.Net.Name, i, saved[i], rn.Segments[i])
+			}
+		}
+	}
+}
+
+// TestRipUpZeroCandidates: a failed net with no other routed net in its
+// neighbourhood has nothing to displace — ripCandidates must return
+// nil and ripUpOne must leave the result byte-for-byte unchanged.
+func TestRipUpZeroCandidates(t *testing.T) {
+	pr, n := pairScene(t, 6, 0)
+	rt := buildRouter(t, context.Background(), pr, Options{Claimpoints: false, NoRetry: true})
+	rn := rt.result.Net(n)
+	if !rn.OK() {
+		t.Fatal("pair scene should route cleanly")
+	}
+	// Simulate a failure on the only net in the design: every candidate
+	// filter (self, unrouted, empty) now applies to the whole set.
+	rn.Failed = []*netlist.Terminal{n.Terms[0]}
+	if got := rt.ripCandidates(rn, 4); len(got) != 0 {
+		t.Fatalf("ripCandidates on a one-net design: want none, got %d", len(got))
+	}
+	before := snapshotSegments(rt.result)
+	rt.ripUpOne(rn, 4, 2)
+	sameSegments(t, rt.result, before)
+	if len(rn.Failed) != 1 {
+		t.Error("ripUpOne without candidates must not touch the failure list")
+	}
+}
+
+// TestRipUpDepthExhausted: the bounded recursion must refuse to do any
+// work at depth 0, even when candidates exist — that is the property
+// keeping victim-of-victim chains finite.
+func TestRipUpDepthExhausted(t *testing.T) {
+	pr, _, n2 := crossScene(t)
+	rt := buildRouter(t, context.Background(), pr, Options{Claimpoints: false, NoRetry: true})
+	failed := rt.result.Net(n2)
+	if failed.OK() {
+		// Net order is deterministic, but guard against either net
+		// being the loser.
+		for _, rn := range rt.result.Nets {
+			if !rn.OK() {
+				failed = rn
+			}
+		}
+	}
+	if failed.OK() {
+		t.Skip("cross scene routed fully; no failure to exercise")
+	}
+	before := snapshotSegments(rt.result)
+	rt.ripUpOne(failed, 4, 0)
+	sameSegments(t, rt.result, before)
+	if failed.OK() {
+		t.Error("depth-0 rip-up cannot have completed the net")
+	}
+}
+
+// TestRipUpPassCancelled: a cancellation that fires before the pass
+// must make it return immediately without disturbing the routing, and
+// RouteCtx must surface ctx.Err() instead of a partial result.
+func TestRipUpPassCancelled(t *testing.T) {
+	pr, _, _ := crossScene(t)
+	rt := buildRouter(t, context.Background(), pr, Options{Claimpoints: false, NoRetry: true})
+	before := snapshotSegments(rt.result)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rt.cancel = newCancelCheck(ctx)
+	rt.ripUpPass(4)
+	sameSegments(t, rt.result, before)
+
+	pr2, _, _ := crossScene(t)
+	if _, err := RouteCtx(ctx, pr2, Options{Claimpoints: false, NoRetry: true, RipUp: true}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled RouteCtx with rip-up: want context.Canceled, got %v", err)
+	}
+}
+
+// TestRipUpCancelMidRotation: cancellation between candidate rotations
+// rolls the in-progress exchange back instead of leaving the plane in
+// a half-ripped state.
+func TestRipUpCancelMidRotation(t *testing.T) {
+	pr, _, n2 := crossScene(t)
+	rt := buildRouter(t, context.Background(), pr, Options{Claimpoints: false, NoRetry: true})
+	var failed *RoutedNet
+	for _, rn := range rt.result.Nets {
+		if !rn.OK() {
+			failed = rn
+		}
+	}
+	if failed == nil {
+		t.Skip("cross scene routed fully; no failure to exercise")
+	}
+	before := snapshotSegments(rt.result)
+
+	// Fire the cancellation exactly at the first rotation's poll.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rt.cancel = newCancelCheck(ctx)
+	rt.ripUpOne(failed, 4, 2)
+	sameSegments(t, rt.result, before)
+	_ = n2
+}

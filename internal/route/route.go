@@ -8,6 +8,7 @@ import (
 	"netart/internal/geom"
 	"netart/internal/netlist"
 	"netart/internal/place"
+	"netart/internal/resilience"
 )
 
 // Options mirrors the EUREKA command line of Appendix F plus the
@@ -54,6 +55,18 @@ type Options struct {
 	// line-expansion router; the baselines of §5.2 are available for
 	// the comparison benches.
 	Algorithm Algo
+	// MaxPlaneArea caps the routing-plane area in points (0 =
+	// unlimited). Oversized planes are rejected with a
+	// *resilience.LimitError before any allocation, so one pathological
+	// placement cannot exhaust the process.
+	MaxPlaneArea int
+	// Inject, when non-nil, arms the resilience.SiteRouteWavefront
+	// fault site: it is fired once per wavefront search, and an
+	// injected error makes that search fail soft (the terminal is
+	// reported unrouted, matching the paper's best-effort failure
+	// model) while an injected panic propagates to the caller's
+	// Recover boundary.
+	Inject *resilience.Injector
 }
 
 // Algo identifies a routing search engine.
@@ -212,6 +225,10 @@ func (rt *router) buildPlane() error {
 	}
 	if !rt.opts.FixedBorder[geom.Up] {
 		pb.Max.Y += m
+	}
+	g := resilience.Guards{MaxPlaneArea: rt.opts.MaxPlaneArea}
+	if err := g.CheckArea(pb.Max.X-pb.Min.X+1, pb.Max.Y-pb.Min.Y+1); err != nil {
+		return fmt.Errorf("route: %w", err)
 	}
 	rt.plane = NewPlane(pb)
 
@@ -453,6 +470,9 @@ func (rt *router) initiate(terms []*netlist.Terminal, id int32) ([2]*netlist.Ter
 		var segs []Segment
 		var ok bool
 		if rt.opts.DualFront && rt.opts.Algorithm == AlgoLineExpansion {
+			if rt.opts.Inject.Fire(resilience.SiteRouteWavefront) != nil {
+				continue // injected soft failure: try the next pair
+			}
 			rt.result.Stats.Searches++
 			segs, ok = dualSearch(rt.plane, id,
 				rt.termPoint(p.a), rt.escapeDirs(p.a),
@@ -506,6 +526,13 @@ func (rt *router) search(t *netlist.Terminal, id int32, target func(geom.Point) 
 	from := rt.termPoint(t)
 	dirs := rt.escapeDirs(t)
 	if len(dirs) == 0 {
+		return nil, false
+	}
+	// Fault-injection site route.wavefront: one firing per search. An
+	// injected error fails this search softly (the terminal is reported
+	// unrouted and the degradation ladder decides what happens next); a
+	// panic escapes to the nearest resilience.Recover.
+	if rt.opts.Inject.Fire(resilience.SiteRouteWavefront) != nil {
 		return nil, false
 	}
 	switch rt.opts.Algorithm {

@@ -125,6 +125,9 @@ func (d *Diagram) ASCII() string {
 		sb.Write(row)
 		sb.WriteByte('\n')
 	}
+	if d.Degraded != nil {
+		sb.WriteString(d.Degraded.Block())
+	}
 	return sb.String()
 }
 
@@ -226,6 +229,15 @@ func (d *Diagram) WriteSVG(w io.Writer) error {
 			x, y-scale/2, scale*3/4, escapeXML(st.Name))
 	}
 
+	// Degradation diagnostic: a machine-findable comment plus a visible
+	// banner so a partial artwork is never mistaken for a clean one.
+	if d.Degraded != nil {
+		fmt.Fprintf(&sb, "<!-- %s -->\n", escapeXML(strings.TrimRight(d.Degraded.Block(), "\n")))
+		fmt.Fprintf(&sb,
+			`<text x="4" y="%d" font-size="%d" fill="#b00020" font-family="monospace">DEGRADED: %s</text>`+"\n",
+			height-scale/2, scale, escapeXML(d.Degraded.Reason))
+	}
+
 	sb.WriteString("</svg>\n")
 	_, err := io.WriteString(w, sb.String())
 	return err
@@ -245,8 +257,12 @@ func (d *Diagram) Summary() string {
 		routed = fmt.Sprintf(" wire=%d bends=%d cross=%d branch=%d unrouted=%d",
 			m.WireLength, m.Bends, m.Crossings, m.Branches, m.Unrouted)
 	}
-	return fmt.Sprintf("%s: %d modules %d nets area=%d flow=%.2f%s",
+	s := fmt.Sprintf("%s: %d modules %d nets area=%d flow=%.2f%s",
 		d.Design.Name, len(d.Design.Modules), len(d.Design.Nets), m.Area, m.FlowRight, routed)
+	if d.Degraded != nil {
+		s += "\n" + strings.TrimRight(d.Degraded.Block(), "\n")
+	}
+	return s
 }
 
 // SegmentsOf is a convenience accessor used by renders and tools.

@@ -20,6 +20,49 @@ type Diagram struct {
 	Design    *netlist.Design
 	Placement *place.Result
 	Routing   *route.Result // nil for placement-only diagrams
+	// Degraded is non-nil when the diagram is a best-effort partial
+	// result: the generation pipeline exhausted its degradation ladder
+	// and kept the least-bad routing instead of failing the request.
+	// Renderers append it as a diagnostic block so a degraded artwork
+	// is never mistaken for a clean one.
+	Degraded *Degradation
+}
+
+// Degradation reports what a partial diagram still preserves and what
+// it lost — the machine-checkable record of a best-effort generation
+// (the paper treats unrouted nets as reportable, not fatal; §6 lists
+// them per figure).
+type Degradation struct {
+	// Attempts names the degradation-ladder rungs that were tried, in
+	// order (e.g. "route[line-expansion]", "route[dual-front]",
+	// "route[lee+rip-up]").
+	Attempts []string
+	// Unrouted lists the incomplete nets as "net: term1 term2 ..."
+	// (the terminals that stayed unconnected).
+	Unrouted []string
+	// Reason is a one-line human summary.
+	Reason string
+}
+
+// Block renders the degradation report as a multi-line diagnostic
+// block, one line per fact, suitable for appending to any text
+// rendering.
+func (dg *Degradation) Block() string {
+	if dg == nil {
+		return ""
+	}
+	s := "DEGRADED: " + dg.Reason + "\n"
+	if len(dg.Attempts) > 0 {
+		s += "  attempts:"
+		for _, a := range dg.Attempts {
+			s += " " + a
+		}
+		s += "\n"
+	}
+	for _, u := range dg.Unrouted {
+		s += "  unrouted " + u + "\n"
+	}
+	return s
 }
 
 // FromPlacement wraps a placement-only diagram (the intermediate result

@@ -4,14 +4,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net/http"
 	"sync"
 	"time"
-)
 
-// maxBodyBytes bounds request bodies; inline netlists larger than this
-// are rejected with 413 before parsing.
-const maxBodyBytes = 8 << 20
+	"netart/internal/resilience"
+)
 
 // maxBatchItems bounds one batch call; bigger batches should be split
 // client-side so the queue-based load shedding stays meaningful.
@@ -21,7 +20,7 @@ const maxBatchItems = 64
 //
 //	POST /v1/generate  one generation request
 //	POST /v1/batch     up to 64 requests fanned out over the pool
-//	GET  /v1/healthz   liveness + pool shape
+//	GET  /v1/healthz   liveness + pool shape (+ degraded advisories)
 //	GET  /v1/stats     counters, cache stats, latency histograms
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -49,15 +48,17 @@ func writeError(w http.ResponseWriter, err error) {
 	writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
 }
 
-func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
-	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+// decodeBody reads a JSON body under the configured size cap; an
+// oversized body becomes a clean 413 before any of it is parsed.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			return &svcError{status: http.StatusRequestEntityTooLarge,
-				msg: fmt.Sprintf("body exceeds %d bytes", maxBodyBytes)}
+				msg: fmt.Sprintf("body exceeds %d bytes", s.cfg.MaxBodyBytes)}
 		}
 		return badRequest("invalid JSON body: %v", err)
 	}
@@ -78,7 +79,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req Request
-	if err := decodeBody(w, r, &req); err != nil {
+	if err := s.decodeBody(w, r, &req); err != nil {
 		writeError(w, err)
 		return
 	}
@@ -90,16 +91,57 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// retryPolicy derives the batch backoff schedule from the config.
+func (s *Server) retryPolicy() resilience.RetryPolicy {
+	return resilience.RetryPolicy{
+		MaxAttempts: 1 + s.cfg.BatchRetries,
+		BaseDelay:   s.cfg.RetryBase,
+		MaxDelay:    s.cfg.RetryMax,
+	}
+}
+
+// statusOf extracts the HTTP status an error maps to (500 fallback).
+func statusOf(err error) int {
+	var se *svcError
+	if errors.As(err, &se) {
+		return se.status
+	}
+	return http.StatusInternalServerError
+}
+
+// retryableBatch classifies a batch-item failure: retry injected
+// faults and injected panics (the error chain says Transient), shed
+// items (429 — the queue may have drained by the next attempt), and
+// in-pool timeouts whose parent request is still alive. Permanent
+// failures — bad requests, resource caps, genuine panics — fail the
+// item immediately.
+func retryableBatch(parent interface{ Err() error }) func(error) bool {
+	return func(err error) bool {
+		if resilience.IsTransient(err) {
+			return true
+		}
+		switch statusOf(err) {
+		case http.StatusTooManyRequests:
+			return true
+		case http.StatusGatewayTimeout:
+			return parent.Err() == nil
+		}
+		return false
+	}
+}
+
 // handleBatch fans the items out over the worker pool concurrently and
 // reports per-item outcomes in request order. Items shed by the full
 // queue fail individually with 429 — one oversized batch cannot wedge
-// the daemon.
+// the daemon. Transient item failures are retried with exponential
+// backoff and jitter, bounded by Config.BatchRetries; the per-item
+// attempt count is reported so callers can see the retry spend.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if !requirePost(w, r) {
 		return
 	}
 	var batch BatchRequest
-	if err := decodeBody(w, r, &batch); err != nil {
+	if err := s.decodeBody(w, r, &batch); err != nil {
 		writeError(w, err)
 		return
 	}
@@ -111,34 +153,60 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, badRequest("batch carries %d requests (max %d)", len(batch.Requests), maxBatchItems))
 		return
 	}
+	policy := s.retryPolicy()
+	classify := retryableBatch(r.Context())
 	results := make([]BatchItem, len(batch.Requests))
 	var wg sync.WaitGroup
 	for i := range batch.Requests {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			resp, err := s.Generate(r.Context(), &batch.Requests[i])
+			var resp *Response
+			attempts, err := resilience.Retry(r.Context(), policy, classify, rand.Float64,
+				func(attempt int) error {
+					if attempt > 1 {
+						s.stats.retries.Add(1)
+					}
+					var gerr error
+					resp, gerr = s.Generate(r.Context(), &batch.Requests[i])
+					return gerr
+				})
 			if err != nil {
-				status := http.StatusInternalServerError
-				var se *svcError
-				if errors.As(err, &se) {
-					status = se.status
-				}
-				results[i] = BatchItem{Error: err.Error(), Status: status}
+				results[i] = BatchItem{Error: err.Error(), Status: statusOf(err), Attempts: attempts}
 				return
 			}
-			results[i] = BatchItem{Response: resp, Status: http.StatusOK}
+			results[i] = BatchItem{Response: resp, Status: http.StatusOK, Attempts: attempts}
 		}(i)
 	}
 	wg.Wait()
 	writeJSON(w, http.StatusOK, BatchResponse{Results: results})
 }
 
+// handleHealthz reports liveness plus an advisory health grade: the
+// status degrades (still HTTP 200 — the daemon is alive and serving)
+// when the queue is over 80% full or any panic has been recovered
+// since start. Orchestrators that want to act on degradation read
+// Status/Reasons instead of the HTTP code.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	queued := s.pool.queued()
+	panics := s.stats.panics.Load()
+	status := "ok"
+	var reasons []string
+	if s.cfg.QueueDepth > 0 && queued*5 > s.cfg.QueueDepth*4 {
+		status = "degraded"
+		reasons = append(reasons, fmt.Sprintf("queue %d/%d over 80%% full", queued, s.cfg.QueueDepth))
+	}
+	if panics > 0 {
+		status = "degraded"
+		reasons = append(reasons, fmt.Sprintf("%d panic(s) recovered since start", panics))
+	}
 	writeJSON(w, http.StatusOK, HealthResponse{
-		Status:  "ok",
+		Status:  status,
 		Workers: s.cfg.Workers,
 		Queue:   s.cfg.QueueDepth,
+		Queued:  queued,
+		Panics:  panics,
+		Reasons: reasons,
 		UptimeS: time.Since(s.stats.start).Seconds(),
 	})
 }

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"sync"
+
+	"netart/internal/resilience"
 )
 
 // ErrQueueFull is returned by submit when the bounded queue cannot
@@ -35,6 +37,11 @@ type workerPool struct {
 
 	workers int
 	depth   int
+
+	// onPanic, when set, observes panics that escape a task. The pool
+	// always survives them: one poisoned request must never take down
+	// the worker goroutine, let alone the daemon.
+	onPanic func(*resilience.StageError)
 }
 
 // newWorkerPool starts `workers` goroutines behind a queue of `depth`
@@ -64,7 +71,19 @@ func (p *workerPool) worker() {
 		// A task whose deadline expired while queued is not worth
 		// starting; its waiter still gets woken via done.
 		if t.ctx.Err() == nil {
-			t.run(t.ctx)
+			// Last-resort panic isolation: tasks are expected to carry
+			// their own Recover (for accurate stage labels), but
+			// anything that still escapes is converted here so the
+			// worker goroutine — and with it every queued request —
+			// survives.
+			if err := resilience.Recover("pool", func() error {
+				t.run(t.ctx)
+				return nil
+			}); err != nil {
+				if se, ok := resilience.AsStageError(err); ok && p.onPanic != nil {
+					p.onPanic(se)
+				}
+			}
 		}
 		close(t.done)
 	}

@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -11,6 +12,7 @@ import (
 	"netart/internal/gen"
 	"netart/internal/library"
 	"netart/internal/netlist"
+	"netart/internal/resilience"
 	"netart/internal/workload"
 )
 
@@ -31,6 +33,36 @@ type Config struct {
 	// 30s); MaxTimeout clips requests that ask for more (default 2min).
 	DefaultTimeout time.Duration
 	MaxTimeout     time.Duration
+
+	// MaxBodyBytes caps request bodies; oversized bodies get a clean
+	// 413 before any decoding (default 8 MiB).
+	MaxBodyBytes int64
+	// MaxModules / MaxNets / MaxPlaneArea are the resource guards:
+	// designs beyond these caps are rejected with 422 before (counts)
+	// or instead of (plane area) consuming a routing plane. Zero uses
+	// the defaults (4096 modules, 16384 nets, 4M plane points);
+	// negative disables the corresponding guard.
+	MaxModules   int
+	MaxNets      int
+	MaxPlaneArea int
+
+	// DegradeMode is the server-wide default degradation policy for
+	// requests that do not pick their own (see gen.DegradeMode).
+	DegradeMode gen.DegradeMode
+
+	// BatchRetries is the number of extra attempts a transient /v1/batch
+	// item failure may consume (default 2; negative disables retry).
+	// RetryBase/RetryMax shape the exponential backoff between attempts
+	// (defaults 10ms/250ms; jitter is always applied).
+	BatchRetries int
+	RetryBase    time.Duration
+	RetryMax     time.Duration
+
+	// Inject arms the fault-injection sites across the whole pipeline
+	// (chaos testing; see resilience.ParseSpec). While any rule is
+	// armed the result cache is bypassed so injected failures cannot
+	// poison cached artwork. Nil disables injection at zero cost.
+	Inject *resilience.Injector
 }
 
 func (c Config) withDefaults() Config {
@@ -49,7 +81,48 @@ func (c Config) withDefaults() Config {
 	if c.MaxTimeout <= 0 {
 		c.MaxTimeout = 2 * time.Minute
 	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	switch {
+	case c.MaxModules == 0:
+		c.MaxModules = 4096
+	case c.MaxModules < 0:
+		c.MaxModules = 0
+	}
+	switch {
+	case c.MaxNets == 0:
+		c.MaxNets = 16384
+	case c.MaxNets < 0:
+		c.MaxNets = 0
+	}
+	switch {
+	case c.MaxPlaneArea == 0:
+		c.MaxPlaneArea = 4 << 20
+	case c.MaxPlaneArea < 0:
+		c.MaxPlaneArea = 0
+	}
+	if c.BatchRetries == 0 {
+		c.BatchRetries = 2
+	} else if c.BatchRetries < 0 {
+		c.BatchRetries = 0
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 10 * time.Millisecond
+	}
+	if c.RetryMax <= 0 {
+		c.RetryMax = 250 * time.Millisecond
+	}
 	return c
+}
+
+// guards derives the resilience caps from the config.
+func (c Config) guards() resilience.Guards {
+	return resilience.Guards{
+		MaxModules:   c.MaxModules,
+		MaxNets:      c.MaxNets,
+		MaxPlaneArea: c.MaxPlaneArea,
+	}
 }
 
 // Server is the schematic-generation daemon: a worker pool, a result
@@ -89,6 +162,9 @@ func New(cfg Config) *Server {
 			"life":     workload.Life27(),
 		},
 	}
+	// Panics that escape a task (outside the per-request Recover) are
+	// still counted and surfaced in /v1/stats.
+	s.pool.onPanic = s.stats.recordPanic
 	return s
 }
 
@@ -106,23 +182,73 @@ func (s *Server) Stats() StatsResponse {
 }
 
 // svcError pairs an error message with the HTTP status it maps to.
+// cause, when set, preserves the underlying pipeline error so the
+// batch retry layer can classify transience through errors.Unwrap.
 type svcError struct {
 	status int
 	msg    string
+	cause  error
 }
 
 func (e *svcError) Error() string { return e.msg }
+func (e *svcError) Unwrap() error { return e.cause }
 
 func badRequest(format string, args ...any) *svcError {
 	return &svcError{status: 400, msg: fmt.Sprintf(format, args...)}
+}
+
+// unprocessable is the 422 of the resource guards: the request parses
+// fine but exceeds this deployment's caps, so retrying it unchanged is
+// pointless.
+func unprocessable(format string, args ...any) *svcError {
+	return &svcError{status: 422, msg: fmt.Sprintf(format, args...)}
+}
+
+// preGuard sheds obviously pathological requests before they occupy a
+// queue slot: the caps are checked cheaply on the raw text (line
+// counts can only overestimate module/net counts by comments and blank
+// lines, so the bound is doubled; the authoritative post-parse check
+// runs inside the pool).
+func (s *Server) preGuard(req *Request) error {
+	if req.ChainLength > maxChainLength {
+		return unprocessable("chain_length %d exceeds limit %d", req.ChainLength, maxChainLength)
+	}
+	if s.cfg.MaxModules > 0 {
+		if lines := countLines(req.Calls); lines > 2*s.cfg.MaxModules+16 {
+			return unprocessable("call records (%d lines) exceed module limit %d", lines, s.cfg.MaxModules)
+		}
+	}
+	if s.cfg.MaxNets > 0 {
+		if lines := countLines(req.Netlist); lines > 16*s.cfg.MaxNets {
+			return unprocessable("net-list records (%d lines) exceed net limit %d", lines, s.cfg.MaxNets)
+		}
+	}
+	return nil
+}
+
+func countLines(s string) int {
+	if s == "" {
+		return 0
+	}
+	return strings.Count(s, "\n") + 1
 }
 
 // Generate runs one request through the bounded worker pool and waits
 // for its completion. It is the programmatic entry the HTTP handlers
 // and the benchmarks share. Returned errors are *svcError with an
 // embedded HTTP status.
+//
+// The pipeline closure runs under resilience.Recover: a panic in any
+// stage becomes a *resilience.StageError, is recorded in /v1/stats,
+// and maps to a 500 for this request alone — the daemon, the worker
+// goroutine, and every other queued request keep going.
 func (s *Server) Generate(ctx context.Context, req *Request) (*Response, error) {
 	s.stats.requests.Add(1)
+
+	if err := s.preGuard(req); err != nil {
+		s.stats.rejected.Add(1)
+		return nil, err
+	}
 
 	timeout := s.cfg.DefaultTimeout
 	if req.TimeoutMs > 0 {
@@ -141,10 +267,14 @@ func (s *Server) Generate(ctx context.Context, req *Request) (*Response, error) 
 	)
 	done, serr := s.pool.submit(ctx, func(ctx context.Context) {
 		ran = true
-		if s.testHook != nil {
-			s.testHook()
-		}
-		resp, err = s.process(ctx, req)
+		err = resilience.Recover("pipeline", func() error {
+			if s.testHook != nil {
+				s.testHook()
+			}
+			var perr error
+			resp, perr = s.process(ctx, req)
+			return perr
+		})
 	})
 	if serr != nil {
 		s.stats.shed.Add(1)
@@ -156,24 +286,59 @@ func (s *Server) Generate(ctx context.Context, req *Request) (*Response, error) 
 		s.stats.timeouts.Add(1)
 		return nil, &svcError{status: 504, msg: ctx.Err().Error()}
 	}
+	if err == nil && resp == nil {
+		// Defensive: a task that was aborted by the pool's last-resort
+		// recovery leaves neither a response nor an error behind.
+		err = &svcError{status: 500, msg: "internal: generation task aborted"}
+	}
 	if err != nil {
-		if ctx.Err() != nil {
-			s.stats.timeouts.Add(1)
-			return nil, &svcError{status: 504, msg: err.Error()}
-		}
-		s.stats.failed.Add(1)
-		if se, ok := err.(*svcError); ok {
-			return nil, se
-		}
-		return nil, &svcError{status: 500, msg: err.Error()}
+		return nil, s.mapError(ctx, err)
+	}
+	if resp.Degraded != nil {
+		s.stats.degraded.Add(1)
 	}
 	s.stats.ok.Add(1)
 	return resp, nil
 }
 
+// mapError classifies a pipeline error into the *svcError the HTTP
+// layer serves, updating the outcome counters on the way:
+//
+//	panic (StageError)        → 500, counted + ringed in /v1/stats
+//	resource cap (LimitError) → 422
+//	unroutable (strict modes) → 422
+//	context deadline          → 504
+//	anything else             → its svcError status, or 500
+func (s *Server) mapError(ctx context.Context, err error) *svcError {
+	if se, ok := resilience.AsStageError(err); ok {
+		s.stats.recordPanic(se)
+		s.stats.failed.Add(1)
+		return &svcError{status: 500, msg: se.Error(), cause: se}
+	}
+	if le, ok := resilience.AsLimitError(err); ok {
+		s.stats.rejected.Add(1)
+		return unprocessable("%v", le)
+	}
+	var ue *gen.UnroutableError
+	if errors.As(err, &ue) {
+		s.stats.failed.Add(1)
+		return unprocessable("%v", ue)
+	}
+	if ctx.Err() != nil {
+		s.stats.timeouts.Add(1)
+		return &svcError{status: 504, msg: err.Error(), cause: err}
+	}
+	s.stats.failed.Add(1)
+	if se, ok := err.(*svcError); ok {
+		return se
+	}
+	return &svcError{status: 500, msg: err.Error(), cause: err}
+}
+
 // process executes the pipeline on a worker goroutine: resolve/parse,
 // cache lookup, place+route, render, cache fill. Every stage feeds its
-// latency histogram.
+// latency histogram and runs under its own resilience.Recover so a
+// panic is attributed to the stage it escaped from.
 func (s *Server) process(ctx context.Context, req *Request) (*Response, error) {
 	t0 := time.Now()
 	s.stats.inflight.Add(1)
@@ -187,23 +352,55 @@ func (s *Server) process(ctx context.Context, req *Request) (*Response, error) {
 	if err != nil {
 		return nil, badRequest("%v", err)
 	}
+	// Server-side resilience wiring: the effective degradation policy
+	// (request override wins), the fault injector, and the plane-area
+	// guard all ride on gen.Options.
+	if req.Options.DegradeMode == "" {
+		opts.Degrade = s.cfg.DegradeMode
+	}
+	opts.Inject = s.cfg.Inject
+	if opts.Route.MaxPlaneArea == 0 {
+		opts.Route.MaxPlaneArea = s.cfg.MaxPlaneArea
+	}
 
 	// Parse stage: obtain a request-private design plus its canonical
 	// serialization (the cache-key half derived from the network).
 	tp := time.Now()
-	design, canonical, err := s.resolveDesign(req)
+	var (
+		design    *netlist.Design
+		canonical string
+	)
+	err = resilience.Recover("parse", func() error {
+		if ferr := s.cfg.Inject.Fire(resilience.SiteParse); ferr != nil {
+			return ferr
+		}
+		var perr error
+		design, canonical, perr = s.resolveDesign(req)
+		return perr
+	})
 	parseDur := time.Since(tp)
 	s.stats.parse.observe(parseDur)
 	if err != nil {
 		return nil, err
 	}
+	// Authoritative resource guard, now that real counts exist.
+	if err := s.cfg.guards().CheckCounts(len(design.Modules), len(design.Nets)); err != nil {
+		return nil, err
+	}
 
-	key := makeCacheKey(canonical, req.Options.canonical(), format)
-	if hit, ok := s.cache.get(key); ok {
-		hit.Cached = true
-		hit.ElapsedMs = msSince(t0)
-		s.stats.total.observe(time.Since(t0))
-		return &hit, nil
+	// While faults are armed the cache is bypassed entirely: a degraded
+	// or injected-failure artwork must never be served to a later clean
+	// request (and chaos runs must not be masked by earlier hits).
+	useCache := !s.cfg.Inject.Enabled()
+
+	key := makeCacheKey(canonical, req.Options.canonical(opts.Degrade), format)
+	if useCache {
+		if hit, ok := s.cache.get(key); ok {
+			hit.Cached = true
+			hit.ElapsedMs = msSince(t0)
+			s.stats.total.observe(time.Since(t0))
+			return &hit, nil
+		}
 	}
 
 	dg, stages, err := gen.GenerateTimedCtx(ctx, design, opts)
@@ -217,7 +414,15 @@ func (s *Server) process(ctx context.Context, req *Request) (*Response, error) {
 	s.stats.route.observe(stages.Route)
 
 	tr := time.Now()
-	rendered, err := renderDiagram(dg, format)
+	var rendered string
+	err = resilience.Recover("render", func() error {
+		if ferr := s.cfg.Inject.Fire(resilience.SiteRender); ferr != nil {
+			return ferr
+		}
+		var rerr error
+		rendered, rerr = renderDiagram(dg, format)
+		return rerr
+	})
 	renderDur := time.Since(tr)
 	s.stats.render.observe(renderDur)
 	if err != nil {
@@ -239,8 +444,17 @@ func (s *Server) process(ctx context.Context, req *Request) (*Response, error) {
 			RenderMs: durMs(renderDur),
 		},
 	}
+	if dg.Degraded != nil {
+		resp.Degraded = &DegradedReport{
+			Reason:   dg.Degraded.Reason,
+			Attempts: append([]string(nil), dg.Degraded.Attempts...),
+			Unrouted: append([]string(nil), dg.Degraded.Unrouted...),
+		}
+	}
 	resp.ElapsedMs = msSince(t0)
-	s.cache.put(key, resp)
+	if useCache {
+		s.cache.put(key, resp)
+	}
 	s.stats.total.observe(time.Since(t0))
 	return &resp, nil
 }
@@ -252,6 +466,9 @@ func durMs(d time.Duration) float64 {
 func msSince(t time.Time) float64 {
 	return durMs(time.Since(t))
 }
+
+// maxChainLength caps the synthetic chain workload.
+const maxChainLength = 1024
 
 // resolveDesign turns a request into a private *netlist.Design plus
 // its canonical serialization. Built-in workloads are cloned from the
@@ -268,8 +485,8 @@ func (s *Server) resolveDesign(req *Request) (*netlist.Design, string, error) {
 			if n <= 0 {
 				n = 16
 			}
-			if n > 1024 {
-				return nil, "", badRequest("chain_length %d too large (max 1024)", n)
+			if n > maxChainLength {
+				return nil, "", unprocessable("chain_length %d exceeds limit %d", n, maxChainLength)
 			}
 			d := workload.Chain(n)
 			return d, canonicalDesign(d), nil

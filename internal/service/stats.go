@@ -1,9 +1,13 @@
 package service
 
 import (
+	"fmt"
 	"math"
+	"sync"
 	"sync/atomic"
 	"time"
+
+	"netart/internal/resilience"
 )
 
 // histBuckets is the bucket count of the latency histograms: bucket i
@@ -97,8 +101,22 @@ func (h *latencyHistogram) snapshot() HistogramSnapshot {
 	return s
 }
 
+// PanicInfo is the JSON view of one recovered panic: the stage it
+// escaped from, its rendered cause, when it happened, and a trimmed
+// stack — enough to file a bug from /v1/stats alone.
+type PanicInfo struct {
+	Stage string `json:"stage"`
+	Cause string `json:"cause"`
+	Time  string `json:"time"`
+	Stack string `json:"stack,omitempty"`
+}
+
+// maxRecentPanics bounds the retained panic ring.
+const maxRecentPanics = 8
+
 // serverStats aggregates the daemon-wide counters: request outcomes,
-// in-flight gauge, and one latency histogram per pipeline stage.
+// in-flight gauge, recovered panics, and one latency histogram per
+// pipeline stage.
 type serverStats struct {
 	start time.Time
 
@@ -107,7 +125,14 @@ type serverStats struct {
 	failed   atomic.Uint64 // generation/parse errors
 	shed     atomic.Uint64 // 429s from the full queue
 	timeouts atomic.Uint64 // deadline/cancellation aborts
+	rejected atomic.Uint64 // 422s from the resource guards
+	degraded atomic.Uint64 // 200s that carried a Degraded report
+	retries  atomic.Uint64 // extra attempts spent by batch retry
+	panics   atomic.Uint64 // panics recovered by the isolation layer
 	inflight atomic.Int64
+
+	panicMu sync.Mutex
+	recent  []PanicInfo // ring, newest last, ≤ maxRecentPanics
 
 	parse  latencyHistogram
 	place  latencyHistogram
@@ -120,6 +145,30 @@ func newServerStats() *serverStats {
 	return &serverStats{start: time.Now()}
 }
 
+// recordPanic counts one recovered panic and remembers it in the
+// bounded recent ring served at /v1/stats.
+func (st *serverStats) recordPanic(se *resilience.StageError) {
+	st.panics.Add(1)
+	info := PanicInfo{
+		Stage: se.Stage,
+		Cause: fmt.Sprint(se.Cause),
+		Time:  time.Now().UTC().Format(time.RFC3339Nano),
+		Stack: se.Stack,
+	}
+	st.panicMu.Lock()
+	st.recent = append(st.recent, info)
+	if len(st.recent) > maxRecentPanics {
+		st.recent = st.recent[len(st.recent)-maxRecentPanics:]
+	}
+	st.panicMu.Unlock()
+}
+
+func (st *serverStats) recentPanics() []PanicInfo {
+	st.panicMu.Lock()
+	defer st.panicMu.Unlock()
+	return append([]PanicInfo(nil), st.recent...)
+}
+
 // StatsResponse is the body of GET /v1/stats.
 type StatsResponse struct {
 	UptimeS  float64    `json:"uptime_s"`
@@ -128,23 +177,36 @@ type StatsResponse struct {
 	Failed   uint64     `json:"failed"`
 	Shed     uint64     `json:"shed"`
 	Timeouts uint64     `json:"timeouts"`
+	Rejected uint64     `json:"rejected"`
+	Degraded uint64     `json:"degraded"`
+	Retries  uint64     `json:"retries"`
 	Inflight int64      `json:"inflight"`
 	Queued   int        `json:"queued"`
 	Workers  int        `json:"workers"`
 	Cache    CacheStats `json:"cache"`
+
+	// Panics counts panics converted into StageErrors by the isolation
+	// layer; RecentPanics holds the last few with stage + trimmed stack.
+	Panics       uint64      `json:"panics"`
+	RecentPanics []PanicInfo `json:"recent_panics,omitempty"`
 
 	Stages map[string]HistogramSnapshot `json:"stages"`
 }
 
 func (st *serverStats) snapshot() StatsResponse {
 	return StatsResponse{
-		UptimeS:  time.Since(st.start).Seconds(),
-		Requests: st.requests.Load(),
-		OK:       st.ok.Load(),
-		Failed:   st.failed.Load(),
-		Shed:     st.shed.Load(),
-		Timeouts: st.timeouts.Load(),
-		Inflight: st.inflight.Load(),
+		UptimeS:      time.Since(st.start).Seconds(),
+		Requests:     st.requests.Load(),
+		OK:           st.ok.Load(),
+		Failed:       st.failed.Load(),
+		Shed:         st.shed.Load(),
+		Timeouts:     st.timeouts.Load(),
+		Rejected:     st.rejected.Load(),
+		Degraded:     st.degraded.Load(),
+		Retries:      st.retries.Load(),
+		Inflight:     st.inflight.Load(),
+		Panics:       st.panics.Load(),
+		RecentPanics: st.recentPanics(),
 		Stages: map[string]HistogramSnapshot{
 			"parse":  st.parse.snapshot(),
 			"place":  st.place.snapshot(),

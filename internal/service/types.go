@@ -69,6 +69,11 @@ type GenOptions struct {
 	RipUp         bool   `json:"rip_up,omitempty"`
 	DualFront     bool   `json:"dual_front,omitempty"`
 	Margin        int    `json:"margin,omitempty"`
+
+	// DegradeMode selects the failure policy for incomplete routings:
+	// none, strict, escalate, or best-effort (see gen.DegradeMode).
+	// Empty inherits the server default.
+	DegradeMode string `json:"degrade_mode,omitempty"`
 }
 
 // resolve maps the JSON options onto gen.Options, filling defaults.
@@ -121,12 +126,20 @@ func (o GenOptions) resolve() (gen.Options, error) {
 	default:
 		return opts, fmt.Errorf("unknown algorithm %q (line-expansion, lee-bends, lee-length, hightower)", o.Algorithm)
 	}
+	dm, err := gen.ParseDegradeMode(o.DegradeMode)
+	if err != nil {
+		return opts, err
+	}
+	opts.Degrade = dm
 	return opts, nil
 }
 
 // canonical renders the options in a fixed field order for the cache
 // key; every field participates, so any knob change misses the cache.
-func (o GenOptions) canonical() string {
+// The degradation policy is passed in resolved form because an empty
+// request field inherits the server default — two requests with
+// different effective policies must never share a cache entry.
+func (o GenOptions) canonical(degrade gen.DegradeMode) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "placer=%s part=%d box=%d conn=%d", orDefault(o.Placer, "paper"),
 		orDefaultInt(o.PartSize, 7), orDefaultInt(o.BoxSize, 5), o.MaxConnections)
@@ -134,6 +147,7 @@ func (o GenOptions) canonical() string {
 	fmt.Fprintf(&b, " algo=%s claims=%t swap=%t shortest=%t ripup=%t dual=%t margin=%d",
 		orDefault(o.Algorithm, "line-expansion"), !o.NoClaimpoints, o.SwapObjective,
 		o.ShortestFirst, o.RipUp, o.DualFront, o.Margin)
+	fmt.Fprintf(&b, " degrade=%s", degrade)
 	return b.String()
 }
 
@@ -159,6 +173,16 @@ type StageTimings struct {
 	RenderMs float64 `json:"render_ms"`
 }
 
+// DegradedReport is attached to a Response when the degradation ladder
+// accepted a partial routing rather than failing the request: it names
+// the routing configurations that were attempted and the nets that
+// remained unrouted in the best result.
+type DegradedReport struct {
+	Reason   string   `json:"reason"`
+	Attempts []string `json:"attempts,omitempty"`
+	Unrouted []string `json:"unrouted"`
+}
+
 // Response is the body of a successful generation.
 type Response struct {
 	Name     string            `json:"name"`
@@ -167,6 +191,10 @@ type Response struct {
 	Metrics  schematic.Metrics `json:"metrics"`
 	Unrouted int               `json:"unrouted"`
 	Cached   bool              `json:"cached"`
+	// Degraded is set when the result is a best-effort partial routing
+	// (see gen.DegradeBestEffort); callers that require complete
+	// diagrams should check it before trusting the artwork.
+	Degraded *DegradedReport `json:"degraded,omitempty"`
 	// CacheKey is the hex SHA-256 content address of this result.
 	CacheKey  string       `json:"cache_key"`
 	ElapsedMs float64      `json:"elapsed_ms"`
@@ -190,6 +218,9 @@ type BatchItem struct {
 	Error    string    `json:"error,omitempty"`
 	// Status is the HTTP status the item would have had standalone.
 	Status int `json:"status"`
+	// Attempts counts how many times this item was executed; >1 means
+	// the bounded-retry layer re-ran it after a transient failure.
+	Attempts int `json:"attempts,omitempty"`
 }
 
 // BatchResponse preserves request order.
@@ -197,10 +228,15 @@ type BatchResponse struct {
 	Results []BatchItem `json:"results"`
 }
 
-// HealthResponse is the body of GET /v1/healthz.
+// HealthResponse is the body of GET /v1/healthz. Status is "ok" or
+// "degraded"; degraded is advisory (still HTTP 200) and Reasons says
+// why — a nearly-full queue or recovered panics since start.
 type HealthResponse struct {
-	Status  string `json:"status"`
-	Workers int    `json:"workers"`
-	Queue   int    `json:"queue_depth"`
+	Status  string  `json:"status"`
+	Workers int     `json:"workers"`
+	Queue   int     `json:"queue_depth"`
+	Queued  int     `json:"queued"`
+	Panics  uint64  `json:"panics"`
+	Reasons []string `json:"reasons,omitempty"`
 	UptimeS float64 `json:"uptime_s"`
 }
