@@ -35,7 +35,7 @@ func benchExperiment(b *testing.B, idx int) {
 	e := gen.Experiments()[idx]
 	var last gen.Row
 	for i := 0; i < b.N; i++ {
-		row, _, err := gen.Run(e)
+		row, _, err := gen.RunExperiment(e)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -96,7 +96,7 @@ func BenchmarkClaimpointsAblation(b *testing.B) {
 		e.Options.Route = route.Options{Claimpoints: claims, NoRetry: !retry}
 		unrouted := 0
 		for i := 0; i < b.N; i++ {
-			row, _, err := gen.Run(e)
+			row, _, err := gen.RunExperiment(e)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -193,7 +193,7 @@ func BenchmarkNetOrderAblation(b *testing.B) {
 			e.Options.Route.OrderShortestFirst = cfg.shortest
 			unrouted := 0
 			for i := 0; i < b.N; i++ {
-				row, _, err := gen.Run(e)
+				row, _, err := gen.RunExperiment(e)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -352,7 +352,7 @@ func BenchmarkCompletionLadder(b *testing.B) {
 			e.Options.Route = step.opts
 			unrouted := 0
 			for i := 0; i < b.N; i++ {
-				row, _, err := gen.Run(e)
+				row, _, err := gen.RunExperiment(e)
 				if err != nil {
 					b.Fatal(err)
 				}

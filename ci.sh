@@ -3,7 +3,9 @@
 #
 #   tier 1 (default):  go vet + build + full test suite
 #                      (+ staticcheck when installed, + 5s fuzz smoke
-#                      of the Appendix-A netlist parser)
+#                      of the Appendix-A netlist parser, + the
+#                      observability allocation guard, + the pipeline
+#                      latency benchmark emitting BENCH_pipeline.json)
 #   tier 2 (-race):    tier 1 with the race detector (slower; exercises
 #                      the netartd worker pool / cache / stats paths and
 #                      the chaos suite's injected panics)
@@ -38,5 +40,25 @@ go test ${RACE} ./...
 # runs stay a manual job (go test -fuzz=FuzzParseDesign ./internal/netlist).
 echo "== go test -fuzz=FuzzParseDesign -fuzztime=5s ./internal/netlist"
 go test -run='^$' -fuzz=FuzzParseDesign -fuzztime=5s ./internal/netlist
+
+# Allocation guard: the disabled observer / metric paths must stay
+# allocation-free, or every un-traced request pays for observability it
+# didn't ask for. Every Benchmark*Disabled must report 0 allocs/op.
+echo "== allocation guard: go test -bench='Disabled$' -benchmem ./internal/obs"
+BENCH_OUT="$(go test -run='^$' -bench='Disabled$' -benchmem ./internal/obs)"
+echo "$BENCH_OUT"
+if ! echo "$BENCH_OUT" | grep -q '^Benchmark.*Disabled'; then
+	echo "ci.sh: FAIL — no Disabled benchmarks ran" >&2
+	exit 1
+fi
+if echo "$BENCH_OUT" | grep '^Benchmark.*Disabled' | grep -qv ' 0 allocs/op'; then
+	echo "ci.sh: FAIL — disabled observability path allocates" >&2
+	exit 1
+fi
+
+# Pipeline latency record: cold (full pipeline) and warm (cache hit)
+# generate latencies per built-in workload, as machine-readable JSON.
+echo "== go run ./cmd/benchpipe -out BENCH_pipeline.json"
+go run ./cmd/benchpipe -out BENCH_pipeline.json
 
 echo "ci.sh: all green"

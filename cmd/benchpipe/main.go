@@ -1,0 +1,130 @@
+// Benchpipe measures the end-to-end latency of the netlist→schematic
+// pipeline through the service core and writes the results as JSON.
+// It reports two numbers per workload:
+//
+//   - cold: the first generate (full parse→place→route→render run,
+//     the cache misses), with the per-stage breakdown;
+//   - warm: the best repeat of the identical request served from the
+//     content-addressed result cache.
+//
+// The ratio between them is the cache's value proposition; the cold
+// stage breakdown shows where the pipeline spends its time. CI runs
+// this as `go run ./cmd/benchpipe -out BENCH_pipeline.json` so every
+// build leaves a machine-readable latency record next to the binaries.
+//
+// Usage:
+//
+//	benchpipe [-out BENCH_pipeline.json] [-workloads fig61,datapath,life]
+//	          [-warm-runs 5]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"netart/internal/gen"
+	"netart/internal/service"
+)
+
+// workloadResult is the per-workload slice of the output file.
+type workloadResult struct {
+	Workload string `json:"workload"`
+	// ColdMs is the first (uncached) request's wall time; ColdStages
+	// breaks it down per stage (parse_ms, place_ms, route_ms,
+	// render_ms — the same wire names as the service APIs).
+	ColdMs     float64          `json:"cold_ms"`
+	ColdStages gen.StageTimings `json:"cold_stages"`
+	// WarmMs is the best of -warm-runs cache-hit repeats.
+	WarmMs   float64 `json:"warm_ms"`
+	WarmRuns int     `json:"warm_runs"`
+	// Speedup is ColdMs / WarmMs (0 when WarmMs is 0).
+	Speedup  float64 `json:"speedup"`
+	Unrouted int     `json:"unrouted"`
+}
+
+// benchFile is the top-level shape of BENCH_pipeline.json.
+type benchFile struct {
+	GeneratedAt string           `json:"generated_at"`
+	Results     []workloadResult `json:"results"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchpipe:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	out := flag.String("out", "BENCH_pipeline.json", "output file (- for stdout)")
+	workloads := flag.String("workloads", "fig61,datapath,life", "comma-separated built-in workloads")
+	warmRuns := flag.Int("warm-runs", 5, "cache-hit repeats per workload (best is reported)")
+	flag.Parse()
+
+	srv := service.New(service.Config{Workers: 1, CacheEntries: 64})
+	defer srv.Close()
+	ctx := context.Background()
+
+	file := benchFile{GeneratedAt: time.Now().UTC().Format(time.RFC3339)}
+	for _, w := range strings.Split(*workloads, ",") {
+		w = strings.TrimSpace(w)
+		if w == "" {
+			continue
+		}
+		req := service.Request{Workload: w, Format: service.FormatSummary}
+		if w == "life" {
+			// Figure 6.7 options: the spacing the dense LIFE fabric needs.
+			req.Options = service.GenOptions{PartSize: 5, BoxSize: 5,
+				ModSpacing: 1, BoxSpacing: 2, PartSpacing: 3}
+		}
+
+		cold, err := srv.GenerateV2(ctx, &req)
+		if err != nil {
+			return fmt.Errorf("workload %s (cold): %w", w, err)
+		}
+		if cold.Cached {
+			return fmt.Errorf("workload %s: first request reported cached", w)
+		}
+		res := workloadResult{
+			Workload:   w,
+			ColdMs:     cold.ElapsedMs,
+			ColdStages: cold.Report.Timings,
+			WarmRuns:   *warmRuns,
+			Unrouted:   cold.Unrouted,
+		}
+		for i := 0; i < *warmRuns; i++ {
+			warm, err := srv.GenerateV2(ctx, &req)
+			if err != nil {
+				return fmt.Errorf("workload %s (warm %d): %w", w, i, err)
+			}
+			if !warm.Cached {
+				return fmt.Errorf("workload %s: warm request %d missed the cache", w, i)
+			}
+			if i == 0 || warm.ElapsedMs < res.WarmMs {
+				res.WarmMs = warm.ElapsedMs
+			}
+		}
+		if res.WarmMs > 0 {
+			res.Speedup = res.ColdMs / res.WarmMs
+		}
+		file.Results = append(file.Results, res)
+		fmt.Fprintf(os.Stderr, "benchpipe: %-10s cold %8.3fms  warm %8.3fms  (%.0fx)\n",
+			w, res.ColdMs, res.WarmMs, res.Speedup)
+	}
+
+	b, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if *out == "-" {
+		_, err = os.Stdout.Write(b)
+		return err
+	}
+	return os.WriteFile(*out, b, 0o644)
+}

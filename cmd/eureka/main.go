@@ -15,13 +15,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"netart/internal/cli"
+	"netart/internal/gen"
 	"netart/internal/geom"
 	"netart/internal/netlist"
+	"netart/internal/obs"
 	"netart/internal/route"
 	"netart/internal/schematic"
 )
@@ -42,6 +45,7 @@ func run() error {
 	noclaims := flag.Bool("noclaims", false, "disable the claimpoint extension")
 	shortest := flag.Bool("shortest", false, "route shorter nets first (§7 extension)")
 	ripup := flag.Bool("ripup", false, "rip-up-and-reroute pass for failed nets (extension)")
+	trace := flag.Bool("trace", false, "print the routing span tree to stderr")
 	out := flag.String("o", "", "output file (default stdout)")
 	name := flag.String("name", "", "design name (default: graphic file's tname)")
 	flag.Parse()
@@ -79,30 +83,40 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	opts := route.Options{
+	// Eureka is the routing half of the pipeline: gen.Run with
+	// Options.Placement routes over the existing placement (the design
+	// argument may be nil — the placement carries it).
+	ropts := route.Options{
 		Claimpoints:        !*noclaims,
 		SwapObjective:      *s,
 		OrderShortestFirst: *shortest,
 		RipUp:              *ripup,
 		Prerouted:          pre.PreroutedFor(dsn),
 	}
-	opts.FixedBorder[geom.Up] = *u
-	opts.FixedBorder[geom.Down] = *d
-	opts.FixedBorder[geom.Right] = *r
-	opts.FixedBorder[geom.Left] = *l
+	ropts.FixedBorder[geom.Up] = *u
+	ropts.FixedBorder[geom.Down] = *d
+	ropts.FixedBorder[geom.Right] = *r
+	ropts.FixedBorder[geom.Left] = *l
 
-	rr, err := route.Route(pr, opts)
+	opts := gen.Options{Route: ropts, Placement: pr}
+	if *trace {
+		opts.Observer = obs.NewObserver(nil, "route")
+	}
+	rep, err := gen.Run(context.Background(), nil, opts)
 	if err != nil {
 		return err
 	}
-	dg := schematic.FromRouting(rr)
-	for _, rn := range rr.Nets {
+	dg := rep.Diagram
+	for _, rn := range rep.Routing.Nets {
 		if !rn.OK() {
 			fmt.Fprintf(os.Stderr, "eureka: warning: net %q unroutable (%d terminal(s) open)\n",
 				rn.Net.Name, len(rn.Failed))
 		}
 	}
 	fmt.Fprintln(os.Stderr, dg.Summary())
+	if rep.Trace != nil {
+		fmt.Fprint(os.Stderr, obs.FormatTree(rep.Trace))
+	}
 	if err := dg.Verify(); err != nil {
 		return fmt.Errorf("self check failed: %w", err)
 	}

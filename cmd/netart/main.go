@@ -12,9 +12,13 @@
 // Render flags: -ascii (print a character rendering), -svg FILE,
 // -esc FILE (ESCHER diagram). Placement knobs match pablo (-p -b -c -e
 // -i -s); routing knobs match eureka (-swap, -noclaims, -shortest).
+// -trace prints the per-stage span tree (wall time, outcome, stage
+// attributes such as partition counts and wavefront expansions) to
+// stderr after generation.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +26,7 @@ import (
 	"netart/internal/cli"
 	"netart/internal/gen"
 	"netart/internal/netlist"
+	"netart/internal/obs"
 	"netart/internal/place"
 	"netart/internal/route"
 	"netart/internal/workload"
@@ -48,6 +53,7 @@ func run() error {
 	noclaims := flag.Bool("noclaims", false, "disable the claimpoint extension")
 	shortest := flag.Bool("shortest", false, "route shorter nets first (§7 extension)")
 	ripup := flag.Bool("ripup", false, "rip-up-and-reroute pass for failed nets (extension)")
+	trace := flag.Bool("trace", false, "print the per-stage span tree to stderr")
 	ascii := flag.Bool("ascii", false, "print an ASCII rendering")
 	svg := flag.String("svg", "", "write an SVG rendering to FILE")
 	esc := flag.String("esc", "", "write the ESCHER diagram to FILE")
@@ -119,14 +125,21 @@ func run() error {
 		return fmt.Errorf("unknown placer %q", *placer)
 	}
 
-	dg, err := gen.Generate(d, opts)
+	if *trace {
+		opts.Observer = obs.NewObserver(nil, "generate")
+	}
+	rep, err := gen.Run(context.Background(), d, opts)
 	if err != nil {
 		return err
 	}
+	dg := rep.Diagram
 	if err := dg.Verify(); err != nil {
 		return fmt.Errorf("self check failed: %w", err)
 	}
 	fmt.Fprintln(os.Stderr, dg.Summary())
+	if rep.Trace != nil {
+		fmt.Fprint(os.Stderr, obs.FormatTree(rep.Trace))
+	}
 
 	if *ascii {
 		fmt.Print(dg.ASCII())

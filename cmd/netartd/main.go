@@ -33,9 +33,19 @@
 //
 //	POST /v1/generate  {"workload":"life","format":"svg"} → diagram
 //	POST /v1/batch     {"requests":[...]}                 → per-item results
+//	POST /v2/generate  like /v1 plus the full generation report
+//	                   (stage timings, routing attempts, search
+//	                   counters, span tree) under "report"
+//	POST /v2/batch     the /v2 shape fanned out over the pool
 //	GET  /v1/healthz   liveness (+ "degraded" advisory status)
 //	GET  /v1/stats     counters, cache hit/miss, stage latency
 //	                   histograms, recovered panics
+//	GET  /metrics      the same counters and per-stage histograms in
+//	                   Prometheus text exposition format
+//	GET  /debug/pprof/ net/http/pprof profiles (disable with -pprof=false)
+//
+// Successful generate responses carry an X-Netart-Trace-Id header so a
+// response can be correlated with its span tree.
 package main
 
 import (
@@ -45,6 +55,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -86,6 +97,7 @@ func run() error {
 	faults := flag.String("faults", "",
 		"fault-injection spec site:mode[:prob][:latency][:xN][;...] (also env "+resilience.EnvFaults+")")
 	faultSeed := flag.Int64("fault-seed", 0, "injector RNG seed (0 = time-based)")
+	pprofOn := flag.Bool("pprof", true, "serve net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	dm, err := gen.ParseDegradeMode(*degrade)
@@ -126,9 +138,22 @@ func run() error {
 	})
 	defer srv.Close()
 
+	// Mount the service surface on a wrapper mux so the pprof handlers
+	// can be added (or withheld) without the service package importing
+	// net/http/pprof and its DefaultServeMux side effects.
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	if *pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           mux,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

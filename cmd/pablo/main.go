@@ -15,12 +15,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"netart/internal/cli"
+	"netart/internal/gen"
 	"netart/internal/netlist"
+	"netart/internal/obs"
 	"netart/internal/place"
 	"netart/internal/schematic"
 )
@@ -40,6 +43,7 @@ func run() error {
 	i := flag.Int("i", 0, "extra tracks around each box")
 	s := flag.Int("s", 0, "extra tracks around each module")
 	g := flag.String("g", "", "ESCHER diagram with a preplaced part to keep fixed")
+	trace := flag.Bool("trace", false, "print the placement span tree to stderr")
 	out := flag.String("o", "", "output file (default stdout)")
 	name := flag.String("name", "design", "design name for the output diagram")
 	flag.Parse()
@@ -56,33 +60,44 @@ func run() error {
 		return err
 	}
 
-	opts := place.Options{
-		PartSize: *p, BoxSize: *b, MaxConnections: *c,
-		PartSpacing: *e, BoxSpacing: *i, ModSpacing: *s,
+	// Pablo is the placement half of the pipeline: gen.Run with
+	// StopAfterPlace runs placement only and leaves Report.Diagram nil.
+	opts := gen.Options{
+		Place: place.Options{
+			PartSize: *p, BoxSize: *b, MaxConnections: *c,
+			PartSpacing: *e, BoxSpacing: *i, ModSpacing: *s,
+		},
+		StopAfterPlace: true,
 	}
 	if *g != "" {
 		pre, err := cli.ReadDiagram(*g)
 		if err != nil {
 			return err
 		}
-		opts.Fixed = map[*netlist.Module]place.Fixed{}
+		opts.Place.Fixed = map[*netlist.Module]place.Fixed{}
 		for _, inst := range pre.Modules {
 			m := d.Module(inst.Name)
 			if m == nil {
 				return fmt.Errorf("preplaced instance %q not in the network", inst.Name)
 			}
-			opts.Fixed[m] = place.Fixed{Pos: inst.Min, Orient: inst.Orient}
+			opts.Place.Fixed[m] = place.Fixed{Pos: inst.Min, Orient: inst.Orient}
 		}
 	}
+	if *trace {
+		opts.Observer = obs.NewObserver(nil, "place")
+	}
 
-	pr, err := place.Place(d, opts)
+	rep, err := gen.Run(context.Background(), d, opts)
 	if err != nil {
 		return err
 	}
-	if err := pr.Verify(); err != nil {
+	if err := rep.Placement.Verify(); err != nil {
 		return err
 	}
-	dg := schematic.FromPlacement(pr)
+	dg := schematic.FromPlacement(rep.Placement)
 	fmt.Fprintln(os.Stderr, dg.Summary())
+	if rep.Trace != nil {
+		fmt.Fprint(os.Stderr, obs.FormatTree(rep.Trace))
+	}
 	return cli.WriteDiagram(*out, dg)
 }

@@ -28,7 +28,7 @@ func main() {
 	fmt.Println("fig   placement      route-time  wire   bends  cross  unrouted")
 	var handTime, autoTime time.Duration
 	for _, e := range []gen.Experiment{all[5], all[6]} { // 6.6 and 6.7
-		row, dg, err := gen.Run(e)
+		row, dg, err := gen.RunExperiment(e)
 		if err != nil {
 			log.Fatal(err)
 		}

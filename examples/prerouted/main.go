@@ -62,7 +62,7 @@ func main() {
 	} {
 		e := gen.Experiments()[5] // figure 6.6
 		e.Options.Route = route.Options{Claimpoints: cfg.claims, NoRetry: !cfg.retry}
-		row, _, err := gen.Run(e)
+		row, _, err := gen.RunExperiment(e)
 		if err != nil {
 			log.Fatal(err)
 		}

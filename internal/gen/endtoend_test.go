@@ -62,7 +62,7 @@ func TestExperimentDiagramsAllVerify(t *testing.T) {
 		t.Skip("full suite is expensive")
 	}
 	for _, e := range gen.Experiments() {
-		_, dg, err := gen.Run(e)
+		_, dg, err := gen.RunExperiment(e)
 		if err != nil {
 			t.Fatalf("%s: %v", e.ID, err)
 		}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"netart/internal/netlist"
+	"netart/internal/obs"
 	"netart/internal/place"
 	"netart/internal/resilience"
 	"netart/internal/route"
@@ -128,6 +129,19 @@ type Options struct {
 	// Inject, when non-nil, is propagated to the place.box and
 	// route.wavefront fault sites for deterministic chaos testing.
 	Inject *resilience.Injector
+
+	// Observer, when non-nil, receives one span per pipeline stage
+	// (place, route, plus a route.attempt child per ladder rung) and
+	// feeds the per-stage latency histograms of its metric sink. A nil
+	// observer is allocation-free on the hot path.
+	Observer *obs.Observer
+	// StopAfterPlace runs only the placement phase (the PABLO half):
+	// Report.Placement is filled, Report.Diagram stays nil.
+	StopAfterPlace bool
+	// Placement, when non-nil, skips placement and routes over the
+	// given result (the EUREKA half); the design argument of Run may
+	// then be nil.
+	Placement *place.Result
 }
 
 // DefaultOptions returns the settings used by the examples: the paper's
@@ -140,227 +154,55 @@ func DefaultOptions() Options {
 }
 
 // PlaceDesign runs only the placement phase (the PABLO half).
+//
+// Deprecated: use Run with Options.StopAfterPlace and read
+// Report.Placement.
 func PlaceDesign(d *netlist.Design, opts Options) (*place.Result, error) {
-	switch opts.Placer {
-	case PlaceEpitaxial:
-		return place.Epitaxial(d, 2+opts.Place.ModSpacing)
-	case PlaceMinCut:
-		return place.MinCut(d, 1+opts.Place.ModSpacing)
-	case PlaceLogicColumns:
-		return place.LogicColumns(d, 2+opts.Place.ModSpacing)
-	default:
-		return place.Place(d, opts.Place)
-	}
+	return placeDesign(d, opts)
 }
 
 // Generate runs placement followed by routing and returns the finished
-// diagram. It is a thin wrapper over GenerateCtx with a background
-// context, so the existing CLIs keep their uncancellable fast path.
+// diagram.
+//
+// Deprecated: use Run, which additionally reports timings, attempts,
+// and the observability trace.
 func Generate(d *netlist.Design, opts Options) (*schematic.Diagram, error) {
 	return GenerateCtx(context.Background(), d, opts)
 }
 
-// GenerateCtx is Generate with cancellation: the context's deadline or
-// cancel signal is honored between the pipeline stages and inside the
-// routing wavefront loops (the hottest paths; see route.RouteCtx). On
-// cancellation it returns ctx.Err().
+// GenerateCtx is Generate with cancellation.
+//
+// Deprecated: use Run.
 func GenerateCtx(ctx context.Context, d *netlist.Design, opts Options) (*schematic.Diagram, error) {
-	dg, _, err := GenerateTimedCtx(ctx, d, opts)
-	return dg, err
-}
-
-// StageTimings records the wall time each pipeline stage consumed
-// during one GenerateTimedCtx run.
-type StageTimings struct {
-	Place time.Duration
-	Route time.Duration
+	rep, err := Run(ctx, d, opts)
+	if err != nil {
+		return nil, err
+	}
+	return rep.Diagram, nil
 }
 
 // GenerateTimedCtx runs the cancellable pipeline and additionally
-// reports per-stage wall times, which the service layer feeds into its
-// latency histograms.
+// reports per-stage wall times.
 //
-// Robustness: both stages run under resilience.Recover, so a panic
-// anywhere in placement or routing surfaces as a structured
-// *resilience.StageError instead of unwinding into the caller; and
-// when routing leaves nets unconnected the degradation ladder selected
-// by Options.Degrade decides between failing, escalating to stronger
-// routers, and returning a partial diagram with Diagram.Degraded set.
+// Deprecated: use Run and read Report.Timings.
 func GenerateTimedCtx(ctx context.Context, d *netlist.Design, opts Options) (*schematic.Diagram, StageTimings, error) {
-	var st StageTimings
-	if err := ctx.Err(); err != nil {
-		return nil, st, err
-	}
-	if opts.Inject != nil {
-		if opts.Place.Inject == nil {
-			opts.Place.Inject = opts.Inject
-		}
-		if opts.Route.Inject == nil {
-			opts.Route.Inject = opts.Inject
-		}
-	}
-
-	t0 := time.Now()
-	var pr *place.Result
-	err := resilience.Recover("place", func() error {
-		var perr error
-		pr, perr = PlaceDesign(d, opts)
-		return perr
-	})
-	st.Place = time.Since(t0)
+	rep, err := Run(ctx, d, opts)
 	if err != nil {
-		return nil, st, err
+		return nil, StageTimings{}, err
 	}
-	if err := ctx.Err(); err != nil {
-		return nil, st, err
-	}
-
-	t1 := time.Now()
-	rr, attempts, err := routeWithLadder(ctx, pr, opts)
-	st.Route = time.Since(t1)
-	if err != nil {
-		return nil, st, err
-	}
-
-	dg := schematic.FromRouting(rr)
-	if unrouted := unroutedReport(rr); len(unrouted) > 0 {
-		switch opts.Degrade {
-		case DegradeStrict, DegradeEscalate:
-			return nil, st, &UnroutableError{Unrouted: unrouted, Attempts: attempts}
-		case DegradeBestEffort:
-			dg.Degraded = &schematic.Degradation{
-				Attempts: attempts,
-				Unrouted: unrouted,
-				Reason: fmt.Sprintf("%d of %d nets unrouted after %d routing attempt(s)",
-					len(unrouted), len(d.Nets), len(attempts)),
-			}
-		}
-	}
-	return dg, st, nil
-}
-
-// ladderRung is one escalation step of the degradation ladder.
-type ladderRung struct {
-	name string
-	opts route.Options
-}
-
-// ladderRungs derives the escalation sequence from the request's base
-// routing options: first the dual-front line-expansion variant (§5.5.3
-// halves the searched area, often finding corridors the single front
-// missed), then the Lee maze runner with the rip-up pass (complete
-// search plus displacement of blocking nets). Rungs identical to the
-// base configuration are skipped — re-running the same router cannot
-// improve a deterministic result.
-func ladderRungs(base route.Options) []ladderRung {
-	var rungs []ladderRung
-	dual := base
-	dual.Algorithm = route.AlgoLineExpansion
-	dual.DualFront = true
-	if !(base.Algorithm == route.AlgoLineExpansion && base.DualFront) {
-		rungs = append(rungs, ladderRung{"route[dual-front]", dual})
-	}
-	lee := base
-	lee.Algorithm = route.AlgoLee
-	lee.DualFront = false
-	lee.RipUp = true
-	if !(base.Algorithm == route.AlgoLee && base.RipUp) {
-		rungs = append(rungs, ladderRung{"route[lee+rip-up]", lee})
-	}
-	return rungs
-}
-
-// routeWithLadder routes the placement, escalating through the ladder
-// when the policy asks for it. It returns the best (fewest-failures)
-// result seen, the names of the attempts made, and an error only when
-// the first attempt fails hard or the context dies. Later rungs fail
-// soft: an injected fault or panic in an escalation attempt must never
-// destroy the base result it was trying to improve.
-func routeWithLadder(ctx context.Context, pr *place.Result, opts Options) (*route.Result, []string, error) {
-	run := func(ro route.Options) (*route.Result, error) {
-		var rr *route.Result
-		err := resilience.Recover("route", func() error {
-			var rerr error
-			rr, rerr = route.RouteCtx(ctx, pr, ro)
-			return rerr
-		})
-		if err != nil {
-			return nil, err
-		}
-		return rr, nil
-	}
-
-	attempts := []string{fmt.Sprintf("route[%s]", describeRoute(opts.Route))}
-	best, err := run(opts.Route)
-	if err != nil {
-		return nil, attempts, err
-	}
-	if best.UnroutedCount() == 0 || opts.Degrade < DegradeEscalate {
-		return best, attempts, nil
-	}
-
-	for _, rung := range ladderRungs(opts.Route) {
-		if ctx.Err() != nil {
-			return nil, attempts, ctx.Err()
-		}
-		attempts = append(attempts, rung.name)
-		rr, err := run(rung.opts)
-		if err != nil {
-			if ctx.Err() != nil {
-				return nil, attempts, ctx.Err()
-			}
-			continue // soft failure: keep the best result so far
-		}
-		if rr.UnroutedCount() < best.UnroutedCount() {
-			best = rr
-		}
-		if best.UnroutedCount() == 0 {
-			break
-		}
-	}
-	return best, attempts, nil
-}
-
-// describeRoute names the base routing configuration for the attempts
-// report.
-func describeRoute(o route.Options) string {
-	name := o.Algorithm.String()
-	if o.DualFront && o.Algorithm == route.AlgoLineExpansion {
-		name += "+dual-front"
-	}
-	if o.RipUp {
-		name += "+rip-up"
-	}
-	return name
-}
-
-// unroutedReport lists every incomplete net as "net: term1 term2 ...".
-func unroutedReport(rr *route.Result) []string {
-	var out []string
-	for _, rn := range rr.Nets {
-		if rn.OK() {
-			continue
-		}
-		var b strings.Builder
-		b.WriteString(rn.Net.Name)
-		b.WriteByte(':')
-		for _, t := range rn.Failed {
-			b.WriteByte(' ')
-			b.WriteString(t.Label())
-		}
-		out = append(out, b.String())
-	}
-	return out
+	return rep.Diagram, rep.Timings, nil
 }
 
 // GenerateOnPlacement routes a diagram over an existing placement (the
 // EUREKA half).
+//
+// Deprecated: use Run with Options.Placement.
 func GenerateOnPlacement(pr *place.Result, opts route.Options) (*schematic.Diagram, error) {
-	rr, err := route.Route(pr, opts)
+	rep, err := Run(context.Background(), nil, Options{Placement: pr, Route: opts})
 	if err != nil {
 		return nil, err
 	}
-	return schematic.FromRouting(rr), nil
+	return rep.Diagram, nil
 }
 
 // Experiment is one row of the §6 evaluation.
@@ -463,9 +305,10 @@ type Row struct {
 	Metrics   schematic.Metrics
 }
 
-// Run executes one experiment, timing the two phases separately like
-// Table 6.1 does.
-func Run(e Experiment) (Row, *schematic.Diagram, error) {
+// RunExperiment executes one experiment, timing the two phases
+// separately like Table 6.1 does. (Before the gen.Run API redesign
+// this function was called Run.)
+func RunExperiment(e Experiment) (Row, *schematic.Diagram, error) {
 	d := e.Build()
 	stats := d.Stats()
 	row := Row{Figure: e.ID, Modules: stats.Modules, Nets: stats.Nets, HandOnly: e.HandOnly}
@@ -483,31 +326,22 @@ func Run(e Experiment) (Row, *schematic.Diagram, error) {
 		opts.Place.Fixed = fixed
 	}
 
-	t0 := time.Now()
-	pr, err := PlaceDesign(d, opts)
+	rep, err := Run(context.Background(), d, opts)
 	if err != nil {
 		return row, nil, err
 	}
-	row.PlaceTime = time.Since(t0)
-
-	t1 := time.Now()
-	rr, err := route.Route(pr, opts.Route)
-	if err != nil {
-		return row, nil, err
-	}
-	row.RouteTime = time.Since(t1)
-
-	dg := schematic.FromRouting(rr)
-	row.Unrouted = rr.UnroutedCount()
-	row.Metrics = dg.Metrics()
-	return row, dg, nil
+	row.PlaceTime = rep.Timings.Place
+	row.RouteTime = rep.Timings.Route
+	row.Unrouted = rep.Unrouted()
+	row.Metrics = rep.Diagram.Metrics()
+	return row, rep.Diagram, nil
 }
 
 // Table61 runs the whole suite and returns the measured rows.
 func Table61() ([]Row, error) {
 	var rows []Row
 	for _, e := range Experiments() {
-		row, _, err := Run(e)
+		row, _, err := RunExperiment(e)
 		if err != nil {
 			return nil, fmt.Errorf("gen: experiment %s: %w", e.ID, err)
 		}

@@ -61,7 +61,7 @@ func TestExperimentsSuiteComplete(t *testing.T) {
 }
 
 func TestRunFig61(t *testing.T) {
-	row, dg, err := Run(Experiments()[0])
+	row, dg, err := RunExperiment(Experiments()[0])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +77,7 @@ func TestRunFig61(t *testing.T) {
 }
 
 func TestRunFig65PinsController(t *testing.T) {
-	row, dg, err := Run(Experiments()[4])
+	row, dg, err := RunExperiment(Experiments()[4])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +95,7 @@ func TestRunFig66HandPlacement(t *testing.T) {
 	if testing.Short() {
 		t.Skip("LIFE routing is expensive")
 	}
-	row, dg, err := Run(Experiments()[5])
+	row, dg, err := RunExperiment(Experiments()[5])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +148,7 @@ func TestRunHandPlacementUnknownModule(t *testing.T) {
 	e.Hand = func() map[string]workload.HandPos {
 		return map[string]workload.HandPos{"ghost": {}}
 	}
-	if _, _, err := Run(e); err == nil {
+	if _, _, err := RunExperiment(e); err == nil {
 		t.Error("unknown hand-placed module accepted")
 	}
 }

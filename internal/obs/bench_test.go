@@ -1,0 +1,41 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkObserverDisabled guards the nil-observer fast path: a full
+// stage's worth of span calls on a disabled observer must be
+// allocation-free (ci.sh fails the build if allocs/op != 0). This is
+// the same discipline the nil *resilience.Injector follows.
+func BenchmarkObserverDisabled(b *testing.B) {
+	var o *Observer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := o.StartSpan("place")
+		sp.SetAttr("partitions", 4)
+		sp.SetAttr("boxes", 9)
+		sp.Degrade()
+		sp.End()
+	}
+}
+
+// BenchmarkStageObserveDisabled guards the nil metric sink.
+func BenchmarkStageObserveDisabled(b *testing.B) {
+	var p *Pipeline
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.StageObserve("route", time.Millisecond)
+	}
+}
+
+// BenchmarkHistogramObserve measures the enabled hot path (a handful
+// of atomic adds; allocations here would leak into every request).
+func BenchmarkHistogramObserve(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+}

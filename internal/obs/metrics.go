@@ -1,0 +1,310 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Registry holds metric families and renders them in the Prometheus
+// text exposition format (version 0.0.4) at /metrics. Registration
+// happens at construction time; observation is lock-free.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]*family{}}
+}
+
+// family is one metric family: a name, a type, a help line, and its
+// labeled children in registration order.
+type family struct {
+	name, typ, help string
+	children        []sampler
+}
+
+// sampler writes the sample lines of one labeled child.
+type sampler interface {
+	sample(w io.Writer, name string)
+}
+
+func (r *Registry) register(name, typ, help string, s sampler) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.byName[name]
+	if !ok {
+		f = &family{name: name, typ: typ, help: help}
+		r.byName[name] = f
+		r.families = append(r.families, f)
+	}
+	f.children = append(f.children, s)
+}
+
+// Counter is a monotonically increasing lock-free counter.
+type Counter struct {
+	labels string // pre-rendered `key="value",...` or ""
+	v      atomic.Uint64
+}
+
+// Counter registers (or extends) a counter family and returns the
+// child identified by labels (pass "" for an unlabeled counter).
+func (r *Registry) Counter(name, help, labels string) *Counter {
+	c := &Counter{labels: labels}
+	r.register(name, "counter", help, c)
+	return c
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+func (c *Counter) sample(w io.Writer, name string) {
+	fmt.Fprintf(w, "%s%s %d\n", name, renderLabels(c.labels), c.v.Load())
+}
+
+// Gauge is a lock-free instantaneous value.
+type Gauge struct {
+	labels string
+	v      atomic.Int64
+}
+
+// Gauge registers (or extends) a gauge family.
+func (r *Registry) Gauge(name, help, labels string) *Gauge {
+	g := &Gauge{labels: labels}
+	r.register(name, "gauge", help, g)
+	return g
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds delta (may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+func (g *Gauge) sample(w io.Writer, name string) {
+	fmt.Fprintf(w, "%s%s %d\n", name, renderLabels(g.labels), g.v.Load())
+}
+
+// gaugeFunc samples a live value at scrape time (queue depth, cache
+// entries, uptime).
+type gaugeFunc struct {
+	labels string
+	fn     func() float64
+}
+
+// GaugeFunc registers a gauge whose value is computed at scrape time.
+func (r *Registry) GaugeFunc(name, help, labels string, fn func() float64) {
+	r.register(name, "gauge", help, &gaugeFunc{labels: labels, fn: fn})
+}
+
+func (g *gaugeFunc) sample(w io.Writer, name string) {
+	fmt.Fprintf(w, "%s%s %s\n", name, renderLabels(g.labels),
+		strconv.FormatFloat(g.fn(), 'g', -1, 64))
+}
+
+// HistBuckets is the bucket count of the latency histograms: bucket i
+// holds observations with ceil(log2(µs)) == i, spanning 1µs to ~2.1s
+// with the last bucket catching everything slower.
+const HistBuckets = 22
+
+// Histogram is a lock-free log2 latency histogram over microseconds.
+// Observation is a handful of atomic adds; snapshots are torn-read
+// tolerant (counters only grow; scrapes are diagnostic).
+type Histogram struct {
+	labels  string
+	count   atomic.Uint64
+	sumUs   atomic.Uint64
+	maxUs   atomic.Uint64
+	buckets [HistBuckets]atomic.Uint64
+}
+
+// Histogram registers (or extends) a histogram family.
+func (r *Registry) Histogram(name, help, labels string) *Histogram {
+	h := &Histogram{labels: labels}
+	r.register(name, "histogram", help, h)
+	return h
+}
+
+func bucketFor(us uint64) int {
+	b := 0
+	for v := us; v > 1 && b < HistBuckets-1; v >>= 1 {
+		b++
+	}
+	return b
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	us := uint64(d.Microseconds())
+	h.count.Add(1)
+	h.sumUs.Add(us)
+	h.buckets[bucketFor(us)].Add(1)
+	for {
+		old := h.maxUs.Load()
+		if us <= old || h.maxUs.CompareAndSwap(old, us) {
+			return
+		}
+	}
+}
+
+// HistogramData is a consistent-enough snapshot of one histogram.
+type HistogramData struct {
+	Count   uint64
+	SumUs   uint64
+	MaxUs   uint64
+	Buckets [HistBuckets]uint64
+}
+
+// Snapshot returns the current histogram state.
+func (h *Histogram) Snapshot() HistogramData {
+	d := HistogramData{
+		Count: h.count.Load(),
+		SumUs: h.sumUs.Load(),
+		MaxUs: h.maxUs.Load(),
+	}
+	for i := range h.buckets {
+		d.Buckets[i] = h.buckets[i].Load()
+	}
+	return d
+}
+
+// QuantileMs estimates the q-th quantile in milliseconds as the upper
+// bound of the bucket holding the q-th observation (log2 resolution).
+func (d HistogramData) QuantileMs(q float64) float64 {
+	if d.Count == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(d.Count))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for i, c := range d.Buckets {
+		seen += c
+		if seen >= rank {
+			return float64(uint64(1)<<uint(i)) / 1000.0
+		}
+	}
+	return float64(uint64(1)<<uint(HistBuckets-1)) / 1000.0
+}
+
+func (h *Histogram) sample(w io.Writer, name string) {
+	var cum uint64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		le := strconv.FormatFloat(float64(uint64(1)<<uint(i))/1e6, 'g', -1, 64)
+		if i == HistBuckets-1 {
+			le = "+Inf"
+		}
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, renderLabels(joinLabels(h.labels, `le="`+le+`"`)), cum)
+	}
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, renderLabels(h.labels),
+		strconv.FormatFloat(float64(h.sumUs.Load())/1e6, 'g', -1, 64))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, renderLabels(h.labels), cum)
+}
+
+func renderLabels(kv string) string {
+	if kv == "" {
+		return ""
+	}
+	return "{" + kv + "}"
+}
+
+func joinLabels(a, b string) string {
+	switch {
+	case a == "":
+		return b
+	case b == "":
+		return a
+	default:
+		return a + "," + b
+	}
+}
+
+// WritePrometheus renders every family in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	bw := bufio.NewWriter(w)
+	r.mu.Lock()
+	fams := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+	for _, f := range fams {
+		fmt.Fprintf(bw, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.typ)
+		for _, c := range f.children {
+			c.sample(bw, f.name)
+		}
+	}
+	bw.Flush()
+}
+
+// Handler serves the registry in the Prometheus text format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// Ring is a bounded ring of recent events (newest last): the general
+// form of the service's recovered-panic ring.
+type Ring[T any] struct {
+	mu  sync.Mutex
+	max int
+	buf []T
+}
+
+// NewRing returns a ring retaining at most max entries.
+func NewRing[T any](max int) *Ring[T] {
+	if max <= 0 {
+		max = 1
+	}
+	return &Ring[T]{max: max}
+}
+
+// Append adds v, evicting the oldest entry when full.
+func (r *Ring[T]) Append(v T) {
+	r.mu.Lock()
+	r.buf = append(r.buf, v)
+	if len(r.buf) > r.max {
+		r.buf = r.buf[len(r.buf)-r.max:]
+	}
+	r.mu.Unlock()
+}
+
+// Snapshot returns a copy of the retained entries, oldest first.
+func (r *Ring[T]) Snapshot() []T {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]T(nil), r.buf...)
+}
+
+// sortedKeys is a tiny helper kept close to the exposition code.
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

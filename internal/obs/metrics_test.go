@@ -1,0 +1,207 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// promSample is one parsed exposition line.
+type promSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+// parsePrometheus is a strict-enough parser of the text exposition
+// format: # HELP / # TYPE comment lines, then samples of the form
+// name{k="v",...} value. It fails the test on anything malformed, so
+// the golden test below doubles as a format check.
+func parsePrometheus(t *testing.T, text string) []promSample {
+	t.Helper()
+	var out []promSample
+	types := map[string]string{}
+	helped := map[string]bool{}
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			parts := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)
+			if len(parts) != 2 || parts[1] == "" {
+				t.Fatalf("line %d: malformed HELP: %q", ln+1, line)
+			}
+			helped[parts[0]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(parts) != 2 {
+				t.Fatalf("line %d: malformed TYPE: %q", ln+1, line)
+			}
+			switch parts[1] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				t.Fatalf("line %d: unknown metric type %q", ln+1, parts[1])
+			}
+			if !helped[parts[0]] {
+				t.Fatalf("line %d: TYPE before HELP for %q", ln+1, parts[0])
+			}
+			types[parts[0]] = parts[1]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("line %d: unexpected comment %q", ln+1, line)
+		}
+		s := promSample{labels: map[string]string{}}
+		rest := line
+		if i := strings.IndexByte(rest, '{'); i >= 0 {
+			s.name = rest[:i]
+			j := strings.IndexByte(rest, '}')
+			if j < i {
+				t.Fatalf("line %d: unbalanced braces: %q", ln+1, line)
+			}
+			for _, kv := range strings.Split(rest[i+1:j], ",") {
+				eq := strings.IndexByte(kv, '=')
+				if eq < 0 {
+					t.Fatalf("line %d: malformed label %q", ln+1, kv)
+				}
+				val, err := strconv.Unquote(kv[eq+1:])
+				if err != nil {
+					t.Fatalf("line %d: label value not quoted: %q", ln+1, kv)
+				}
+				s.labels[kv[:eq]] = val
+			}
+			rest = strings.TrimSpace(rest[j+1:])
+		} else {
+			fields := strings.Fields(rest)
+			if len(fields) != 2 {
+				t.Fatalf("line %d: malformed sample %q", ln+1, line)
+			}
+			s.name, rest = fields[0], fields[1]
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		if err != nil {
+			t.Fatalf("line %d: bad value in %q: %v", ln+1, line, err)
+		}
+		s.value = v
+		// Every sample must belong to a declared family (histograms
+		// declare name, samples use name_bucket/_sum/_count).
+		base := s.name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(base, suf) && types[strings.TrimSuffix(base, suf)] == "histogram" {
+				base = strings.TrimSuffix(base, suf)
+			}
+		}
+		if _, ok := types[base]; !ok {
+			t.Fatalf("line %d: sample %q has no TYPE declaration", ln+1, s.name)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func find(samples []promSample, name string, labels map[string]string) (float64, bool) {
+	for _, s := range samples {
+		if s.name != name {
+			continue
+		}
+		match := true
+		for k, v := range labels {
+			if s.labels[k] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			return s.value, true
+		}
+	}
+	return 0, false
+}
+
+func TestRegistryPrometheusExposition(t *testing.T) {
+	p := NewPipeline()
+	p.Requests.Add(7)
+	p.OK.Add(5)
+	p.Failed.Add(2)
+	p.CacheHits.Inc()
+	p.Inflight.Set(3)
+	p.StageObserve("place", 3*time.Millisecond)
+	p.StageObserve("place", 100*time.Microsecond)
+	p.StageObserve("route", 12*time.Millisecond)
+
+	var buf bytes.Buffer
+	p.Reg.WritePrometheus(&buf)
+	samples := parsePrometheus(t, buf.String())
+
+	if v, ok := find(samples, "netart_requests_total", nil); !ok || v != 7 {
+		t.Fatalf("netart_requests_total = %v (found %v), want 7", v, ok)
+	}
+	if v, ok := find(samples, "netart_request_outcomes_total", map[string]string{"outcome": "ok"}); !ok || v != 5 {
+		t.Fatalf(`outcomes{outcome="ok"} = %v (found %v), want 5`, v, ok)
+	}
+	if v, ok := find(samples, "netart_cache_events_total", map[string]string{"event": "hit"}); !ok || v != 1 {
+		t.Fatalf(`cache{event="hit"} = %v (found %v), want 1`, v, ok)
+	}
+	if v, ok := find(samples, "netart_inflight_requests", nil); !ok || v != 3 {
+		t.Fatalf("inflight = %v (found %v), want 3", v, ok)
+	}
+	if v, ok := find(samples, "netart_stage_duration_seconds_count",
+		map[string]string{"stage": "place"}); !ok || v != 2 {
+		t.Fatalf(`stage count{stage="place"} = %v (found %v), want 2`, v, ok)
+	}
+	// Histogram buckets must be cumulative and end at +Inf == count.
+	var last float64 = -1
+	var sawInf bool
+	for _, s := range samples {
+		if s.name != "netart_stage_duration_seconds_bucket" || s.labels["stage"] != "place" {
+			continue
+		}
+		if s.value < last {
+			t.Fatalf("place buckets not cumulative: %v after %v", s.value, last)
+		}
+		last = s.value
+		if s.labels["le"] == "+Inf" {
+			sawInf = true
+			if s.value != 2 {
+				t.Fatalf("+Inf bucket = %v, want 2", s.value)
+			}
+		}
+	}
+	if !sawInf {
+		t.Fatal("no +Inf bucket emitted")
+	}
+	// Sum is in seconds.
+	if v, ok := find(samples, "netart_stage_duration_seconds_sum",
+		map[string]string{"stage": "place"}); !ok || v < 0.003 || v > 0.004 {
+		t.Fatalf("place sum = %v (found %v), want ~0.0031", v, ok)
+	}
+	if v, ok := find(samples, "netart_uptime_seconds", nil); !ok || v < 0 {
+		t.Fatalf("uptime = %v (found %v)", v, ok)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 99; i++ {
+		h.Observe(100 * time.Microsecond)
+	}
+	h.Observe(500 * time.Millisecond)
+	d := h.Snapshot()
+	if p50 := d.QuantileMs(0.50); p50 > 1 {
+		t.Fatalf("p50 = %vms, want sub-millisecond", p50)
+	}
+	if p99 := d.QuantileMs(0.99); p99 > 1 {
+		t.Fatalf("p99 = %vms, want sub-millisecond (99/100 fast)", p99)
+	}
+	if d.MaxUs < 400_000 {
+		t.Fatalf("max = %dus, want >= 400ms", d.MaxUs)
+	}
+	if fmt.Sprintf("%d", d.Count) != "100" {
+		t.Fatalf("count = %d", d.Count)
+	}
+}

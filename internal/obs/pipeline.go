@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"time"
+)
+
+// Stage names with a dedicated latency histogram. "total" is observed
+// by the service around the whole request; the others are observed
+// automatically when the matching span ends.
+var StageNames = []string{"parse", "place", "route", "render", "total"}
+
+// Pipeline is the canonical metric set of the generation pipeline:
+// request/outcome counters, cache counters, in-flight gauge, and one
+// latency histogram per stage — everything /metrics exports and
+// /v1/stats + /v1/healthz read, so the two surfaces can never drift.
+type Pipeline struct {
+	Reg   *Registry
+	Start time.Time
+
+	// Requests counts accepted generation requests (incl. batch items).
+	Requests *Counter
+	// Outcome counters; one request increments exactly one of
+	// OK/Failed/Shed/Timeouts/Rejected (Degraded rides on OK).
+	OK       *Counter
+	Failed   *Counter
+	Shed     *Counter
+	Timeouts *Counter
+	Rejected *Counter
+	Degraded *Counter
+	// Retries counts extra attempts spent by the batch retry layer;
+	// Panics counts panics recovered by the isolation layer.
+	Retries *Counter
+	Panics  *Counter
+
+	// Cache event counters.
+	CacheHits      *Counter
+	CacheMisses    *Counter
+	CacheEvictions *Counter
+
+	// Inflight tracks requests currently inside the pipeline.
+	Inflight *Gauge
+
+	// Traces counts snapshots taken (one per traced request).
+	Traces *Counter
+
+	stages map[string]*Histogram
+}
+
+// NewPipeline builds the metric set on a fresh registry.
+func NewPipeline() *Pipeline {
+	reg := NewRegistry()
+	p := &Pipeline{Reg: reg, Start: time.Now()}
+
+	p.Requests = reg.Counter("netart_requests_total",
+		"Generation requests accepted (including batch items).", "")
+	outcome := func(o string) *Counter {
+		return reg.Counter("netart_request_outcomes_total",
+			"Request outcomes by class.", `outcome="`+o+`"`)
+	}
+	p.OK = outcome("ok")
+	p.Failed = outcome("failed")
+	p.Shed = outcome("shed")
+	p.Timeouts = outcome("timeout")
+	p.Rejected = outcome("rejected")
+	p.Degraded = reg.Counter("netart_degraded_total",
+		"Successful responses that carried a best-effort degradation report.", "")
+	p.Retries = reg.Counter("netart_batch_retries_total",
+		"Extra attempts spent by the batch retry layer.", "")
+	p.Panics = reg.Counter("netart_panics_recovered_total",
+		"Panics converted into stage errors by the isolation layer.", "")
+
+	cache := func(ev string) *Counter {
+		return reg.Counter("netart_cache_events_total",
+			"Result cache events by kind.", `event="`+ev+`"`)
+	}
+	p.CacheHits = cache("hit")
+	p.CacheMisses = cache("miss")
+	p.CacheEvictions = cache("eviction")
+
+	p.Inflight = reg.Gauge("netart_inflight_requests",
+		"Requests currently inside the pipeline.", "")
+	p.Traces = reg.Counter("netart_traces_total",
+		"Span-tree snapshots taken (one per traced request).", "")
+
+	p.stages = make(map[string]*Histogram, len(StageNames))
+	for _, name := range StageNames {
+		p.stages[name] = reg.Histogram("netart_stage_duration_seconds",
+			"Wall time per pipeline stage.", `stage="`+name+`"`)
+	}
+
+	reg.GaugeFunc("netart_uptime_seconds", "Seconds since process start.", "",
+		func() float64 { return time.Since(p.Start).Seconds() })
+	return p
+}
+
+// Stage returns the histogram for a stage name, or nil for stages
+// without one (ladder rung spans observe nothing).
+func (p *Pipeline) Stage(name string) *Histogram {
+	if p == nil {
+		return nil
+	}
+	return p.stages[name]
+}
+
+// StageObserve records one stage duration; unknown stages are ignored.
+func (p *Pipeline) StageObserve(name string, d time.Duration) {
+	if p == nil {
+		return
+	}
+	if h := p.stages[name]; h != nil {
+		h.Observe(d)
+	}
+}
+
+// StageSnapshots returns the per-stage histogram snapshots keyed by
+// stage name (the /v1/stats "stages" object).
+func (p *Pipeline) StageSnapshots() map[string]HistogramData {
+	out := make(map[string]HistogramData, len(p.stages))
+	for _, name := range sortedKeys(p.stages) {
+		out[name] = p.stages[name].Snapshot()
+	}
+	return out
+}

@@ -82,11 +82,12 @@ type lineSearch struct {
 // number of bends is small then a path will be found in no time
 // because the number of possible paths will be small").
 type SearchStats struct {
-	Searches int // individual connection searches run
-	Waves    int // wavefronts processed (one per bend level per search)
-	Actives  int // active segments expanded
-	Cells    int // escape-line cells swept
-	MaxBends int // deepest wave that produced a solution
+	Searches int `json:"searches"`  // individual connection searches run
+	Waves    int `json:"waves"`     // wavefronts processed (one per bend level per search)
+	Actives  int `json:"actives"`   // active segments expanded
+	Cells    int `json:"cells"`     // escape-line cells swept
+	MaxBends int `json:"max_bends"` // deepest wave that produced a solution
+	RipUps   int `json:"rip_ups"`   // failed nets the rip-up pass attempted to fix
 }
 
 func (st *SearchStats) addWave() {

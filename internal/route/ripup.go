@@ -28,6 +28,7 @@ func (rt *router) ripUpPass(maxCandidates int) {
 		if rn.OK() {
 			continue
 		}
+		rt.result.Stats.RipUps++
 		rt.ripUpOne(rn, maxCandidates, 2)
 	}
 }

@@ -5,7 +5,8 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"sync"
-	"sync/atomic"
+
+	"netart/internal/obs"
 )
 
 // cacheKey is the content address of one generation request: the
@@ -42,38 +43,44 @@ type resultCache struct {
 	ll      *list.List // front = most recently used
 	items   map[cacheKey]*list.Element
 
-	hits      atomic.Uint64
-	misses    atomic.Uint64
-	evictions atomic.Uint64
+	// The event counters live in the shared obs metric set, so
+	// /metrics and the CacheStats block of /v1/stats read the same
+	// values (single source of truth).
+	hits      *obs.Counter
+	misses    *obs.Counter
+	evictions *obs.Counter
 }
 
 type cacheEntry struct {
 	key  cacheKey
-	resp Response
+	resp ResponseV2
 }
 
 // newResultCache returns a cache holding up to maxEntries responses;
 // maxEntries <= 0 disables caching (every lookup misses).
-func newResultCache(maxEntries int) *resultCache {
+func newResultCache(maxEntries int, m *obs.Pipeline) *resultCache {
 	return &resultCache{
-		maxEnts: maxEntries,
-		ll:      list.New(),
-		items:   make(map[cacheKey]*list.Element),
+		maxEnts:   maxEntries,
+		ll:        list.New(),
+		items:     make(map[cacheKey]*list.Element),
+		hits:      m.CacheHits,
+		misses:    m.CacheMisses,
+		evictions: m.CacheEvictions,
 	}
 }
 
 // get returns a copy of the cached response and promotes the entry.
-func (c *resultCache) get(k cacheKey) (Response, bool) {
+func (c *resultCache) get(k cacheKey) (ResponseV2, bool) {
 	if c.maxEnts <= 0 {
 		c.misses.Add(1)
-		return Response{}, false
+		return ResponseV2{}, false
 	}
 	c.mu.Lock()
 	el, ok := c.items[k]
 	if !ok {
 		c.mu.Unlock()
 		c.misses.Add(1)
-		return Response{}, false
+		return ResponseV2{}, false
 	}
 	c.ll.MoveToFront(el)
 	resp := el.Value.(*cacheEntry).resp
@@ -83,7 +90,7 @@ func (c *resultCache) get(k cacheKey) (Response, bool) {
 }
 
 // put stores a response, evicting from the LRU tail when full.
-func (c *resultCache) put(k cacheKey, resp Response) {
+func (c *resultCache) put(k cacheKey, resp ResponseV2) {
 	if c.maxEnts <= 0 {
 		return
 	}
@@ -123,8 +130,8 @@ func (c *resultCache) stats() CacheStats {
 	return CacheStats{
 		Entries:   c.len(),
 		Capacity:  c.maxEnts,
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Evictions: c.evictions.Load(),
+		Hits:      c.hits.Value(),
+		Misses:    c.misses.Value(),
+		Evictions: c.evictions.Value(),
 	}
 }

@@ -18,16 +18,28 @@ const maxBatchItems = 64
 
 // Handler returns the daemon's HTTP surface:
 //
-//	POST /v1/generate  one generation request
+//	POST /v1/generate  one generation request (stable wire shape)
 //	POST /v1/batch     up to 64 requests fanned out over the pool
+//	POST /v2/generate  like /v1 but the response embeds the full
+//	                   generation report (timings, attempts, search
+//	                   counters, degradation, span tree)
+//	POST /v2/batch     the /v2 shape fanned out over the pool
 //	GET  /v1/healthz   liveness + pool shape (+ degraded advisories)
 //	GET  /v1/stats     counters, cache stats, latency histograms
+//	GET  /metrics      the same numbers in Prometheus text format
+//
+// The /v1 handlers are thin adapters over the v2 pipeline: the server
+// only ever produces ResponseV2 and the v1 shape is derived via
+// (*ResponseV2).V1(), so the two surfaces cannot drift.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/generate", s.handleGenerate)
 	mux.HandleFunc("/v1/batch", s.handleBatch)
+	mux.HandleFunc("/v2/generate", s.handleGenerateV2)
+	mux.HandleFunc("/v2/batch", s.handleBatchV2)
 	mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.Handle("/metrics", s.obs.Reg.Handler())
 	return mux
 }
 
@@ -74,7 +86,14 @@ func requirePost(w http.ResponseWriter, r *http.Request) bool {
 	return true
 }
 
-func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
+// traceHeader is set on every successful generate response (v1 and v2)
+// so callers can correlate a response with server-side trace output
+// without parsing the body.
+const traceHeader = "X-Netart-Trace-Id"
+
+// generateV2 is the shared core of both generate handlers: decode,
+// run, stamp the trace header, and hand the v2 response to render.
+func (s *Server) generateV2(w http.ResponseWriter, r *http.Request, render func(*ResponseV2)) {
 	if !requirePost(w, r) {
 		return
 	}
@@ -83,12 +102,27 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	resp, err := s.Generate(r.Context(), &req)
+	resp, err := s.GenerateV2(r.Context(), &req)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	if id := resp.TraceID(); id != "" {
+		w.Header().Set(traceHeader, id)
+	}
+	render(resp)
+}
+
+func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
+	s.generateV2(w, r, func(resp *ResponseV2) {
+		writeJSON(w, http.StatusOK, resp.V1())
+	})
+}
+
+func (s *Server) handleGenerateV2(w http.ResponseWriter, r *http.Request) {
+	s.generateV2(w, r, func(resp *ResponseV2) {
+		writeJSON(w, http.StatusOK, resp)
+	})
 }
 
 // retryPolicy derives the batch backoff schedule from the config.
@@ -130,66 +164,91 @@ func retryableBatch(parent interface{ Err() error }) func(error) bool {
 	}
 }
 
-// handleBatch fans the items out over the worker pool concurrently and
+// runBatch fans the items out over the worker pool concurrently and
 // reports per-item outcomes in request order. Items shed by the full
 // queue fail individually with 429 — one oversized batch cannot wedge
 // the daemon. Transient item failures are retried with exponential
 // backoff and jitter, bounded by Config.BatchRetries; the per-item
 // attempt count is reported so callers can see the retry spend.
-func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	if !requirePost(w, r) {
-		return
-	}
+// Returns a client error (to report whole-batch) or the item results.
+func (s *Server) runBatch(w http.ResponseWriter, r *http.Request) ([]BatchItemV2, error) {
 	var batch BatchRequest
 	if err := s.decodeBody(w, r, &batch); err != nil {
-		writeError(w, err)
-		return
+		return nil, err
 	}
 	if len(batch.Requests) == 0 {
-		writeError(w, badRequest("batch carries no requests"))
-		return
+		return nil, badRequest("batch carries no requests")
 	}
 	if len(batch.Requests) > maxBatchItems {
-		writeError(w, badRequest("batch carries %d requests (max %d)", len(batch.Requests), maxBatchItems))
-		return
+		return nil, badRequest("batch carries %d requests (max %d)", len(batch.Requests), maxBatchItems)
 	}
 	policy := s.retryPolicy()
 	classify := retryableBatch(r.Context())
-	results := make([]BatchItem, len(batch.Requests))
+	results := make([]BatchItemV2, len(batch.Requests))
 	var wg sync.WaitGroup
 	for i := range batch.Requests {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			var resp *Response
+			var resp *ResponseV2
 			attempts, err := resilience.Retry(r.Context(), policy, classify, rand.Float64,
 				func(attempt int) error {
 					if attempt > 1 {
-						s.stats.retries.Add(1)
+						s.obs.Retries.Inc()
 					}
 					var gerr error
-					resp, gerr = s.Generate(r.Context(), &batch.Requests[i])
+					resp, gerr = s.GenerateV2(r.Context(), &batch.Requests[i])
 					return gerr
 				})
 			if err != nil {
-				results[i] = BatchItem{Error: err.Error(), Status: statusOf(err), Attempts: attempts}
+				results[i] = BatchItemV2{Error: err.Error(), Status: statusOf(err), Attempts: attempts}
 				return
 			}
-			results[i] = BatchItem{Response: resp, Status: http.StatusOK, Attempts: attempts}
+			results[i] = BatchItemV2{Response: resp, Status: http.StatusOK, Attempts: attempts}
 		}(i)
 	}
 	wg.Wait()
-	writeJSON(w, http.StatusOK, BatchResponse{Results: results})
+	return results, nil
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	items, err := s.runBatch(w, r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	out := BatchResponse{Results: make([]BatchItem, len(items))}
+	for i, it := range items {
+		out.Results[i] = it.V1()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleBatchV2(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	items, err := s.runBatch(w, r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, BatchResponseV2{Results: items})
 }
 
 // handleHealthz reports liveness plus an advisory health grade: the
 // status degrades (still HTTP 200 — the daemon is alive and serving)
 // when the queue is over 80% full or any panic has been recovered
 // since start. Orchestrators that want to act on degradation read
-// Status/Reasons instead of the HTTP code.
+// Status/Reasons instead of the HTTP code. The panic count and uptime
+// come from the shared obs metric set, so healthz, /v1/stats and
+// /metrics always agree.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	queued := s.pool.queued()
-	panics := s.stats.panics.Load()
+	panics := s.obs.Panics.Value()
 	status := "ok"
 	var reasons []string
 	if s.cfg.QueueDepth > 0 && queued*5 > s.cfg.QueueDepth*4 {
@@ -207,7 +266,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Queued:  queued,
 		Panics:  panics,
 		Reasons: reasons,
-		UptimeS: time.Since(s.stats.start).Seconds(),
+		UptimeS: time.Since(s.stats.start()).Seconds(),
 	})
 }
 

@@ -12,6 +12,7 @@ import (
 	"netart/internal/gen"
 	"netart/internal/library"
 	"netart/internal/netlist"
+	"netart/internal/obs"
 	"netart/internal/resilience"
 	"netart/internal/workload"
 )
@@ -132,6 +133,7 @@ type Server struct {
 	pool  *workerPool
 	cache *resultCache
 	stats *serverStats
+	obs   *obs.Pipeline
 	lib   *library.Library
 
 	// builtins maps workload names to designs parsed once at startup.
@@ -149,11 +151,13 @@ type Server struct {
 // call Generate directly).
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	m := obs.NewPipeline()
 	s := &Server{
 		cfg:   cfg,
 		pool:  newWorkerPool(cfg.Workers, cfg.QueueDepth),
-		cache: newResultCache(cfg.CacheEntries),
-		stats: newServerStats(),
+		cache: newResultCache(cfg.CacheEntries, m),
+		stats: newServerStats(m),
+		obs:   m,
 		lib:   library.Builtin(),
 		builtins: map[string]*netlist.Design{
 			"fig61":    workload.Fig61(),
@@ -162,11 +166,25 @@ func New(cfg Config) *Server {
 			"life":     workload.Life27(),
 		},
 	}
+	// Pool/cache shape gauges are sampled live at scrape time.
+	m.Reg.GaugeFunc("netart_queued_requests",
+		"Requests waiting behind the busy workers.", "",
+		func() float64 { return float64(s.pool.queued()) })
+	m.Reg.GaugeFunc("netart_workers", "Configured worker goroutines.", "",
+		func() float64 { return float64(s.cfg.Workers) })
+	m.Reg.GaugeFunc("netart_cache_entries", "Result cache entries.", "",
+		func() float64 { return float64(s.cache.len()) })
+	m.Reg.GaugeFunc("netart_cache_capacity", "Result cache capacity.", "",
+		func() float64 { return float64(s.cfg.CacheEntries) })
 	// Panics that escape a task (outside the per-request Recover) are
 	// still counted and surfaced in /v1/stats.
 	s.pool.onPanic = s.stats.recordPanic
 	return s
 }
+
+// Metrics exposes the server's obs metric set (the /metrics registry);
+// tests and embedding daemons read counters through it.
+func (s *Server) Metrics() *obs.Pipeline { return s.obs }
 
 // Close drains the worker pool. In-flight requests finish; queued
 // requests whose contexts expire are skipped.
@@ -233,20 +251,32 @@ func countLines(s string) int {
 	return strings.Count(s, "\n") + 1
 }
 
-// Generate runs one request through the bounded worker pool and waits
-// for its completion. It is the programmatic entry the HTTP handlers
-// and the benchmarks share. Returned errors are *svcError with an
-// embedded HTTP status.
+// Generate runs one request and adapts the result to the /v1 wire
+// shape. Programmatic callers that want the full report (timings,
+// degradation, trace) use GenerateV2.
+func (s *Server) Generate(ctx context.Context, req *Request) (*Response, error) {
+	v2, err := s.GenerateV2(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	return v2.V1(), nil
+}
+
+// GenerateV2 runs one request through the bounded worker pool and
+// waits for its completion. It is the programmatic entry the HTTP
+// handlers and the benchmarks share. Returned errors are *svcError
+// with an embedded HTTP status.
 //
 // The pipeline closure runs under resilience.Recover: a panic in any
-// stage becomes a *resilience.StageError, is recorded in /v1/stats,
-// and maps to a 500 for this request alone — the daemon, the worker
-// goroutine, and every other queued request keep going.
-func (s *Server) Generate(ctx context.Context, req *Request) (*Response, error) {
-	s.stats.requests.Add(1)
+// stage becomes a *resilience.StageError, is recorded in /v1/stats
+// and /metrics, and maps to a 500 for this request alone — the
+// daemon, the worker goroutine, and every other queued request keep
+// going.
+func (s *Server) GenerateV2(ctx context.Context, req *Request) (*ResponseV2, error) {
+	s.obs.Requests.Inc()
 
 	if err := s.preGuard(req); err != nil {
-		s.stats.rejected.Add(1)
+		s.obs.Rejected.Inc()
 		return nil, err
 	}
 
@@ -261,7 +291,7 @@ func (s *Server) Generate(ctx context.Context, req *Request) (*Response, error) 
 	defer cancel()
 
 	var (
-		resp *Response
+		resp *ResponseV2
 		err  error
 		ran  bool
 	)
@@ -277,13 +307,13 @@ func (s *Server) Generate(ctx context.Context, req *Request) (*Response, error) 
 		})
 	})
 	if serr != nil {
-		s.stats.shed.Add(1)
+		s.obs.Shed.Inc()
 		return nil, &svcError{status: 429, msg: serr.Error()}
 	}
 	<-done
 	if !ran {
 		// Deadline expired while the task sat in the queue.
-		s.stats.timeouts.Add(1)
+		s.obs.Timeouts.Inc()
 		return nil, &svcError{status: 504, msg: ctx.Err().Error()}
 	}
 	if err == nil && resp == nil {
@@ -294,10 +324,10 @@ func (s *Server) Generate(ctx context.Context, req *Request) (*Response, error) 
 	if err != nil {
 		return nil, s.mapError(ctx, err)
 	}
-	if resp.Degraded != nil {
-		s.stats.degraded.Add(1)
+	if resp.Report.Degraded != nil {
+		s.obs.Degraded.Inc()
 	}
-	s.stats.ok.Add(1)
+	s.obs.OK.Inc()
 	return resp, nil
 }
 
@@ -312,23 +342,23 @@ func (s *Server) Generate(ctx context.Context, req *Request) (*Response, error) 
 func (s *Server) mapError(ctx context.Context, err error) *svcError {
 	if se, ok := resilience.AsStageError(err); ok {
 		s.stats.recordPanic(se)
-		s.stats.failed.Add(1)
+		s.obs.Failed.Inc()
 		return &svcError{status: 500, msg: se.Error(), cause: se}
 	}
 	if le, ok := resilience.AsLimitError(err); ok {
-		s.stats.rejected.Add(1)
+		s.obs.Rejected.Inc()
 		return unprocessable("%v", le)
 	}
 	var ue *gen.UnroutableError
 	if errors.As(err, &ue) {
-		s.stats.failed.Add(1)
+		s.obs.Failed.Inc()
 		return unprocessable("%v", ue)
 	}
 	if ctx.Err() != nil {
-		s.stats.timeouts.Add(1)
+		s.obs.Timeouts.Inc()
 		return &svcError{status: 504, msg: err.Error(), cause: err}
 	}
-	s.stats.failed.Add(1)
+	s.obs.Failed.Inc()
 	if se, ok := err.(*svcError); ok {
 		return se
 	}
@@ -336,13 +366,17 @@ func (s *Server) mapError(ctx context.Context, err error) *svcError {
 }
 
 // process executes the pipeline on a worker goroutine: resolve/parse,
-// cache lookup, place+route, render, cache fill. Every stage feeds its
-// latency histogram and runs under its own resilience.Recover so a
-// panic is attributed to the stage it escaped from.
-func (s *Server) process(ctx context.Context, req *Request) (*Response, error) {
+// cache lookup, place+route, render, cache fill. One obs.Observer is
+// threaded through all of it: every stage appears as a span under the
+// "request" root (feeding the per-stage latency histograms on span
+// end) and runs under its own resilience.Recover so a panic is
+// attributed to the stage it escaped from.
+func (s *Server) process(ctx context.Context, req *Request) (*ResponseV2, error) {
 	t0 := time.Now()
-	s.stats.inflight.Add(1)
-	defer s.stats.inflight.Add(-1)
+	s.obs.Inflight.Add(1)
+	defer s.obs.Inflight.Add(-1)
+
+	o := obs.NewObserver(s.obs, "request")
 
 	format, err := resolveFormat(req.Format)
 	if err != nil {
@@ -352,20 +386,21 @@ func (s *Server) process(ctx context.Context, req *Request) (*Response, error) {
 	if err != nil {
 		return nil, badRequest("%v", err)
 	}
-	// Server-side resilience wiring: the effective degradation policy
-	// (request override wins), the fault injector, and the plane-area
-	// guard all ride on gen.Options.
+	// Server-side resilience and observability wiring: the effective
+	// degradation policy (request override wins), the fault injector,
+	// the plane-area guard, and the observer all ride on gen.Options.
 	if req.Options.DegradeMode == "" {
 		opts.Degrade = s.cfg.DegradeMode
 	}
 	opts.Inject = s.cfg.Inject
+	opts.Observer = o
 	if opts.Route.MaxPlaneArea == 0 {
 		opts.Route.MaxPlaneArea = s.cfg.MaxPlaneArea
 	}
 
 	// Parse stage: obtain a request-private design plus its canonical
 	// serialization (the cache-key half derived from the network).
-	tp := time.Now()
+	psp := o.StartSpan("parse")
 	var (
 		design    *netlist.Design
 		canonical string
@@ -378,11 +413,13 @@ func (s *Server) process(ctx context.Context, req *Request) (*Response, error) {
 		design, canonical, perr = s.resolveDesign(req)
 		return perr
 	})
-	parseDur := time.Since(tp)
-	s.stats.parse.observe(parseDur)
 	if err != nil {
+		endSpanError(psp, err)
 		return nil, err
 	}
+	psp.SetAttr("modules", int64(len(design.Modules)))
+	psp.SetAttr("nets", int64(len(design.Nets)))
+	psp.End()
 	// Authoritative resource guard, now that real counts exist.
 	if err := s.cfg.guards().CheckCounts(len(design.Modules), len(design.Nets)); err != nil {
 		return nil, err
@@ -398,73 +435,89 @@ func (s *Server) process(ctx context.Context, req *Request) (*Response, error) {
 		if hit, ok := s.cache.get(key); ok {
 			hit.Cached = true
 			hit.ElapsedMs = msSince(t0)
-			s.stats.total.observe(time.Since(t0))
+			// The cached report keeps the original run's timings and
+			// attempts, but the trace must describe *this* request:
+			// root + parse, nothing recomputed.
+			hit.Report.Trace = o.Snapshot()
+			s.obs.Traces.Inc()
+			s.obs.StageObserve("total", time.Since(t0))
 			return &hit, nil
 		}
 	}
 
-	dg, stages, err := gen.GenerateTimedCtx(ctx, design, opts)
-	if stages.Place > 0 {
-		s.stats.place.observe(stages.Place)
-	}
+	rep, err := gen.Run(ctx, design, opts)
 	if err != nil {
-		// Route did not finish: only placement latency is meaningful.
 		return nil, err
 	}
-	s.stats.route.observe(stages.Route)
 
-	tr := time.Now()
+	rsp := o.StartSpan("render")
 	var rendered string
 	err = resilience.Recover("render", func() error {
 		if ferr := s.cfg.Inject.Fire(resilience.SiteRender); ferr != nil {
 			return ferr
 		}
 		var rerr error
-		rendered, rerr = renderDiagram(dg, format)
+		rendered, rerr = renderDiagram(rep.Diagram, format)
 		return rerr
 	})
-	renderDur := time.Since(tr)
-	s.stats.render.observe(renderDur)
 	if err != nil {
+		endSpanError(rsp, err)
 		return nil, err
 	}
+	rsp.SetAttr("bytes", int64(len(rendered)))
+	rsp.End()
 
-	m := dg.Metrics()
-	resp := Response{
+	timings := rep.Timings
+	timings.Parse = spanDur(o, "parse")
+	timings.Render = spanDur(o, "render")
+
+	m := rep.Diagram.Metrics()
+	resp := ResponseV2{
 		Name:     design.Name,
 		Format:   format,
 		Diagram:  rendered,
 		Metrics:  m,
 		Unrouted: m.Unrouted,
 		CacheKey: key.String(),
-		Stages: StageTimings{
-			ParseMs:  durMs(parseDur),
-			PlaceMs:  durMs(stages.Place),
-			RouteMs:  durMs(stages.Route),
-			RenderMs: durMs(renderDur),
+		Report: Report{
+			Timings:  timings,
+			Attempts: rep.Attempts,
+			Search:   rep.Search,
+			Degraded: degradedReport(rep.Degraded),
 		},
 	}
-	if dg.Degraded != nil {
-		resp.Degraded = &DegradedReport{
-			Reason:   dg.Degraded.Reason,
-			Attempts: append([]string(nil), dg.Degraded.Attempts...),
-			Unrouted: append([]string(nil), dg.Degraded.Unrouted...),
-		}
-	}
 	resp.ElapsedMs = msSince(t0)
+	resp.Report.Trace = o.Snapshot()
+	s.obs.Traces.Inc()
 	if useCache {
 		s.cache.put(key, resp)
 	}
-	s.stats.total.observe(time.Since(t0))
+	s.obs.StageObserve("total", time.Since(t0))
 	return &resp, nil
 }
 
-func durMs(d time.Duration) float64 {
-	return float64(d.Microseconds()) / 1000.0
+// endSpanError closes a stage span with the right outcome: panic for
+// recovered panics, error otherwise.
+func endSpanError(sp *obs.Span, err error) {
+	if se, ok := resilience.AsStageError(err); ok {
+		sp.EndPanic(se.Cause)
+		return
+	}
+	sp.EndError(err)
+}
+
+// spanDur reads a stage duration back from the observer's span tree
+// (the span is the single timing source; no second stopwatch).
+func spanDur(o *obs.Observer, stage string) time.Duration {
+	td := o.Snapshot()
+	if sp := td.Find(stage); sp != nil {
+		return time.Duration(sp.ElapsedUs) * time.Microsecond
+	}
+	return 0
 }
 
 func msSince(t time.Time) float64 {
-	return durMs(time.Since(t))
+	return float64(time.Since(t).Microseconds()) / 1000.0
 }
 
 // maxChainLength caps the synthetic chain workload.

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"netart/internal/gen"
+	"netart/internal/obs"
 	"netart/internal/place"
 	"netart/internal/route"
 	"netart/internal/workload"
@@ -77,7 +78,7 @@ func TestGenerateLifeEndToEnd(t *testing.T) {
 	if resp.Unrouted > 5 {
 		t.Errorf("unexpectedly many unrouted nets: %d", resp.Unrouted)
 	}
-	if resp.Stages.PlaceMs <= 0 || resp.Stages.RouteMs <= 0 {
+	if resp.Stages.Place <= 0 || resp.Stages.Route <= 0 {
 		t.Errorf("missing stage timings: %+v", resp.Stages)
 	}
 	if resp.Cached {
@@ -238,15 +239,15 @@ func TestInlineNetlistCanonicalization(t *testing.T) {
 // TestLRUEviction fills the cache beyond capacity and checks eviction
 // counters plus the entry cap.
 func TestLRUEviction(t *testing.T) {
-	c := newResultCache(2)
+	c := newResultCache(2, obs.NewPipeline())
 	k := func(i int) cacheKey { return makeCacheKey(fmt.Sprintf("d%d", i), "o", "f") }
 	for i := 0; i < 4; i++ {
-		c.put(k(i), Response{Name: fmt.Sprintf("r%d", i)})
+		c.put(k(i), ResponseV2{Name: fmt.Sprintf("r%d", i)})
 	}
 	if got := c.len(); got != 2 {
 		t.Fatalf("cache holds %d entries, want 2", got)
 	}
-	if ev := c.evictions.Load(); ev != 2 {
+	if ev := c.evictions.Value(); ev != 2 {
 		t.Fatalf("evictions = %d, want 2", ev)
 	}
 	if _, ok := c.get(k(0)); ok {
@@ -296,7 +297,7 @@ func TestQueueShedding(t *testing.T) {
 	if !ok || se.status != http.StatusTooManyRequests {
 		t.Fatalf("want 429 svcError, got %v", err)
 	}
-	if got := s.stats.shed.Load(); got != 1 {
+	if got := s.obs.Shed.Value(); got != 1 {
 		t.Errorf("shed counter = %d, want 1", got)
 	}
 
@@ -322,7 +323,7 @@ func TestRequestTimeout(t *testing.T) {
 	if !ok || se.status != http.StatusGatewayTimeout {
 		t.Fatalf("want 504 svcError, got %v", err)
 	}
-	if got := s.stats.timeouts.Load(); got == 0 {
+	if got := s.obs.Timeouts.Value(); got == 0 {
 		t.Error("timeout counter not bumped")
 	}
 }

@@ -2,53 +2,17 @@ package service
 
 import (
 	"fmt"
-	"math"
-	"sync"
-	"sync/atomic"
 	"time"
 
+	"netart/internal/obs"
 	"netart/internal/resilience"
 )
 
-// histBuckets is the bucket count of the latency histograms: bucket i
-// holds observations with ceil(log2(µs)) == i, so the range spans 1µs
-// to ~2.2s with the last bucket catching everything slower.
-const histBuckets = 22
-
-// latencyHistogram is a lock-free log2 histogram over microseconds.
-// All fields are atomics: observation is one Add per field, snapshots
-// are torn-read tolerant (counters only ever grow, and /v1/stats is
-// diagnostic, not transactional).
-type latencyHistogram struct {
-	count   atomic.Uint64
-	sumUs   atomic.Uint64
-	maxUs   atomic.Uint64
-	buckets [histBuckets]atomic.Uint64
-}
-
-func bucketFor(us uint64) int {
-	b := 0
-	for v := us; v > 1 && b < histBuckets-1; v >>= 1 {
-		b++
-	}
-	return b
-}
-
-func (h *latencyHistogram) observe(d time.Duration) {
-	if d < 0 {
-		d = 0
-	}
-	us := uint64(d.Microseconds())
-	h.count.Add(1)
-	h.sumUs.Add(us)
-	h.buckets[bucketFor(us)].Add(1)
-	for {
-		old := h.maxUs.Load()
-		if us <= old || h.maxUs.CompareAndSwap(old, us) {
-			return
-		}
-	}
-}
+// This file is the JSON view over the obs metric set. Since the
+// observability redesign the daemon keeps exactly one copy of every
+// counter and histogram — the obs.Pipeline registered for /metrics —
+// and /v1/stats plus /v1/healthz are snapshots of those same values,
+// so the two surfaces can never drift.
 
 // HistogramSnapshot is the JSON view of one stage's latency histogram.
 type HistogramSnapshot struct {
@@ -62,41 +26,17 @@ type HistogramSnapshot struct {
 	Buckets []uint64 `json:"buckets"`
 }
 
-// quantile returns the upper bound (in ms) of the bucket holding the
-// q-th observation — a log2-resolution estimate, good enough for a
-// stats endpoint.
-func quantileMs(buckets []uint64, total uint64, q float64) float64 {
-	if total == 0 {
-		return 0
-	}
-	rank := uint64(math.Ceil(q * float64(total)))
-	if rank == 0 {
-		rank = 1
-	}
-	var seen uint64
-	for i, c := range buckets {
-		seen += c
-		if seen >= rank {
-			return float64(uint64(1)<<uint(i)) / 1000.0
-		}
-	}
-	return float64(uint64(1)<<uint(len(buckets)-1)) / 1000.0
-}
-
-func (h *latencyHistogram) snapshot() HistogramSnapshot {
+func histogramSnapshot(d obs.HistogramData) HistogramSnapshot {
 	s := HistogramSnapshot{
-		Count:   h.count.Load(),
-		TotalMs: float64(h.sumUs.Load()) / 1000.0,
-		MaxMs:   float64(h.maxUs.Load()) / 1000.0,
-		Buckets: make([]uint64, histBuckets),
-	}
-	for i := range h.buckets {
-		s.Buckets[i] = h.buckets[i].Load()
+		Count:   d.Count,
+		TotalMs: float64(d.SumUs) / 1000.0,
+		MaxMs:   float64(d.MaxUs) / 1000.0,
+		Buckets: append([]uint64(nil), d.Buckets[:]...),
 	}
 	if s.Count > 0 {
 		s.MeanMs = s.TotalMs / float64(s.Count)
-		s.P50Ms = quantileMs(s.Buckets, s.Count, 0.50)
-		s.P99Ms = quantileMs(s.Buckets, s.Count, 0.99)
+		s.P50Ms = d.QuantileMs(0.50)
+		s.P99Ms = d.QuantileMs(0.99)
 	}
 	return s
 }
@@ -114,59 +54,31 @@ type PanicInfo struct {
 // maxRecentPanics bounds the retained panic ring.
 const maxRecentPanics = 8
 
-// serverStats aggregates the daemon-wide counters: request outcomes,
-// in-flight gauge, recovered panics, and one latency histogram per
-// pipeline stage.
+// serverStats couples the shared metric set with the bounded ring of
+// recent panic details (counts live in the metric set; the ring keeps
+// the stacks, which have no Prometheus representation).
 type serverStats struct {
-	start time.Time
-
-	requests atomic.Uint64 // accepted generation requests (incl. batch items)
-	ok       atomic.Uint64
-	failed   atomic.Uint64 // generation/parse errors
-	shed     atomic.Uint64 // 429s from the full queue
-	timeouts atomic.Uint64 // deadline/cancellation aborts
-	rejected atomic.Uint64 // 422s from the resource guards
-	degraded atomic.Uint64 // 200s that carried a Degraded report
-	retries  atomic.Uint64 // extra attempts spent by batch retry
-	panics   atomic.Uint64 // panics recovered by the isolation layer
-	inflight atomic.Int64
-
-	panicMu sync.Mutex
-	recent  []PanicInfo // ring, newest last, ≤ maxRecentPanics
-
-	parse  latencyHistogram
-	place  latencyHistogram
-	route  latencyHistogram
-	render latencyHistogram
-	total  latencyHistogram
+	m      *obs.Pipeline
+	recent *obs.Ring[PanicInfo]
 }
 
-func newServerStats() *serverStats {
-	return &serverStats{start: time.Now()}
+func newServerStats(m *obs.Pipeline) *serverStats {
+	return &serverStats{m: m, recent: obs.NewRing[PanicInfo](maxRecentPanics)}
 }
+
+// start returns the process start time (uptime anchor).
+func (st *serverStats) start() time.Time { return st.m.Start }
 
 // recordPanic counts one recovered panic and remembers it in the
 // bounded recent ring served at /v1/stats.
 func (st *serverStats) recordPanic(se *resilience.StageError) {
-	st.panics.Add(1)
-	info := PanicInfo{
+	st.m.Panics.Inc()
+	st.recent.Append(PanicInfo{
 		Stage: se.Stage,
 		Cause: fmt.Sprint(se.Cause),
 		Time:  time.Now().UTC().Format(time.RFC3339Nano),
 		Stack: se.Stack,
-	}
-	st.panicMu.Lock()
-	st.recent = append(st.recent, info)
-	if len(st.recent) > maxRecentPanics {
-		st.recent = st.recent[len(st.recent)-maxRecentPanics:]
-	}
-	st.panicMu.Unlock()
-}
-
-func (st *serverStats) recentPanics() []PanicInfo {
-	st.panicMu.Lock()
-	defer st.panicMu.Unlock()
-	return append([]PanicInfo(nil), st.recent...)
+	})
 }
 
 // StatsResponse is the body of GET /v1/stats.
@@ -194,25 +106,23 @@ type StatsResponse struct {
 }
 
 func (st *serverStats) snapshot() StatsResponse {
+	stages := make(map[string]HistogramSnapshot, len(obs.StageNames))
+	for name, d := range st.m.StageSnapshots() {
+		stages[name] = histogramSnapshot(d)
+	}
 	return StatsResponse{
-		UptimeS:      time.Since(st.start).Seconds(),
-		Requests:     st.requests.Load(),
-		OK:           st.ok.Load(),
-		Failed:       st.failed.Load(),
-		Shed:         st.shed.Load(),
-		Timeouts:     st.timeouts.Load(),
-		Rejected:     st.rejected.Load(),
-		Degraded:     st.degraded.Load(),
-		Retries:      st.retries.Load(),
-		Inflight:     st.inflight.Load(),
-		Panics:       st.panics.Load(),
-		RecentPanics: st.recentPanics(),
-		Stages: map[string]HistogramSnapshot{
-			"parse":  st.parse.snapshot(),
-			"place":  st.place.snapshot(),
-			"route":  st.route.snapshot(),
-			"render": st.render.snapshot(),
-			"total":  st.total.snapshot(),
-		},
+		UptimeS:      time.Since(st.m.Start).Seconds(),
+		Requests:     st.m.Requests.Value(),
+		OK:           st.m.OK.Value(),
+		Failed:       st.m.Failed.Value(),
+		Shed:         st.m.Shed.Value(),
+		Timeouts:     st.m.Timeouts.Value(),
+		Rejected:     st.m.Rejected.Value(),
+		Degraded:     st.m.Degraded.Value(),
+		Retries:      st.m.Retries.Value(),
+		Inflight:     st.m.Inflight.Value(),
+		Panics:       st.m.Panics.Value(),
+		RecentPanics: st.recent.Snapshot(),
+		Stages:       stages,
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"netart/internal/gen"
+	"netart/internal/obs"
 	"netart/internal/place"
 	"netart/internal/route"
 	"netart/internal/schematic"
@@ -165,15 +166,7 @@ func orDefaultInt(v, def int) int {
 	return v
 }
 
-// StageTimings reports per-stage wall time of one generation.
-type StageTimings struct {
-	ParseMs  float64 `json:"parse_ms"`
-	PlaceMs  float64 `json:"place_ms"`
-	RouteMs  float64 `json:"route_ms"`
-	RenderMs float64 `json:"render_ms"`
-}
-
-// DegradedReport is attached to a Response when the degradation ladder
+// DegradedReport is attached to a response when the degradation ladder
 // accepted a partial routing rather than failing the request: it names
 // the routing configurations that were attempted and the nets that
 // remained unrouted in the best result.
@@ -183,7 +176,32 @@ type DegradedReport struct {
 	Unrouted []string `json:"unrouted"`
 }
 
-// Response is the body of a successful generation.
+// degradedReport converts the schematic's degradation block.
+func degradedReport(d *schematic.Degradation) *DegradedReport {
+	if d == nil {
+		return nil
+	}
+	return &DegradedReport{
+		Reason:   d.Reason,
+		Attempts: append([]string(nil), d.Attempts...),
+		Unrouted: append([]string(nil), d.Unrouted...),
+	}
+}
+
+// Report is the stable JSON view of a gen.Report: per-stage timings
+// (shared wire names with /v1's "stages"), the routing attempts the
+// degradation ladder made, the router's work counters, the
+// degradation block, and the request's span tree.
+type Report struct {
+	Timings  gen.StageTimings  `json:"timings"`
+	Attempts []string          `json:"attempts,omitempty"`
+	Search   route.SearchStats `json:"route_stats"`
+	Degraded *DegradedReport   `json:"degraded,omitempty"`
+	Trace    *obs.TraceData    `json:"trace,omitempty"`
+}
+
+// Response is the body of a successful /v1/generate call (kept
+// wire-identical to the pre-/v2 daemon; new fields go to ResponseV2).
 type Response struct {
 	Name     string            `json:"name"`
 	Format   string            `json:"format"`
@@ -196,9 +214,49 @@ type Response struct {
 	// diagrams should check it before trusting the artwork.
 	Degraded *DegradedReport `json:"degraded,omitempty"`
 	// CacheKey is the hex SHA-256 content address of this result.
-	CacheKey  string       `json:"cache_key"`
-	ElapsedMs float64      `json:"elapsed_ms"`
-	Stages    StageTimings `json:"stages"`
+	CacheKey  string           `json:"cache_key"`
+	ElapsedMs float64          `json:"elapsed_ms"`
+	Stages    gen.StageTimings `json:"stages"`
+}
+
+// ResponseV2 is the body of a successful /v2/generate call: the /v1
+// fields plus the full generation report (timings, attempts, search
+// counters, degradation, span tree) under "report".
+type ResponseV2 struct {
+	Name      string            `json:"name"`
+	Format    string            `json:"format"`
+	Diagram   string            `json:"diagram"`
+	Metrics   schematic.Metrics `json:"metrics"`
+	Unrouted  int               `json:"unrouted"`
+	Cached    bool              `json:"cached"`
+	CacheKey  string            `json:"cache_key"`
+	ElapsedMs float64           `json:"elapsed_ms"`
+	Report    Report            `json:"report"`
+}
+
+// V1 adapts a v2 response to the /v1 wire shape (thin adapter; the
+// pipeline only ever produces v2 responses).
+func (r *ResponseV2) V1() *Response {
+	return &Response{
+		Name:      r.Name,
+		Format:    r.Format,
+		Diagram:   r.Diagram,
+		Metrics:   r.Metrics,
+		Unrouted:  r.Unrouted,
+		Cached:    r.Cached,
+		Degraded:  r.Report.Degraded,
+		CacheKey:  r.CacheKey,
+		ElapsedMs: r.ElapsedMs,
+		Stages:    r.Report.Timings,
+	}
+}
+
+// TraceID returns the response's trace identifier ("" when absent).
+func (r *ResponseV2) TraceID() string {
+	if r.Report.Trace == nil {
+		return ""
+	}
+	return r.Report.Trace.TraceID
 }
 
 // ErrorResponse is the body of a failed request.
@@ -206,7 +264,7 @@ type ErrorResponse struct {
 	Error string `json:"error"`
 }
 
-// BatchRequest is the body of POST /v1/batch.
+// BatchRequest is the body of POST /v1/batch and /v2/batch.
 type BatchRequest struct {
 	Requests []Request `json:"requests"`
 }
@@ -226,6 +284,28 @@ type BatchItem struct {
 // BatchResponse preserves request order.
 type BatchResponse struct {
 	Results []BatchItem `json:"results"`
+}
+
+// BatchItemV2 is one outcome inside a /v2 batch response.
+type BatchItemV2 struct {
+	Response *ResponseV2 `json:"response,omitempty"`
+	Error    string      `json:"error,omitempty"`
+	Status   int         `json:"status"`
+	Attempts int         `json:"attempts,omitempty"`
+}
+
+// V1 adapts a v2 batch item to the /v1 wire shape.
+func (it BatchItemV2) V1() BatchItem {
+	out := BatchItem{Error: it.Error, Status: it.Status, Attempts: it.Attempts}
+	if it.Response != nil {
+		out.Response = it.Response.V1()
+	}
+	return out
+}
+
+// BatchResponseV2 preserves request order.
+type BatchResponseV2 struct {
+	Results []BatchItemV2 `json:"results"`
 }
 
 // HealthResponse is the body of GET /v1/healthz. Status is "ok" or
