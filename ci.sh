@@ -2,10 +2,12 @@
 # ci.sh — the repo's test tiers.
 #
 #   tier 1 (default):  go vet + build + full test suite
-#                      (+ staticcheck when installed, + 5s fuzz smoke
-#                      of the Appendix-A netlist parser, + the
-#                      observability allocation guard, + the pipeline
-#                      latency benchmark emitting BENCH_pipeline.json)
+#                      (+ staticcheck when installed, + the parallel-
+#                      routing determinism battery under -race, + 5s
+#                      fuzz smoke of the Appendix-A netlist parser,
+#                      + the observability allocation guard, + the
+#                      pipeline latency benchmark emitting
+#                      BENCH_pipeline.json)
 #   tier 2 (-race):    tier 1 with the race detector (slower; exercises
 #                      the netartd worker pool / cache / stats paths and
 #                      the chaos suite's injected panics)
@@ -34,6 +36,16 @@ go build ./...
 
 echo "== go test ${RACE} ./..."
 go test ${RACE} ./...
+
+# Determinism battery under the race detector: the parallel routing
+# scheduler must be data-race-free AND byte-identical to the sequential
+# router (segments, plane cells, stats, ASCII, SVG). Tier 2's full
+# -race pass above already covers it; tier 1 runs just the battery with
+# -race -short so every default CI run still proves the contract.
+if [ -z "${RACE}" ]; then
+	echo "== determinism battery: go test -race -short -run 'Parallel|Rendered' ./internal/route ./internal/gen"
+	go test -race -short -run 'Parallel|Rendered' ./internal/route ./internal/gen
+fi
 
 # Fuzz smoke: a short bounded run of the netlist parser fuzz target.
 # Regressions show up as crashers within seconds; the long exploratory

@@ -12,10 +12,19 @@
 // this as `go run ./cmd/benchpipe -out BENCH_pipeline.json` so every
 // build leaves a machine-readable latency record next to the binaries.
 //
+// A route-workers sweep rides along: each workload's route stage is
+// re-run (cache off) at every worker count in -route-workers, and the
+// per-workload parallel_speedup field reports sequential route time
+// over the best parallel route time. The record carries cpus and
+// gomaxprocs so a speedup of ~1.0 on a single-core runner reads as
+// the hardware fact it is, not a scheduler defect — the determinism
+// battery, not this bench, is the parallel router's correctness
+// gate.
+//
 // Usage:
 //
 //	benchpipe [-out BENCH_pipeline.json] [-workloads fig61,datapath,life]
-//	          [-warm-runs 5]
+//	          [-warm-runs 5] [-route-workers 1,2,4,N]
 package main
 
 import (
@@ -24,6 +33,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -45,12 +56,31 @@ type workloadResult struct {
 	// Speedup is ColdMs / WarmMs (0 when WarmMs is 0).
 	Speedup  float64 `json:"speedup"`
 	Unrouted int     `json:"unrouted"`
+	// RouteSweep is the route-stage latency at each -route-workers
+	// value (cache bypassed; best of two runs per point).
+	RouteSweep []routeSweepPoint `json:"route_sweep,omitempty"`
+	// ParallelSpeedup is the sequential route_ms over the best
+	// parallel route_ms in the sweep (0 when the sweep has no
+	// parallel points). On a single-core host this hovers around 1.0
+	// regardless of worker count — see cpus/gomaxprocs at the top
+	// level.
+	ParallelSpeedup float64 `json:"parallel_speedup,omitempty"`
+}
+
+// routeSweepPoint is one (worker count, route latency) sample.
+type routeSweepPoint struct {
+	Workers int     `json:"workers"`
+	RouteMs float64 `json:"route_ms"`
 }
 
 // benchFile is the top-level shape of BENCH_pipeline.json.
 type benchFile struct {
-	GeneratedAt string           `json:"generated_at"`
-	Results     []workloadResult `json:"results"`
+	GeneratedAt string `json:"generated_at"`
+	// CPUs and GoMaxProcs describe the hardware the numbers were
+	// taken on; parallel_speedup is meaningless without them.
+	CPUs       int              `json:"cpus"`
+	GoMaxProcs int              `json:"gomaxprocs"`
+	Results    []workloadResult `json:"results"`
 }
 
 func main() {
@@ -60,17 +90,59 @@ func main() {
 	}
 }
 
+// parseSweep expands the -route-workers spec into a sorted, deduplicated
+// list of worker counts; "N" means GOMAXPROCS.
+func parseSweep(spec string) ([]int, error) {
+	var out []int
+	seen := map[int]bool{}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n := runtime.GOMAXPROCS(0)
+		if part != "N" && part != "n" {
+			v, err := strconv.Atoi(part)
+			if err != nil || v < 1 {
+				return nil, fmt.Errorf("bad -route-workers entry %q", part)
+			}
+			n = v
+		}
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	return out, nil
+}
+
 func run() error {
 	out := flag.String("out", "BENCH_pipeline.json", "output file (- for stdout)")
 	workloads := flag.String("workloads", "fig61,datapath,life", "comma-separated built-in workloads")
 	warmRuns := flag.Int("warm-runs", 5, "cache-hit repeats per workload (best is reported)")
+	sweepSpec := flag.String("route-workers", "1,2,4,N",
+		"comma-separated route-worker counts for the sweep (N = GOMAXPROCS; empty disables)")
 	flag.Parse()
+
+	sweep, err := parseSweep(*sweepSpec)
+	if err != nil {
+		return err
+	}
 
 	srv := service.New(service.Config{Workers: 1, CacheEntries: 64})
 	defer srv.Close()
+	// The sweep server has no cache: route_workers is deliberately
+	// excluded from the cache key (parallel output is byte-identical),
+	// so sweep points after the first would otherwise be cache hits.
+	sweepSrv := service.New(service.Config{Workers: 1, CacheEntries: 0})
+	defer sweepSrv.Close()
 	ctx := context.Background()
 
-	file := benchFile{GeneratedAt: time.Now().UTC().Format(time.RFC3339)}
+	file := benchFile{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		CPUs:        runtime.NumCPU(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+	}
 	for _, w := range strings.Split(*workloads, ",") {
 		w = strings.TrimSpace(w)
 		if w == "" {
@@ -112,9 +184,39 @@ func run() error {
 		if res.WarmMs > 0 {
 			res.Speedup = res.ColdMs / res.WarmMs
 		}
+
+		// Route-workers sweep: same request, cache off, each worker
+		// count best-of-two. Only the route stage is compared — parse,
+		// place and render are identical work at every point.
+		var seqMs, bestParMs float64
+		for _, workers := range sweep {
+			sreq := req
+			sreq.Options.RouteWorkers = workers
+			var best float64
+			for rep := 0; rep < 2; rep++ {
+				r, err := sweepSrv.GenerateV2(ctx, &sreq)
+				if err != nil {
+					return fmt.Errorf("workload %s (sweep workers=%d): %w", w, workers, err)
+				}
+				ms := float64(r.Report.Timings.Route) / float64(time.Millisecond)
+				if rep == 0 || ms < best {
+					best = ms
+				}
+			}
+			res.RouteSweep = append(res.RouteSweep, routeSweepPoint{Workers: workers, RouteMs: best})
+			if workers <= 1 {
+				seqMs = best
+			} else if bestParMs == 0 || best < bestParMs {
+				bestParMs = best
+			}
+		}
+		if seqMs > 0 && bestParMs > 0 {
+			res.ParallelSpeedup = seqMs / bestParMs
+		}
+
 		file.Results = append(file.Results, res)
-		fmt.Fprintf(os.Stderr, "benchpipe: %-10s cold %8.3fms  warm %8.3fms  (%.0fx)\n",
-			w, res.ColdMs, res.WarmMs, res.Speedup)
+		fmt.Fprintf(os.Stderr, "benchpipe: %-10s cold %8.3fms  warm %8.3fms  (%.0fx)  par-route %.2fx\n",
+			w, res.ColdMs, res.WarmMs, res.Speedup, res.ParallelSpeedup)
 	}
 
 	b, err := json.MarshalIndent(file, "", "  ")

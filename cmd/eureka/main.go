@@ -45,6 +45,8 @@ func run() error {
 	noclaims := flag.Bool("noclaims", false, "disable the claimpoint extension")
 	shortest := flag.Bool("shortest", false, "route shorter nets first (§7 extension)")
 	ripup := flag.Bool("ripup", false, "rip-up-and-reroute pass for failed nets (extension)")
+	routeWorkers := flag.Int("route-workers", 0,
+		"speculative routing workers (0/1 = sequential; results are byte-identical)")
 	trace := flag.Bool("trace", false, "print the routing span tree to stderr")
 	out := flag.String("o", "", "output file (default stdout)")
 	name := flag.String("name", "", "design name (default: graphic file's tname)")
@@ -98,7 +100,7 @@ func run() error {
 	ropts.FixedBorder[geom.Right] = *r
 	ropts.FixedBorder[geom.Left] = *l
 
-	opts := gen.Options{Route: ropts, Placement: pr}
+	opts := gen.Options{Route: ropts, Placement: pr, RouteWorkers: *routeWorkers}
 	if *trace {
 		opts.Observer = obs.NewObserver(nil, "route")
 	}

@@ -53,6 +53,10 @@ func run() error {
 	noclaims := flag.Bool("noclaims", false, "disable the claimpoint extension")
 	shortest := flag.Bool("shortest", false, "route shorter nets first (§7 extension)")
 	ripup := flag.Bool("ripup", false, "rip-up-and-reroute pass for failed nets (extension)")
+	routeWorkers := flag.Int("route-workers", 0,
+		"speculative routing workers (0/1 = sequential; results are byte-identical)")
+	verify := flag.Bool("verify-routing", false,
+		"machine-check the routed geometry against the netlist before rendering")
 	trace := flag.Bool("trace", false, "print the per-stage span tree to stderr")
 	ascii := flag.Bool("ascii", false, "print an ASCII rendering")
 	svg := flag.String("svg", "", "write an SVG rendering to FILE")
@@ -111,6 +115,7 @@ func run() error {
 			OrderShortestFirst: *shortest,
 			RipUp:              *ripup,
 		},
+		RouteWorkers: *routeWorkers,
 	}
 	switch *placer {
 	case "paper":
@@ -135,6 +140,12 @@ func run() error {
 	dg := rep.Diagram
 	if err := dg.Verify(); err != nil {
 		return fmt.Errorf("self check failed: %w", err)
+	}
+	if *verify && rep.Routing != nil {
+		if err := route.VerifyEquivalence(rep.Routing); err != nil {
+			return fmt.Errorf("equivalence check failed: %w", err)
+		}
+		fmt.Fprintln(os.Stderr, "equivalence: wire geometry matches the netlist")
 	}
 	fmt.Fprintln(os.Stderr, dg.Summary())
 	if rep.Trace != nil {

@@ -84,6 +84,10 @@ func run() error {
 
 	degrade := flag.String("degrade-mode", "none",
 		"default routing-failure policy: none, strict, escalate, best-effort")
+	routeWorkers := flag.Int("route-workers", 0,
+		"default speculative routing workers per request (0/1 = sequential; results are byte-identical)")
+	verifyRouting := flag.Bool("verify-routing", false,
+		"machine-check every response's wire geometry against its netlist before serving")
 	batchRetries := flag.Int("batch-retries", 2,
 		"extra attempts for transient batch-item failures (negative disables)")
 	retryBase := flag.Duration("retry-base", 10*time.Millisecond, "base backoff between batch retries")
@@ -131,6 +135,8 @@ func run() error {
 		MaxNets:        *maxNets,
 		MaxPlaneArea:   *maxArea,
 		DegradeMode:    dm,
+		RouteWorkers:   *routeWorkers,
+		VerifyRouting:  *verifyRouting,
 		BatchRetries:   *batchRetries,
 		RetryBase:      *retryBase,
 		RetryMax:       *retryMax,

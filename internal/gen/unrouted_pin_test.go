@@ -1,0 +1,102 @@
+package gen
+
+import (
+	"context"
+	"testing"
+
+	"netart/internal/netlist"
+	"netart/internal/place"
+	"netart/internal/route"
+	"netart/internal/workload"
+)
+
+// This file pins the expected unrouted-net count of every built-in
+// workload under its canonical options, so routing regressions (or
+// silent improvements that should be celebrated and re-pinned) fail
+// loudly instead of drifting.
+//
+// The one non-zero entry is documented rather than papered over: LIFE
+// under the figure 6.7 options leaves exactly one net unrouted — obs7,
+// a long observer net crossing the dense bin fabric. It is an
+// ordering casualty, not a capacity limit: the bin nets that route
+// before it (design order) fence off the channel it needs, and
+// routing shorter nets first (Options.Route.OrderShortestFirst) packs
+// those nets tightly enough that obs7 completes — 0 unrouted, proven
+// below. The paper itself reports 2 of 222 nets initially unroutable
+// on LIFE (§6, figure 6.6), so 1 of 222 under canonical ordering is
+// within the reference regime, and the default stays faithful to the
+// paper's ordering rather than silently adopting the fix.
+
+func unroutedCount(t *testing.T, build func() *netlist.Design, opts Options) (int, []string) {
+	t.Helper()
+	rep, err := Run(context.Background(), build(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, rn := range rep.Routing.Nets {
+		if !rn.OK() {
+			names = append(names, rn.Net.Name)
+		}
+	}
+	return rep.Routing.UnroutedCount(), names
+}
+
+// lifeFig67Options are the figure 6.7 spacings the dense LIFE fabric
+// needs (shared with cmd/benchpipe's cold run).
+func lifeFig67Options() Options {
+	return Options{
+		Place: place.Options{PartSize: 5, BoxSize: 5,
+			ModSpacing: 1, BoxSpacing: 2, PartSpacing: 3},
+		Route: route.Options{Claimpoints: true},
+	}
+}
+
+func TestPinnedUnroutedCounts(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *netlist.Design
+		opts  Options
+		want  int
+		nets  []string // expected unrouted net names, when pinned
+		slow  bool
+	}{
+		{"fig61", workload.Fig61, DefaultOptions(), 0, nil, false},
+		{"datapath", workload.Datapath16, DefaultOptions(), 0, nil, false},
+		{"cpu", workload.CPU, DefaultOptions(), 0, nil, false},
+		{"life_fig67", workload.Life27, lifeFig67Options(), 1, []string{"obs7"}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.slow && testing.Short() {
+				t.Skip("life pin skipped in -short mode")
+			}
+			got, names := unroutedCount(t, tc.build, tc.opts)
+			if got != tc.want {
+				t.Fatalf("%s: %d unrouted nets %v, pinned %d %v",
+					tc.name, got, names, tc.want, tc.nets)
+			}
+			for i, n := range tc.nets {
+				if i >= len(names) || names[i] != n {
+					t.Fatalf("%s: unrouted nets %v, pinned %v", tc.name, names, tc.nets)
+				}
+			}
+		})
+	}
+}
+
+// TestLifeShortestFirstRoutesCompletely documents the remedy for the
+// pinned obs7 failure: shortest-first net ordering routes all 222 LIFE
+// nets. If this ever regresses, the pin above and this test disagree
+// about reality and both need re-examination.
+func TestLifeShortestFirstRoutesCompletely(t *testing.T) {
+	if testing.Short() {
+		t.Skip("life routing skipped in -short mode")
+	}
+	opts := lifeFig67Options()
+	opts.Route.OrderShortestFirst = true
+	got, names := unroutedCount(t, workload.Life27, opts)
+	if got != 0 {
+		t.Fatalf("shortest-first life: %d unrouted %v, want 0", got, names)
+	}
+}

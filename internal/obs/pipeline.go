@@ -43,6 +43,16 @@ type Pipeline struct {
 	// Traces counts snapshots taken (one per traced request).
 	Traces *Counter
 
+	// Speculation counters of the parallel router: per examined
+	// speculation exactly one of hit/miss increments, and each miss is
+	// followed by a requeue (the net re-routed in commit order).
+	SpecHits     *Counter
+	SpecMisses   *Counter
+	SpecRequeues *Counter
+	// RouteWorkerBusy records each routing worker's busy wall time, one
+	// observation per worker per parallel route attempt.
+	RouteWorkerBusy *Histogram
+
 	stages map[string]*Histogram
 }
 
@@ -81,6 +91,16 @@ func NewPipeline() *Pipeline {
 		"Requests currently inside the pipeline.", "")
 	p.Traces = reg.Counter("netart_traces_total",
 		"Span-tree snapshots taken (one per traced request).", "")
+
+	specOutcome := func(o string) *Counter {
+		return reg.Counter("netart_route_speculation_total",
+			"Parallel-router speculation outcomes.", `outcome="`+o+`"`)
+	}
+	p.SpecHits = specOutcome("hit")
+	p.SpecMisses = specOutcome("miss")
+	p.SpecRequeues = specOutcome("requeue")
+	p.RouteWorkerBusy = reg.Histogram("netart_route_worker_busy_seconds",
+		"Busy wall time per routing worker per parallel route attempt.", "")
 
 	p.stages = make(map[string]*Histogram, len(StageNames))
 	for _, name := range StageNames {

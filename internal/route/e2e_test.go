@@ -22,6 +22,12 @@ func placeAndRoute(t *testing.T, d *netlist.Design, po place.Options, ro Options
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Every routed result must survive the geometry-level equivalence
+	// check: connectivity, isolation and terminal integrity re-derived
+	// from the wires alone (equiv.go).
+	if err := VerifyEquivalence(res); err != nil {
+		t.Fatal(err)
+	}
 	return res
 }
 
@@ -110,6 +116,9 @@ func TestLifeHandPlacementRoutes(t *testing.T) {
 	}
 	res, err := Route(pr, Options{Claimpoints: true, Margin: 6})
 	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyEquivalence(res); err != nil {
 		t.Fatal(err)
 	}
 	un := res.UnroutedCount()

@@ -1,0 +1,231 @@
+package route
+
+import (
+	"fmt"
+
+	"netart/internal/geom"
+)
+
+// This file implements the netlist↔diagram equivalence checker: it
+// rebuilds electrical connectivity from the routed wire geometry alone
+// and asserts it matches the input netlist. The idea follows the
+// machine-checked-equivalence stance of verified netlist-to-schematic
+// work: a router must not merely claim its output connects the right
+// terminals — the claim has to be re-derivable from the geometry it
+// actually drew. The checker is independent of the router's own
+// bookkeeping (it never consults the Plane), so a bug in the plane
+// occupancy logic cannot hide a bug in the wires.
+//
+// Three properties are verified:
+//
+//  1. Connectivity: for every net, all terminals the router reports
+//     as connected (not in Failed) are joined by one connected
+//     component of that net's own wire geometry.
+//  2. Isolation: wires of different nets never connect. Two nets may
+//     share a point only as a perpendicular crossing — both passing
+//     straight through, neither ending nor bending there. Same-axis
+//     overlap, or a wire end/corner touching a foreign wire, is an
+//     electrical short.
+//  3. Terminal integrity: no wire passes through another net's
+//     terminal point.
+
+// EquivalenceError describes one violated equivalence property.
+type EquivalenceError struct {
+	Net    string // primary net involved
+	Other  string // second net for isolation violations, "" otherwise
+	Point  geom.Point
+	Reason string
+}
+
+// Error implements error.
+func (e *EquivalenceError) Error() string {
+	if e.Other != "" {
+		return fmt.Sprintf("route: equivalence violation at %v: nets %q and %q: %s",
+			e.Point, e.Net, e.Other, e.Reason)
+	}
+	return fmt.Sprintf("route: equivalence violation at %v: net %q: %s", e.Point, e.Net, e.Reason)
+}
+
+// axis flags for geometry reconstruction.
+const (
+	axH = 1 << iota
+	axV
+)
+
+// netGeom is the reconstructed geometry of one net.
+type netGeom struct {
+	name string
+	// axes maps each wire point to the axes the net's wires run along
+	// through it.
+	axes map[geom.Point]uint8
+	// stops marks points where the net's wire ends or turns (segment
+	// endpoints): touching a foreign wire there is a junction, not a
+	// crossing.
+	stops map[geom.Point]bool
+}
+
+// VerifyEquivalence rebuilds net connectivity from the wire geometry
+// of a routing result and checks it against the input netlist. It
+// returns the first violation found, or nil when the geometry realizes
+// exactly the connectivity the result claims.
+func VerifyEquivalence(rr *Result) error {
+	// Reconstruct per-net geometry from segments alone.
+	geoms := make([]netGeom, len(rr.Nets))
+	for i, rn := range rr.Nets {
+		g := netGeom{name: rn.Net.Name, axes: map[geom.Point]uint8{}, stops: map[geom.Point]bool{}}
+		for _, s := range rn.Segments {
+			if s.A == s.B {
+				continue // degenerate: no geometry
+			}
+			ax := uint8(axV)
+			if s.Horizontal() {
+				ax = axH
+			}
+			for _, p := range s.Points() {
+				g.axes[p] |= ax
+			}
+			g.stops[s.A] = true
+			g.stops[s.B] = true
+		}
+		// A corner (both axes at one point) is a stop even when no
+		// segment happens to end exactly there.
+		for p, ax := range g.axes {
+			if ax == axH|axV {
+				g.stops[p] = true
+			}
+		}
+		geoms[i] = g
+	}
+
+	// Terminal points per net, and a global terminal → net index.
+	termPts := make([][]geom.Point, len(rr.Nets))
+	termOwner := map[geom.Point]int{}
+	for i, rn := range rr.Nets {
+		for _, t := range rn.Net.Terms {
+			p, err := rr.Placement.TermPos(t)
+			if err != nil {
+				return fmt.Errorf("route: equivalence: net %q: %w", rn.Net.Name, err)
+			}
+			termPts[i] = append(termPts[i], p)
+			termOwner[p] = i
+		}
+	}
+
+	// Isolation + terminal integrity: index every wire point globally.
+	type occupant struct {
+		net int
+		ax  uint8
+	}
+	occ := map[geom.Point][]occupant{}
+	for i := range geoms {
+		for p, ax := range geoms[i].axes {
+			occ[p] = append(occ[p], occupant{i, ax})
+		}
+	}
+	for p, os := range occ {
+		for _, o := range os {
+			if ti, ok := termOwner[p]; ok && ti != o.net {
+				return &EquivalenceError{Net: geoms[o.net].name, Other: rr.Nets[ti].Net.Name,
+					Point: p, Reason: "wire passes through a foreign terminal"}
+			}
+		}
+		if len(os) < 2 {
+			continue
+		}
+		if len(os) > 2 {
+			return &EquivalenceError{Net: geoms[os[0].net].name, Other: geoms[os[1].net].name,
+				Point: p, Reason: fmt.Sprintf("%d nets share one point", len(os))}
+		}
+		a, b := os[0], os[1]
+		if a.ax&b.ax != 0 {
+			return &EquivalenceError{Net: geoms[a.net].name, Other: geoms[b.net].name,
+				Point: p, Reason: "same-axis wire overlap (short)"}
+		}
+		if a.ax == axH|axV || b.ax == axH|axV {
+			return &EquivalenceError{Net: geoms[a.net].name, Other: geoms[b.net].name,
+				Point: p, Reason: "corner touches a foreign wire (short)"}
+		}
+		if geoms[a.net].stops[p] || geoms[b.net].stops[p] {
+			return &EquivalenceError{Net: geoms[a.net].name, Other: geoms[b.net].name,
+				Point: p, Reason: "wire end touches a foreign wire (junction short)"}
+		}
+	}
+
+	// Connectivity: the terminals each net claims connected must lie in
+	// one component of its own geometry.
+	for i, rn := range rr.Nets {
+		if err := verifyNetConnectivity(rn, geoms[i], termPts[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// verifyNetConnectivity floods the net's wire graph from the first
+// claimed-connected terminal and checks every other claimed terminal
+// is reached. Wire adjacency is rebuilt from the points: two wire
+// points are adjacent when they are grid neighbours along an axis the
+// wire actually runs on through both.
+func verifyNetConnectivity(rn *RoutedNet, g netGeom, terms []geom.Point) error {
+	// Build the claimed-connected terminal list. Failed terminals are
+	// exempt from connectivity: that is the router's own claim — it
+	// could not connect them, and the caller surfaces them separately.
+	var want []geom.Point
+	for idx, t := range rn.Net.Terms {
+		isFailed := false
+		for _, ft := range rn.Failed {
+			if t == ft {
+				isFailed = true
+				break
+			}
+		}
+		if !isFailed {
+			want = append(want, terms[idx])
+		}
+	}
+	if len(want) < 2 {
+		return nil // zero or one connected terminal: nothing to join
+	}
+	if len(g.axes) == 0 {
+		return &EquivalenceError{Net: g.name, Point: want[0],
+			Reason: fmt.Sprintf("claims %d connected terminals but has no wires", len(want))}
+	}
+	// Flood from the first claimed terminal. Terminal points are part
+	// of the wire graph (wires end on them).
+	start := want[0]
+	if g.axes[start] == 0 {
+		return &EquivalenceError{Net: g.name, Point: start,
+			Reason: "claimed-connected terminal has no wire on it"}
+	}
+	seen := map[geom.Point]bool{start: true}
+	queue := []geom.Point{start}
+	dirs := []geom.Point{geom.Pt(1, 0), geom.Pt(-1, 0), geom.Pt(0, 1), geom.Pt(0, -1)}
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		for _, d := range dirs {
+			q := p.Add(d)
+			if seen[q] || g.axes[q] == 0 {
+				continue
+			}
+			ax := uint8(axH)
+			if d.X == 0 {
+				ax = axV
+			}
+			// The step is electrical only when the wire runs along the
+			// step axis through both endpoints of the step.
+			if g.axes[p]&ax == 0 || g.axes[q]&ax == 0 {
+				continue
+			}
+			seen[q] = true
+			queue = append(queue, q)
+		}
+	}
+	for _, w := range want {
+		if !seen[w] {
+			return &EquivalenceError{Net: g.name, Point: w,
+				Reason: "claimed-connected terminal unreachable through the net's wires"}
+		}
+	}
+	return nil
+}

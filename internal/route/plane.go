@@ -85,6 +85,11 @@ type Plane struct {
 	vNet    []int32
 	bend    []bool
 	claim   []int32 // net id holding a claimpoint here
+
+	// sp is the copy-on-write speculation journal (spec.go). Nil on
+	// ordinary planes; attached by enableSpec on the private per-worker
+	// snapshots of the parallel router.
+	sp *planeSpec
 }
 
 // NewPlane returns an empty plane over the inclusive point region.
@@ -170,7 +175,9 @@ func (pl *Plane) HNet(p geom.Point) int32 {
 	if !pl.InBounds(p) {
 		return 0
 	}
-	return pl.hNet[pl.idx(p)]
+	i := pl.idx(p)
+	pl.noteRead(i)
+	return pl.hNet[i]
 }
 
 // VNet returns the net whose wire runs vertically through p.
@@ -178,12 +185,19 @@ func (pl *Plane) VNet(p geom.Point) int32 {
 	if !pl.InBounds(p) {
 		return 0
 	}
-	return pl.vNet[pl.idx(p)]
+	i := pl.idx(p)
+	pl.noteRead(i)
+	return pl.vNet[i]
 }
 
 // Bend reports whether a routed net has a corner or junction at p.
 func (pl *Plane) Bend(p geom.Point) bool {
-	return pl.InBounds(p) && pl.bend[pl.idx(p)]
+	if !pl.InBounds(p) {
+		return false
+	}
+	i := pl.idx(p)
+	pl.noteRead(i)
+	return pl.bend[i]
 }
 
 // Claimpoint returns the net holding a claim at p (0 if none).
@@ -191,7 +205,9 @@ func (pl *Plane) Claimpoint(p geom.Point) int32 {
 	if !pl.InBounds(p) {
 		return 0
 	}
-	return pl.claim[pl.idx(p)]
+	i := pl.idx(p)
+	pl.noteRead(i)
+	return pl.claim[i]
 }
 
 // Claim reserves p for the given net (§5.7). It is a no-op if the point
@@ -205,24 +221,46 @@ func (pl *Plane) Claim(p geom.Point, net int32) {
 	if pl.blocked[i] || pl.hNet[i] != 0 || pl.vNet[i] != 0 || pl.claim[i] != 0 || pl.termNet[i] != 0 {
 		return
 	}
-	pl.claim[i] = net
+	pl.setClaim(i, net)
 }
 
 // ReleaseClaims removes every claimpoint of the given net ("when the
 // routing of A and B starts, both their claimpoints are removed").
+//
+// The scan over the claim array is deliberately not read-tracked: a
+// speculation only ever releases its own net's claims, and no commit
+// ever *adds* a claim during routing (claims are placed once before
+// routeAll and only removed after), so the set of points this scan
+// releases cannot be changed by an intervening commit.
 func (pl *Plane) ReleaseClaims(net int32) {
 	for i := range pl.claim {
 		if pl.claim[i] == net {
-			pl.claim[i] = 0
+			pl.setClaim(i, 0)
 		}
 	}
+}
+
+// releaseClaimsList is ReleaseClaims returning the plane indices it
+// released, so a speculation can record the exact claim writes for
+// ordered replay against the master plane.
+func (pl *Plane) releaseClaimsList(net int32) []int32 {
+	var out []int32
+	for i := range pl.claim {
+		if pl.claim[i] == net {
+			pl.setClaim(i, 0)
+			out = append(out, int32(i))
+		}
+	}
+	return out
 }
 
 // ReleaseAllClaims removes every claimpoint, done before the final
 // retry pass over unrouted nets.
 func (pl *Plane) ReleaseAllClaims() {
 	for i := range pl.claim {
-		pl.claim[i] = 0
+		if pl.claim[i] != 0 {
+			pl.setClaim(i, 0)
+		}
 	}
 }
 
@@ -252,6 +290,7 @@ func (pl *Plane) LayWire(net int32, segs []Segment) error {
 				return fmt.Errorf("route: wire point %v outside plane", p)
 			}
 			i := pl.idx(p)
+			pl.noteRead(i)
 			if pl.blocked[i] && pl.termNet[i] != net {
 				return fmt.Errorf("route: wire of net %d crosses obstacle at %v", net, p)
 			}
@@ -279,15 +318,25 @@ func (pl *Plane) LayWire(net int32, segs []Segment) error {
 			}
 		}
 	}
-	// Second pass: commit.
+	pl.commitWire(net, segs)
+	return nil
+}
+
+// commitWire applies a validated wire's occupancy and bend marks. It is
+// the write half of LayWire, split out so the parallel router can
+// replay a speculation's recorded wires against the master plane
+// without re-validating (the ordered commit guarantees the plane is in
+// the state the recording ran against). Callers must pass segments with
+// degenerates already filtered.
+func (pl *Plane) commitWire(net int32, segs []Segment) {
 	for _, s := range segs {
 		for _, p := range s.Points() {
 			i := pl.idx(p)
 			if s.Horizontal() && s.Len() > 0 {
-				pl.hNet[i] = net
+				pl.setH(i, net)
 			}
 			if !s.Horizontal() && s.Len() > 0 {
-				pl.vNet[i] = net
+				pl.setV(i, net)
 			}
 		}
 	}
@@ -307,8 +356,7 @@ func (pl *Plane) LayWire(net int32, segs []Segment) error {
 		// block crossing; a plain terminal endpoint reached by a single
 		// straight segment needs no mark (its point is blocked anyway).
 		if both || n > 1 || pl.termNet[i] != net {
-			pl.bend[i] = true
+			pl.setBend(i)
 		}
 	}
-	return nil
 }

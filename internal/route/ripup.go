@@ -28,7 +28,7 @@ func (rt *router) ripUpPass(maxCandidates int) {
 		if rn.OK() {
 			continue
 		}
-		rt.result.Stats.RipUps++
+		rt.stats.RipUps++
 		rt.ripUpOne(rn, maxCandidates, 2)
 	}
 }

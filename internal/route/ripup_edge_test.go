@@ -28,6 +28,7 @@ func buildRouter(t *testing.T, ctx context.Context, pr *place.Result, opts Optio
 		NetID:     rt.netID,
 		byNet:     map[*netlist.Net]*RoutedNet{},
 	}
+	rt.stats = &rt.result.Stats
 	if err := rt.addPrerouted(); err != nil {
 		t.Fatal(err)
 	}

@@ -60,6 +60,14 @@ type Options struct {
 	// *resilience.LimitError before any allocation, so one pathological
 	// placement cannot exhaust the process.
 	MaxPlaneArea int
+	// Workers sets the concurrency of the speculative parallel routing
+	// scheduler (parallel.go): up to Workers nets are routed at the same
+	// time against private plane snapshots and committed strictly in the
+	// canonical net order, so the result is byte-identical to the
+	// sequential router. 0 or 1 routes sequentially. Only the main
+	// routeAll pass parallelizes; the retry, rip-up and prerouted phases
+	// are sequential in either mode.
+	Workers int
 	// Inject, when non-nil, arms the resilience.SiteRouteWavefront
 	// fault site: it is fired once per wavefront search, and an
 	// injected error makes that search fail soft (the terminal is
@@ -130,7 +138,12 @@ type Result struct {
 	// Stats aggregates the line-expansion work counters over the run
 	// (zero when a baseline algorithm handled the searches).
 	Stats SearchStats
-	byNet map[*netlist.Net]*RoutedNet
+	// Speculation carries the parallel scheduler's bookkeeping when the
+	// route ran with Options.Workers > 1; nil on sequential runs. It is
+	// diagnostic metadata: every other Result field is byte-identical
+	// between sequential and parallel runs of the same input.
+	Speculation *SpecStats
+	byNet       map[*netlist.Net]*RoutedNet
 }
 
 // Net returns the routing outcome for a specific net.
@@ -148,7 +161,10 @@ func (r *Result) UnroutedCount() int {
 	return n
 }
 
-// router carries the working state of one Route invocation.
+// router carries the working state of one Route invocation. The
+// parallel scheduler creates one shallow copy per worker that shares
+// the read-only fields (pl, opts, netID) but has a private plane
+// snapshot, stats sink, op recorder and cancellation checker.
 type router struct {
 	pl     *place.Result
 	plane  *Plane
@@ -156,6 +172,17 @@ type router struct {
 	netID  map[*netlist.Net]int32
 	result *Result
 	cancel *cancelCheck
+	ctx    context.Context // the RouteCtx context; workers derive their own cancel checkers from it
+
+	// stats is where the search engines accumulate their counters. It
+	// points at result.Stats on the main router; speculation workers
+	// point it at a per-net local so only committed work is counted (in
+	// commit order, keeping the totals identical to a sequential run).
+	stats *SearchStats
+	// rec, when non-nil, records every plane mutation routeNet makes
+	// (claim releases, laid wires) so an ordered commit can replay them
+	// against the master plane.
+	rec *opRecord
 }
 
 // Route runs the routing phase over a placement.
@@ -175,6 +202,7 @@ func RouteCtx(ctx context.Context, pr *place.Result, opts Options) (*Result, err
 		opts:   opts,
 		netID:  map[*netlist.Net]int32{},
 		cancel: newCancelCheck(ctx),
+		ctx:    ctx,
 	}
 	if err := rt.buildPlane(); err != nil {
 		return nil, err
@@ -185,6 +213,7 @@ func RouteCtx(ctx context.Context, pr *place.Result, opts Options) (*Result, err
 		NetID:     rt.netID,
 		byNet:     map[*netlist.Net]*RoutedNet{},
 	}
+	rt.stats = &rt.result.Stats
 	if err := rt.addPrerouted(); err != nil {
 		return nil, err
 	}
@@ -310,7 +339,28 @@ func (rt *router) placeClaims() {
 
 // routeAll routes every net (ROUTING). The default order is design
 // order, as in the paper; OrderShortestFirst is the §7 extension.
+// With Options.Workers > 1 the speculation scheduler (parallel.go)
+// routes the same canonical order concurrently with ordered commit.
 func (rt *router) routeAll() {
+	if rt.opts.Workers > 1 {
+		rt.routeAllParallel()
+		return
+	}
+	byNet := map[*netlist.Net]*RoutedNet{}
+	for _, n := range rt.routeOrder() {
+		if rt.cancel.poll() {
+			break // abandoned run; RouteCtx discards the result
+		}
+		byNet[n] = rt.routeNet(n)
+	}
+	rt.publish(byNet)
+}
+
+// routeOrder returns the canonical routing order: design order, or
+// increasing estimated length with OrderShortestFirst. This order is
+// the commit order of the parallel scheduler, which is why parallel
+// results are identical to sequential ones.
+func (rt *router) routeOrder() []*netlist.Net {
 	order := append([]*netlist.Net(nil), rt.pl.Design.Nets...)
 	if rt.opts.OrderShortestFirst {
 		est := make(map[*netlist.Net]int, len(order))
@@ -319,14 +369,13 @@ func (rt *router) routeAll() {
 		}
 		sort.SliceStable(order, func(i, j int) bool { return est[order[i]] < est[order[j]] })
 	}
-	byNet := map[*netlist.Net]*RoutedNet{}
-	for _, n := range order {
-		if rt.cancel.poll() {
-			break // abandoned run; RouteCtx discards the result
-		}
-		byNet[n] = rt.routeNet(n)
-	}
-	// Report in design order regardless of routing order.
+	return order
+}
+
+// publish records the per-net outcomes into the result in design order
+// regardless of routing order. Nets missing from byNet (cancelled run)
+// are reported with all terminals failed.
+func (rt *router) publish(byNet map[*netlist.Net]*RoutedNet) {
 	for _, n := range rt.pl.Design.Nets {
 		rn := byNet[n]
 		if rn == nil {
@@ -335,6 +384,35 @@ func (rt *router) routeAll() {
 		rt.result.Nets = append(rt.result.Nets, rn)
 		rt.result.byNet[n] = rn
 	}
+}
+
+// layWire lays a routed wire on the router's plane and, when recording,
+// journals the (degenerate-filtered) segment group for ordered replay.
+func (rt *router) layWire(id int32, segs []Segment) error {
+	if rt.rec == nil {
+		return rt.plane.LayWire(id, segs)
+	}
+	kept := make([]Segment, 0, len(segs))
+	for _, s := range segs {
+		if s.A != s.B {
+			kept = append(kept, s)
+		}
+	}
+	if err := rt.plane.LayWire(id, kept); err != nil {
+		return err
+	}
+	rt.rec.wires = append(rt.rec.wires, kept)
+	return nil
+}
+
+// releaseClaims removes the net's claimpoints, recording the released
+// plane indices when an op recorder is attached.
+func (rt *router) releaseClaims(id int32) {
+	if rt.rec == nil {
+		rt.plane.ReleaseClaims(id)
+		return
+	}
+	rt.rec.claims = append(rt.rec.claims, rt.plane.releaseClaimsList(id)...)
 }
 
 // halfPerimeter estimates a net's routed length as the half-perimeter
@@ -380,7 +458,7 @@ func (rt *router) escapeDirs(t *netlist.Terminal) []geom.Dir {
 func (rt *router) routeNet(n *netlist.Net) *RoutedNet {
 	rn := &RoutedNet{Net: n}
 	id := rt.netID[n]
-	rt.plane.ReleaseClaims(id)
+	rt.releaseClaims(id)
 
 	if pre, ok := rt.opts.Prerouted[n]; ok {
 		rn.Segments = append(rn.Segments, pre...)
@@ -417,7 +495,7 @@ func (rt *router) routeNet(n *netlist.Net) *RoutedNet {
 			rn.Failed = append(rn.Failed, t)
 			continue
 		}
-		if err := rt.plane.LayWire(id, segs); err != nil {
+		if err := rt.layWire(id, segs); err != nil {
 			// Should not happen: the search only uses legal cells.
 			rn.Failed = append(rn.Failed, t)
 			continue
@@ -473,11 +551,11 @@ func (rt *router) initiate(terms []*netlist.Terminal, id int32) ([2]*netlist.Ter
 			if rt.opts.Inject.Fire(resilience.SiteRouteWavefront) != nil {
 				continue // injected soft failure: try the next pair
 			}
-			rt.result.Stats.Searches++
+			rt.stats.Searches++
 			segs, ok = dualSearch(rt.plane, id,
 				rt.termPoint(p.a), rt.escapeDirs(p.a),
 				target, rt.escapeDirs(p.b),
-				rt.opts.SwapObjective, &rt.result.Stats, rt.cancel)
+				rt.opts.SwapObjective, rt.stats, rt.cancel)
 		} else {
 			segs, ok = rt.search(p.a, id, func(q geom.Point) bool { return q == target },
 				[]geom.Point{target})
@@ -485,7 +563,7 @@ func (rt *router) initiate(terms []*netlist.Terminal, id int32) ([2]*netlist.Ter
 		if !ok {
 			continue
 		}
-		if err := rt.plane.LayWire(id, segs); err != nil {
+		if err := rt.layWire(id, segs); err != nil {
 			continue
 		}
 		return [2]*netlist.Terminal{p.a, p.b}, segs, true
@@ -559,9 +637,9 @@ func (rt *router) search(t *netlist.Terminal, id int32, target func(geom.Point) 
 		return hightowerSearch(rt.plane, id, from, best)
 	default:
 		ls := newLineSearch(rt.plane, id, target, rt.opts.SwapObjective)
-		ls.stats = &rt.result.Stats
+		ls.stats = rt.stats
 		ls.cancel = rt.cancel
-		rt.result.Stats.Searches++
+		rt.stats.Searches++
 		return ls.run(terminalActives(from, dirs))
 	}
 }
@@ -649,7 +727,7 @@ func (rt *router) completePending(rn *RoutedNet) {
 			rn.Failed = append(rn.Failed, t)
 			continue
 		}
-		if err := rt.plane.LayWire(id, segs); err != nil {
+		if err := rt.layWire(id, segs); err != nil {
 			rn.Failed = append(rn.Failed, t)
 			continue
 		}

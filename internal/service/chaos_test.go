@@ -69,6 +69,14 @@ func TestChaosMixedTraffic(t *testing.T) {
 		BatchRetries: 1,
 		RetryBase:    time.Millisecond,
 		RetryMax:     4 * time.Millisecond,
+		// Every successful response under chaos is machine-checked: the
+		// wire geometry must realize the netlist even when the pipeline
+		// is being shot at (degraded partials included — failed nets are
+		// exempt from connectivity but never from isolation).
+		VerifyRouting: true,
+		// And half the traffic routes in parallel, so injected faults
+		// also fly through the speculation scheduler.
+		RouteWorkers: 2,
 	})
 
 	workloads := []string{"fig61", "chain", "fig61", "datapath"}
@@ -163,7 +171,10 @@ func TestChaosMixedTraffic(t *testing.T) {
 // with observability.
 func TestBestEffortDegradation(t *testing.T) {
 	inj := mustInjector(t, "route.wavefront:error:1", 7)
-	_, ts := newTestServer(t, Config{Workers: 2, Inject: inj})
+	// VerifyRouting on: even a best-effort partial routing must pass the
+	// equivalence check (unconnected nets are exempt from connectivity,
+	// but any wire that was laid must still be electrically sound).
+	_, ts := newTestServer(t, Config{Workers: 2, Inject: inj, VerifyRouting: true})
 
 	req := Request{
 		Workload: "fig61",

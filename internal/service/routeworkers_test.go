@@ -1,0 +1,100 @@
+package service
+
+import (
+	"context"
+	"testing"
+)
+
+// Tests for the route_workers knob: it must reach the router, must not
+// change the artwork, and — because it cannot change the artwork — must
+// share cache entries with sequential requests.
+
+// TestRouteWorkersByteIdenticalResponse renders the same workload
+// sequentially and in parallel on two independent servers (no shared
+// cache) and asserts the responses are byte-identical.
+func TestRouteWorkersByteIdenticalResponse(t *testing.T) {
+	req := func(workers int) *Request {
+		return &Request{Workload: "datapath", Format: "ascii",
+			Options: GenOptions{RouteWorkers: workers}}
+	}
+	run := func(workers int) *Response {
+		s := New(Config{Workers: 1, CacheEntries: 0, VerifyRouting: true})
+		defer s.Close()
+		resp, err := s.Generate(context.Background(), req(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	seq := run(1)
+	for _, w := range []int{2, 4} {
+		par := run(w)
+		if par.Diagram != seq.Diagram {
+			t.Errorf("route_workers=%d: diagram diverges from sequential", w)
+		}
+		if par.CacheKey != seq.CacheKey {
+			t.Errorf("route_workers=%d: cache key %s != sequential %s — the knob must not enter the key",
+				w, par.CacheKey, seq.CacheKey)
+		}
+		if par.Unrouted != seq.Unrouted {
+			t.Errorf("route_workers=%d: unrouted %d != %d", w, par.Unrouted, seq.Unrouted)
+		}
+	}
+}
+
+// TestRouteWorkersSharesCacheEntry: a parallel request after an
+// identical sequential one must hit the cache (and vice versa), because
+// route_workers is an execution hint, not a result parameter.
+func TestRouteWorkersSharesCacheEntry(t *testing.T) {
+	s := New(Config{Workers: 1, CacheEntries: 16})
+	defer s.Close()
+	ctx := context.Background()
+
+	seq, err := s.Generate(ctx, &Request{Workload: "fig61", Format: "ascii"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Cached {
+		t.Fatal("first request reported cached")
+	}
+	par, err := s.Generate(ctx, &Request{Workload: "fig61", Format: "ascii",
+		Options: GenOptions{RouteWorkers: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !par.Cached {
+		t.Error("parallel request missed the cache despite the byte-identity contract")
+	}
+	if par.Diagram != seq.Diagram {
+		t.Error("cached parallel response diverges from sequential original")
+	}
+}
+
+// TestRouteWorkersServerDefault: a server-wide RouteWorkers default
+// applies to requests that don't pick their own, and a request override
+// wins.
+func TestRouteWorkersServerDefault(t *testing.T) {
+	s := New(Config{Workers: 1, CacheEntries: 0, RouteWorkers: 4, VerifyRouting: true})
+	defer s.Close()
+	if _, err := s.Generate(context.Background(),
+		&Request{Workload: "datapath", Format: "summary"}); err != nil {
+		t.Fatalf("server-default parallel routing failed: %v", err)
+	}
+	if _, err := s.Generate(context.Background(),
+		&Request{Workload: "datapath", Format: "summary",
+			Options: GenOptions{RouteWorkers: 1}}); err != nil {
+		t.Fatalf("request override to sequential failed: %v", err)
+	}
+}
+
+// TestRouteWorkersRejectsNegative pins the 400 on a nonsense value.
+func TestRouteWorkersRejectsNegative(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	_, err := s.Generate(context.Background(),
+		&Request{Workload: "fig61", Options: GenOptions{RouteWorkers: -2}})
+	se, ok := err.(*svcError)
+	if !ok || se.status != 400 {
+		t.Fatalf("negative route_workers: got %v, want 400 svcError", err)
+	}
+}

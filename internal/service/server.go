@@ -14,6 +14,7 @@ import (
 	"netart/internal/netlist"
 	"netart/internal/obs"
 	"netart/internal/resilience"
+	"netart/internal/route"
 	"netart/internal/workload"
 )
 
@@ -50,6 +51,21 @@ type Config struct {
 	// DegradeMode is the server-wide default degradation policy for
 	// requests that do not pick their own (see gen.DegradeMode).
 	DegradeMode gen.DegradeMode
+
+	// RouteWorkers is the server-wide default for the router's
+	// speculative parallelism (route.Options.Workers); requests that
+	// carry their own route_workers override it. 0/1 routes
+	// sequentially. Parallel and sequential routing produce
+	// byte-identical results, so this only trades CPU for latency.
+	RouteWorkers int
+
+	// VerifyRouting re-derives every response's net connectivity from
+	// the routed wire geometry and rejects the response if it does not
+	// match the netlist (route.VerifyEquivalence). A failed check is a
+	// router invariant violation, served as a 500 and never cached.
+	// Chaos and CI deployments turn this on; the check is O(wire
+	// points) per request.
+	VerifyRouting bool
 
 	// BatchRetries is the number of extra attempts a transient /v1/batch
 	// item failure may consume (default 2; negative disables retry).
@@ -392,6 +408,9 @@ func (s *Server) process(ctx context.Context, req *Request) (*ResponseV2, error)
 	if req.Options.DegradeMode == "" {
 		opts.Degrade = s.cfg.DegradeMode
 	}
+	if req.Options.RouteWorkers == 0 {
+		opts.RouteWorkers = s.cfg.RouteWorkers
+	}
 	opts.Inject = s.cfg.Inject
 	opts.Observer = o
 	if opts.Route.MaxPlaneArea == 0 {
@@ -448,6 +467,20 @@ func (s *Server) process(ctx context.Context, req *Request) (*ResponseV2, error)
 	rep, err := gen.Run(ctx, design, opts)
 	if err != nil {
 		return nil, err
+	}
+
+	if s.cfg.VerifyRouting && rep.Routing != nil {
+		// Machine-check the artwork before serving it: the electrical
+		// connectivity re-derived from the routed wires alone must match
+		// the input netlist. A violation here is a router bug, not a bad
+		// request — it maps to 500 and is never cached.
+		vsp := o.StartSpan("verify")
+		if verr := route.VerifyEquivalence(rep.Routing); verr != nil {
+			endSpanError(vsp, verr)
+			return nil, &svcError{status: 500,
+				msg: fmt.Sprintf("routing equivalence check failed: %v", verr), cause: verr}
+		}
+		vsp.End()
 	}
 
 	rsp := o.StartSpan("render")

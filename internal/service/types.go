@@ -75,6 +75,13 @@ type GenOptions struct {
 	// none, strict, escalate, or best-effort (see gen.DegradeMode).
 	// Empty inherits the server default.
 	DegradeMode string `json:"degrade_mode,omitempty"`
+
+	// RouteWorkers sets the router's speculative parallelism (see
+	// route.Options.Workers); 0 inherits the server default, 1 forces
+	// sequential routing. The parallel router is byte-identical to the
+	// sequential one, so this knob is an execution hint, not a result
+	// parameter: it deliberately does NOT participate in the cache key.
+	RouteWorkers int `json:"route_workers,omitempty"`
 }
 
 // resolve maps the JSON options onto gen.Options, filling defaults.
@@ -132,14 +139,23 @@ func (o GenOptions) resolve() (gen.Options, error) {
 		return opts, err
 	}
 	opts.Degrade = dm
+	if o.RouteWorkers < 0 {
+		return opts, fmt.Errorf("route_workers must be >= 0, got %d", o.RouteWorkers)
+	}
+	opts.RouteWorkers = o.RouteWorkers
 	return opts, nil
 }
 
 // canonical renders the options in a fixed field order for the cache
-// key; every field participates, so any knob change misses the cache.
-// The degradation policy is passed in resolved form because an empty
-// request field inherits the server default — two requests with
-// different effective policies must never share a cache entry.
+// key; every result-affecting field participates, so any knob change
+// misses the cache. The degradation policy is passed in resolved form
+// because an empty request field inherits the server default — two
+// requests with different effective policies must never share a cache
+// entry. RouteWorkers is deliberately absent: the parallel router's
+// output is byte-identical to the sequential router's for every input
+// (enforced by the determinism battery in internal/route and
+// internal/gen), so requests differing only in worker count may — and
+// should — share one cache entry.
 func (o GenOptions) canonical(degrade gen.DegradeMode) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "placer=%s part=%d box=%d conn=%d", orDefault(o.Placer, "paper"),
