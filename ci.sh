@@ -1,13 +1,15 @@
 #!/bin/sh
 # ci.sh — the repo's test tiers.
 #
-#   tier 1 (default):  go vet + build + full test suite
+#   tier 1 (default):  go vet + build + full test suite (shuffled)
 #                      (+ staticcheck when installed, + the parallel-
-#                      routing determinism battery under -race, + 5s
-#                      fuzz smoke of the Appendix-A netlist parser,
-#                      + the observability allocation guard, + the
-#                      pipeline latency benchmark emitting
-#                      BENCH_pipeline.json)
+#                      routing and parallel-placement determinism
+#                      batteries under -race, + the golden-corpus
+#                      check, + a coverage floor on the placement
+#                      packages, + 5s fuzz smoke of the Appendix-A
+#                      netlist parser, + the observability allocation
+#                      guard, + the pipeline latency benchmark
+#                      emitting BENCH_pipeline.json)
 #   tier 2 (-race):    tier 1 with the race detector (slower; exercises
 #                      the netartd worker pool / cache / stats paths and
 #                      the chaos suite's injected panics)
@@ -34,18 +36,48 @@ fi
 echo "== go build ./..."
 go build ./...
 
-echo "== go test ${RACE} ./..."
-go test ${RACE} ./...
+# -shuffle=on randomizes test (and subtest-source) execution order, so
+# accidental inter-test state dependencies fail loudly instead of
+# riding on declaration order. The seed is printed on failure for
+# replay with -shuffle=SEED.
+echo "== go test ${RACE} -shuffle=on ./..."
+go test ${RACE} -shuffle=on ./...
 
-# Determinism battery under the race detector: the parallel routing
-# scheduler must be data-race-free AND byte-identical to the sequential
-# router (segments, plane cells, stats, ASCII, SVG). Tier 2's full
-# -race pass above already covers it; tier 1 runs just the battery with
+# Determinism batteries under the race detector: the parallel routing
+# AND parallel placement schedulers must be data-race-free AND
+# byte-identical to their sequential twins (segments, plane cells,
+# stats, placement fingerprints, ASCII, SVG). Tier 2's full -race pass
+# above already covers them; tier 1 runs just the batteries with
 # -race -short so every default CI run still proves the contract.
 if [ -z "${RACE}" ]; then
-	echo "== determinism battery: go test -race -short -run 'Parallel|Rendered' ./internal/route ./internal/gen"
-	go test -race -short -run 'Parallel|Rendered' ./internal/route ./internal/gen
+	echo "== determinism batteries: go test -race -short -run 'Parallel|Rendered' ./internal/route ./internal/gen ./internal/place"
+	go test -race -short -run 'Parallel|Rendered' ./internal/route ./internal/gen ./internal/place
 fi
+
+# Golden corpus: the pinned ASCII/SVG artwork of every built-in
+# workload must match byte for byte. After an intentional pipeline
+# change, regenerate with `go test ./internal/gen -run TestGoldenCorpus
+# -update` and commit the diff. (The full `go test ./...` above runs
+# this too; the explicit step makes a corpus drift fail with its own
+# headline instead of hiding in the package list.)
+echo "== golden corpus: go test -run TestGoldenCorpus ./internal/gen"
+go test -run TestGoldenCorpus ./internal/gen
+
+# Coverage floor on the placement stack: the packages this repo's
+# property/determinism batteries guard must stay thoroughly executed.
+# The floor is deliberately below current coverage (see git log) — it
+# is a ratchet against rot, not a target.
+echo "== coverage floor (>= 85%): ./internal/place ./internal/boxes ./internal/partition"
+COV_OUT="$(go test -cover ./internal/place ./internal/boxes ./internal/partition)"
+echo "$COV_OUT"
+echo "$COV_OUT" | awk '
+	/coverage:/ {
+		for (i = 1; i <= NF; i++) if ($i == "coverage:") pct = $(i+1)
+		sub(/%.*/, "", pct)
+		if (pct + 0 < 85) { print "ci.sh: FAIL — " $2 " coverage " pct "% below the 85% floor"; bad = 1 }
+	}
+	END { exit bad }
+' || exit 1
 
 # Fuzz smoke: a short bounded run of the netlist parser fuzz target.
 # Regressions show up as crashers within seconds; the long exploratory

@@ -15,16 +15,17 @@
 // A route-workers sweep rides along: each workload's route stage is
 // re-run (cache off) at every worker count in -route-workers, and the
 // per-workload parallel_speedup field reports sequential route time
-// over the best parallel route time. The record carries cpus and
-// gomaxprocs so a speedup of ~1.0 on a single-core runner reads as
-// the hardware fact it is, not a scheduler defect — the determinism
-// battery, not this bench, is the parallel router's correctness
-// gate.
+// over the best parallel route time. A matching place-workers sweep
+// does the same for the placement stage (-place-workers, place_sweep,
+// place_parallel_speedup). The record carries cpus and gomaxprocs so
+// a speedup of ~1.0 on a single-core runner reads as the hardware
+// fact it is, not a scheduler defect — the determinism batteries, not
+// this bench, are the parallel stages' correctness gates.
 //
 // Usage:
 //
 //	benchpipe [-out BENCH_pipeline.json] [-workloads fig61,datapath,life]
-//	          [-warm-runs 5] [-route-workers 1,2,4,N]
+//	          [-warm-runs 5] [-route-workers 1,2,4,N] [-place-workers 1,2,4,N]
 package main
 
 import (
@@ -65,12 +66,24 @@ type workloadResult struct {
 	// regardless of worker count — see cpus/gomaxprocs at the top
 	// level.
 	ParallelSpeedup float64 `json:"parallel_speedup,omitempty"`
+	// PlaceSweep is the place-stage latency at each -place-workers
+	// value (cache bypassed; best of two runs per point), and
+	// PlaceParallelSpeedup the sequential place_ms over the best
+	// parallel place_ms — the placement twin of the route sweep.
+	PlaceSweep           []placeSweepPoint `json:"place_sweep,omitempty"`
+	PlaceParallelSpeedup float64           `json:"place_parallel_speedup,omitempty"`
 }
 
 // routeSweepPoint is one (worker count, route latency) sample.
 type routeSweepPoint struct {
 	Workers int     `json:"workers"`
 	RouteMs float64 `json:"route_ms"`
+}
+
+// placeSweepPoint is one (worker count, place latency) sample.
+type placeSweepPoint struct {
+	Workers int     `json:"workers"`
+	PlaceMs float64 `json:"place_ms"`
 }
 
 // benchFile is the top-level shape of BENCH_pipeline.json.
@@ -90,9 +103,10 @@ func main() {
 	}
 }
 
-// parseSweep expands the -route-workers spec into a sorted, deduplicated
-// list of worker counts; "N" means GOMAXPROCS.
-func parseSweep(spec string) ([]int, error) {
+// parseSweep expands a -route-workers/-place-workers spec into a
+// deduplicated list of worker counts; "N" means GOMAXPROCS. flagName
+// is only used for error messages.
+func parseSweep(flagName, spec string) ([]int, error) {
 	var out []int
 	seen := map[int]bool{}
 	for _, part := range strings.Split(spec, ",") {
@@ -104,7 +118,7 @@ func parseSweep(spec string) ([]int, error) {
 		if part != "N" && part != "n" {
 			v, err := strconv.Atoi(part)
 			if err != nil || v < 1 {
-				return nil, fmt.Errorf("bad -route-workers entry %q", part)
+				return nil, fmt.Errorf("bad %s entry %q", flagName, part)
 			}
 			n = v
 		}
@@ -122,9 +136,15 @@ func run() error {
 	warmRuns := flag.Int("warm-runs", 5, "cache-hit repeats per workload (best is reported)")
 	sweepSpec := flag.String("route-workers", "1,2,4,N",
 		"comma-separated route-worker counts for the sweep (N = GOMAXPROCS; empty disables)")
+	placeSpec := flag.String("place-workers", "1,2,4,N",
+		"comma-separated place-worker counts for the sweep (N = GOMAXPROCS; empty disables)")
 	flag.Parse()
 
-	sweep, err := parseSweep(*sweepSpec)
+	sweep, err := parseSweep("-route-workers", *sweepSpec)
+	if err != nil {
+		return err
+	}
+	placeSweep, err := parseSweep("-place-workers", *placeSpec)
 	if err != nil {
 		return err
 	}
@@ -214,9 +234,38 @@ func run() error {
 			res.ParallelSpeedup = seqMs / bestParMs
 		}
 
+		// Place-workers sweep: identical shape, comparing only the
+		// place stage. route_workers is left at the request default so
+		// the placement delta is the only variable.
+		var seqPlaceMs, bestParPlaceMs float64
+		for _, workers := range placeSweep {
+			sreq := req
+			sreq.Options.PlaceWorkers = workers
+			var best float64
+			for rep := 0; rep < 2; rep++ {
+				r, err := sweepSrv.GenerateV2(ctx, &sreq)
+				if err != nil {
+					return fmt.Errorf("workload %s (place sweep workers=%d): %w", w, workers, err)
+				}
+				ms := float64(r.Report.Timings.Place) / float64(time.Millisecond)
+				if rep == 0 || ms < best {
+					best = ms
+				}
+			}
+			res.PlaceSweep = append(res.PlaceSweep, placeSweepPoint{Workers: workers, PlaceMs: best})
+			if workers <= 1 {
+				seqPlaceMs = best
+			} else if bestParPlaceMs == 0 || best < bestParPlaceMs {
+				bestParPlaceMs = best
+			}
+		}
+		if seqPlaceMs > 0 && bestParPlaceMs > 0 {
+			res.PlaceParallelSpeedup = seqPlaceMs / bestParPlaceMs
+		}
+
 		file.Results = append(file.Results, res)
-		fmt.Fprintf(os.Stderr, "benchpipe: %-10s cold %8.3fms  warm %8.3fms  (%.0fx)  par-route %.2fx\n",
-			w, res.ColdMs, res.WarmMs, res.Speedup, res.ParallelSpeedup)
+		fmt.Fprintf(os.Stderr, "benchpipe: %-10s cold %8.3fms  warm %8.3fms  (%.0fx)  par-route %.2fx  par-place %.2fx\n",
+			w, res.ColdMs, res.WarmMs, res.Speedup, res.ParallelSpeedup, res.PlaceParallelSpeedup)
 	}
 
 	b, err := json.MarshalIndent(file, "", "  ")

@@ -86,6 +86,8 @@ func run() error {
 		"default routing-failure policy: none, strict, escalate, best-effort")
 	routeWorkers := flag.Int("route-workers", 0,
 		"default speculative routing workers per request (0/1 = sequential; results are byte-identical)")
+	placeWorkers := flag.Int("place-workers", 0,
+		"default parallel placement workers per request (0/1 = sequential; results are byte-identical)")
 	verifyRouting := flag.Bool("verify-routing", false,
 		"machine-check every response's wire geometry against its netlist before serving")
 	batchRetries := flag.Int("batch-retries", 2,
@@ -136,6 +138,7 @@ func run() error {
 		MaxPlaneArea:   *maxArea,
 		DegradeMode:    dm,
 		RouteWorkers:   *routeWorkers,
+		PlaceWorkers:   *placeWorkers,
 		VerifyRouting:  *verifyRouting,
 		BatchRetries:   *batchRetries,
 		RetryBase:      *retryBase,

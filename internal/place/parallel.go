@@ -1,0 +1,206 @@
+package place
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"netart/internal/boxes"
+	"netart/internal/netlist"
+	"netart/internal/partition"
+	"netart/internal/resilience"
+)
+
+// This file implements the deterministic parallel placement engine,
+// the placement analogue of the routing speculation scheduler
+// (internal/route/parallel.go). The unit of work is one partition:
+// module placement inside every box of the partition (§4.6.4) followed
+// by the center-of-gravity box placement within it (§4.6.5). Each task
+// reads only immutable shared state — the design and the partition's
+// own boxes — and writes a private *placedPart, so unlike routing no
+// read-set validation is needed: every speculation trivially commits.
+// What the scheduler preserves is the *commit discipline*: results are
+// taken strictly in canonical partition order, so the downstream
+// partition placement (§4.6.6), terminal placement (§4.6.7) and error
+// reporting see exactly the sequential sequence, and the final Result
+// is byte-identical to the sequential path for every design, option
+// set and worker count. The worker count is an execution hint, never a
+// result parameter; the determinism battery (parallel_test.go and the
+// rendered-level half in internal/gen) enforces the contract.
+//
+// One caveat, shared with the parallel router: with an armed fault
+// injector the *firing order* of place.box fault sites differs between
+// sequential and parallel runs (workers fire them as they reach each
+// box), so injected-fault outcomes are reproducible only for a fixed
+// worker count. The committed error, however, is always the canonical
+// one: the committer scans partitions in order and returns the first
+// failure, exactly like the sequential loop.
+
+// SpecStats reports the parallel placement scheduler's work. Purely
+// diagnostic; it is the only Result field that varies with the worker
+// count.
+type SpecStats struct {
+	// Workers is the worker count the placement ran with (after
+	// clamping to the partition count).
+	Workers int `json:"workers"`
+	// Partitions counts the partition tasks the committer examined.
+	Partitions int `json:"partitions"`
+	// Boxes counts the module strings placed across all tasks.
+	Boxes int `json:"boxes"`
+	// Committed counts tasks committed as computed. Partition tasks
+	// share no mutable state, so every examined task commits
+	// (Committed == Partitions); the counter exists so a future
+	// scheduler with cross-partition speculation can report misses.
+	Committed int `json:"committed"`
+	// WorkerParts is the number of tasks each worker completed.
+	WorkerParts []int `json:"worker_partitions"`
+	// WorkerBusy is each worker's wall-clock busy time in seconds,
+	// from first claim to exit.
+	WorkerBusy []float64 `json:"worker_busy_seconds"`
+}
+
+// placeOnePartition is the per-partition task shared by the sequential
+// and parallel paths: place every box's module string, then the boxes
+// within the partition, all in local coordinates.
+func placeOnePartition(d *netlist.Design, p *partition.Part, bxs []*boxes.Box, opts Options) (*placedPart, error) {
+	pp := &placedPart{part: p}
+	for _, b := range bxs {
+		if err := opts.Inject.Fire(resilience.SitePlaceBox); err != nil {
+			return nil, fmt.Errorf("place: box placement: %w", err)
+		}
+		pb, err := placeBoxModules(b, opts)
+		if err != nil {
+			return nil, err
+		}
+		pp.boxes = append(pp.boxes, pb)
+	}
+	placeBoxesInPartition(d, pp, opts)
+	return pp, nil
+}
+
+// placeParts runs the per-partition placement work for all partitions,
+// sequentially or on opts.Workers goroutines, and returns the placed
+// partitions in canonical order. The SpecStats result is nil for
+// sequential runs.
+func placeParts(d *netlist.Design, parts []*partition.Part, bxs [][]*boxes.Box, opts Options) ([]*placedPart, *SpecStats, error) {
+	workers := opts.Workers
+	if workers > len(parts) {
+		workers = len(parts)
+	}
+	if workers <= 1 {
+		placedParts := make([]*placedPart, len(parts))
+		for i, p := range parts {
+			pp, err := placeOnePartition(d, p, bxs[i], opts)
+			if err != nil {
+				return nil, nil, err
+			}
+			placedParts[i] = pp
+		}
+		return placedParts, nil, nil
+	}
+	return placePartsParallel(d, parts, bxs, opts, workers)
+}
+
+// partResult is what a worker hands the committer for one partition.
+type partResult struct {
+	pp       *placedPart
+	err      error
+	panicVal any // recovered panic; the committer re-raises it
+}
+
+// placePartsParallel is the Workers>1 implementation of placeParts: a
+// pool of workers claims partition indices in canonical order by
+// fetch-and-add, computes each task against the shared read-only
+// design, and the committer collects results strictly in order. The
+// first canonical error (or forwarded panic) wins, exactly as in the
+// sequential loop; remaining workers are told to stop and their
+// in-flight work is discarded.
+func placePartsParallel(d *netlist.Design, parts []*partition.Part, bxs [][]*boxes.Box,
+	opts Options, workers int) ([]*placedPart, *SpecStats, error) {
+	n := len(parts)
+	spec := &SpecStats{
+		Workers:     workers,
+		WorkerParts: make([]int, workers),
+		WorkerBusy:  make([]float64, workers),
+	}
+	ready := make([]chan *partResult, n)
+	for i := range ready {
+		// Buffered so a worker never blocks on a send: exactly one
+		// result is produced per index.
+		ready[i] = make(chan *partResult, 1)
+	}
+	var (
+		next    atomic.Int64
+		stopped = make(chan struct{})
+		wg      sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			start := time.Now()
+			defer func() { spec.WorkerBusy[w] = time.Since(start).Seconds() }()
+			for {
+				select {
+				case <-stopped:
+					return
+				default:
+				}
+				k := int(next.Add(1) - 1)
+				if k >= n {
+					return
+				}
+				res := &partResult{}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							// A panic (typically an injected fault) must
+							// not crash the process from a bare
+							// goroutine; forward it so the committer
+							// re-raises it on the caller's stack, inside
+							// the caller's resilience.Recover boundary.
+							res.panicVal = r
+						}
+					}()
+					res.pp, res.err = placeOnePartition(d, parts[k], bxs[k], opts)
+					if res.err == nil {
+						spec.WorkerParts[w]++
+					}
+				}()
+				ready[k] <- res
+				if res.panicVal != nil {
+					return // retire the worker; the committer re-raises
+				}
+			}
+		}(w)
+	}
+
+	placedParts := make([]*placedPart, 0, n)
+	var firstErr error
+	var panicked any
+	for k := 0; k < n; k++ {
+		res := <-ready[k]
+		if res.panicVal != nil {
+			panicked = res.panicVal
+			break
+		}
+		if res.err != nil {
+			firstErr = res.err
+			break
+		}
+		spec.Partitions++
+		spec.Committed++
+		spec.Boxes += len(res.pp.boxes)
+		placedParts = append(placedParts, res.pp)
+	}
+	close(stopped)
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+	if firstErr != nil {
+		return nil, nil, firstErr
+	}
+	return placedParts, spec, nil
+}

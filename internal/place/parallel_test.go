@@ -1,0 +1,183 @@
+package place
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"netart/internal/netlist"
+	"netart/internal/workload"
+)
+
+// This file is the placement half of the determinism battery, the twin
+// of internal/route/parallel_test.go: every field of the placement
+// Result except the Parallel diagnostics must be byte-identical for
+// every worker count, on the named workloads and across a sweep of
+// seeded random designs. ci.sh runs this battery under -race, so a
+// scheduler data race fails the build even when the output happens to
+// match.
+
+// placeBatteryWorkers is the worker sweep the battery compares against
+// the sequential (Workers=0) baseline.
+var placeBatteryWorkers = []int{1, 2, 4, 8}
+
+// fingerprint serializes every Result field that must not vary with
+// the worker count: module positions and orientations in design order,
+// system-terminal positions, partition and box rectangles, and the two
+// bounding boxes. Result.Parallel is deliberately excluded — it is the
+// scheduler's own diagnostics and documented to vary.
+func fingerprint(r *Result) string {
+	var b strings.Builder
+	for _, m := range r.Design.Modules {
+		pm := r.Mods[m]
+		if pm == nil {
+			fmt.Fprintf(&b, "mod %s unplaced\n", m.Name)
+			continue
+		}
+		fmt.Fprintf(&b, "mod %s pos=%v orient=%v\n", m.Name, pm.Pos, pm.Orient)
+	}
+	for _, t := range r.Design.SysTerms {
+		fmt.Fprintf(&b, "sys %s pos=%v\n", t.Name, r.SysPos[t])
+	}
+	for i, pp := range r.Parts {
+		fmt.Fprintf(&b, "part %d rect=%v mods=%d\n", i, pp.Rect, len(pp.Part.Modules))
+		for j, pb := range pp.Boxes {
+			fmt.Fprintf(&b, "part %d box %d rect=%v size=%d\n", i, j, pb.Rect, len(pb.Box.Modules))
+		}
+	}
+	fmt.Fprintf(&b, "modbounds=%v bounds=%v\n", r.ModuleBounds, r.Bounds)
+	return b.String()
+}
+
+func TestParallelPlacementDeterministicWorkloads(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *netlist.Design
+		opts  Options
+	}{
+		{"fig61", workload.Fig61, Options{PartSize: 6, BoxSize: 6}},
+		{"quickstart", workload.Quickstart, Options{PartSize: 4, BoxSize: 4}},
+		{"datapath", workload.Datapath16, Options{PartSize: 7, BoxSize: 5}},
+		{"cpu", workload.CPU, Options{PartSize: 7, BoxSize: 5, ModSpacing: 1, BoxSpacing: 1}},
+		{"life", workload.Life27, Options{PartSize: 5, BoxSize: 5,
+			ModSpacing: 1, BoxSpacing: 2, PartSpacing: 3}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.name == "life" && testing.Short() {
+				t.Skip("life battery skipped in -short mode")
+			}
+			seqRes, err := Place(tc.build(), tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if seqRes.Parallel != nil {
+				t.Error("sequential placement reported parallel stats")
+			}
+			seq := fingerprint(seqRes)
+			for _, w := range placeBatteryWorkers {
+				po := tc.opts
+				po.Workers = w
+				parRes, err := Place(tc.build(), po)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", w, err)
+				}
+				if got := fingerprint(parRes); got != seq {
+					t.Errorf("workers=%d: placement diverges from sequential\n%s",
+						w, firstDiffLine(seq, got))
+				}
+				if w > 1 {
+					checkSpecStats(t, parRes, w)
+				} else if parRes.Parallel != nil {
+					t.Errorf("workers=%d: expected sequential path, got parallel stats", w)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelPlacementDeterministicSeeded sweeps seeded random designs
+// across the battery worker counts.
+func TestParallelPlacementDeterministicSeeded(t *testing.T) {
+	seeds := int64(20)
+	if testing.Short() {
+		seeds = 5
+	}
+	opts := Options{PartSize: 4, BoxSize: 2}
+	for seed := int64(0); seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			seqRes, err := Place(workload.Random(12, seed), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seq := fingerprint(seqRes)
+			for _, w := range placeBatteryWorkers {
+				po := opts
+				po.Workers = w
+				parRes, err := Place(workload.Random(12, seed), po)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", w, err)
+				}
+				if got := fingerprint(parRes); got != seq {
+					t.Errorf("workers=%d: placement diverges from sequential\n%s",
+						w, firstDiffLine(seq, got))
+				}
+			}
+		})
+	}
+}
+
+// checkSpecStats sanity-checks the scheduler diagnostics of a parallel
+// run: every partition examined must have committed (tasks are
+// conflict-free), per-worker task counts must add up, and the clamped
+// worker count must be positive.
+func checkSpecStats(t *testing.T, r *Result, requested int) {
+	t.Helper()
+	ss := r.Parallel
+	if ss == nil {
+		if len(r.Parts) <= 1 {
+			return // clamped to the sequential path: nothing to report
+		}
+		t.Fatalf("workers=%d with %d partitions produced no parallel stats",
+			requested, len(r.Parts))
+	}
+	if ss.Workers < 2 || ss.Workers > requested {
+		t.Errorf("stats worker count %d outside (1, %d]", ss.Workers, requested)
+	}
+	if ss.Committed != ss.Partitions {
+		t.Errorf("committed %d != partitions %d (tasks are conflict-free)",
+			ss.Committed, ss.Partitions)
+	}
+	if ss.Partitions != len(r.Parts) {
+		t.Errorf("stats partitions %d, result has %d", ss.Partitions, len(r.Parts))
+	}
+	var sum int
+	for _, n := range ss.WorkerParts {
+		sum += n
+	}
+	// Workers may compute tasks the committer never needed (claimed
+	// past a failure), so the per-worker sum is >= the committed count.
+	if sum < ss.Committed {
+		t.Errorf("worker task counts sum to %d, committed %d", sum, ss.Committed)
+	}
+	if len(ss.WorkerBusy) != ss.Workers {
+		t.Errorf("busy samples %d for %d workers", len(ss.WorkerBusy), ss.Workers)
+	}
+}
+
+// firstDiffLine locates the first diverging fingerprint line.
+func firstDiffLine(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	n := len(al)
+	if len(bl) < n {
+		n = len(bl)
+	}
+	for i := 0; i < n; i++ {
+		if al[i] != bl[i] {
+			return fmt.Sprintf("first divergence at line %d:\n  seq: %s\n  par: %s", i+1, al[i], bl[i])
+		}
+	}
+	return fmt.Sprintf("line counts differ: %d vs %d", len(al), len(bl))
+}

@@ -33,6 +33,15 @@ type Options struct {
 	// tests can force deterministic placement failures. Nil costs one
 	// pointer compare per box.
 	Inject *resilience.Injector
+	// Workers is the parallel placement worker count: box formation and
+	// the per-partition work (module placement inside every box plus
+	// the §4.6.5 center-of-gravity box placement) run on up to Workers
+	// goroutines, with results committed strictly in canonical
+	// partition order. 0 or 1 places sequentially. The parallel path is
+	// byte-identical to the sequential one for every design and option
+	// set (enforced by the determinism battery in parallel_test.go):
+	// the knob is an execution hint, never a result parameter.
+	Workers int
 }
 
 // Fixed pins one module at an absolute position and orientation.
@@ -101,6 +110,12 @@ type Result struct {
 	// encloses the system terminals.
 	ModuleBounds geom.Rect
 	Bounds       geom.Rect
+
+	// Parallel carries the parallel scheduler's diagnostics when the
+	// placement ran with Options.Workers > 1; nil for sequential runs.
+	// It is the only field that may differ between worker counts —
+	// everything else is byte-identical.
+	Parallel *SpecStats
 }
 
 // TermPos returns the absolute position of any terminal, subsystem or
@@ -217,32 +232,25 @@ func Place(d *netlist.Design, opts Options) (*Result, error) {
 		MaxSize:        opts.PartSize,
 		MaxConnections: opts.MaxConnections,
 	})
-	bxs := boxes.Form(d, parts, boxes.Config{MaxBoxSize: opts.BoxSize})
+	bxs := boxes.Form(d, parts, boxes.Config{MaxBoxSize: opts.BoxSize, Workers: opts.Workers})
 
 	// Module placement inside every box, then box placement inside
-	// every partition, all in local coordinates.
-	placedParts := make([]*placedPart, len(parts))
-	for i, p := range parts {
-		pp := &placedPart{part: p}
-		for _, b := range bxs[i] {
-			if err := opts.Inject.Fire(resilience.SitePlaceBox); err != nil {
-				return nil, fmt.Errorf("place: box placement: %w", err)
-			}
-			pb, err := placeBoxModules(b, opts)
-			if err != nil {
-				return nil, err
-			}
-			pp.boxes = append(pp.boxes, pb)
-		}
-		placeBoxesInPartition(d, pp, opts)
-		placedParts[i] = pp
+	// every partition, all in local coordinates. Partitions are
+	// independent at this stage, so the work fans out over
+	// Options.Workers goroutines with results committed in canonical
+	// partition order (parallel.go); the sequential path is the
+	// Workers<=1 special case of the same task function.
+	placedParts, spec, err := placeParts(d, parts, bxs, opts)
+	if err != nil {
+		return nil, err
 	}
 
 	// Partition placement in absolute coordinates, then composition.
 	res := &Result{
-		Design: d,
-		Mods:   map[*netlist.Module]*PlacedModule{},
-		SysPos: map[*netlist.Terminal]geom.Point{},
+		Design:   d,
+		Mods:     map[*netlist.Module]*PlacedModule{},
+		SysPos:   map[*netlist.Terminal]geom.Point{},
+		Parallel: spec,
 	}
 	pinned := pinnedPartition(d, opts)
 	placePartitions(d, placedParts, pinned, opts)

@@ -1,0 +1,137 @@
+package service
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// Tests for the place_workers knob, the placement twin of
+// routeworkers_test.go: it must reach the placement engine, must not
+// change the artwork, and — because it cannot change the artwork —
+// must share cache entries with sequential requests.
+
+// TestPlaceWorkersByteIdenticalResponse renders the same workload
+// sequentially and in parallel on independent servers (no shared
+// cache) and asserts the responses are byte-identical.
+func TestPlaceWorkersByteIdenticalResponse(t *testing.T) {
+	run := func(workers int) *Response {
+		s := New(Config{Workers: 1, CacheEntries: 0, VerifyRouting: true})
+		defer s.Close()
+		resp, err := s.Generate(context.Background(),
+			&Request{Workload: "datapath", Format: "ascii",
+				Options: GenOptions{PlaceWorkers: workers}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	seq := run(1)
+	for _, w := range []int{2, 4} {
+		par := run(w)
+		if par.Diagram != seq.Diagram {
+			t.Errorf("place_workers=%d: diagram diverges from sequential", w)
+		}
+		if par.CacheKey != seq.CacheKey {
+			t.Errorf("place_workers=%d: cache key %s != sequential %s — the knob must not enter the key",
+				w, par.CacheKey, seq.CacheKey)
+		}
+		if par.Unrouted != seq.Unrouted {
+			t.Errorf("place_workers=%d: unrouted %d != %d", w, par.Unrouted, seq.Unrouted)
+		}
+	}
+}
+
+// TestPlaceWorkersSharesCacheEntry: a parallel-placement request after
+// an identical sequential one must hit the cache (and vice versa),
+// because place_workers is an execution hint, not a result parameter.
+func TestPlaceWorkersSharesCacheEntry(t *testing.T) {
+	s := New(Config{Workers: 1, CacheEntries: 16})
+	defer s.Close()
+	ctx := context.Background()
+
+	seq, err := s.Generate(ctx, &Request{Workload: "quickstart", Format: "ascii"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Cached {
+		t.Fatal("first request reported cached")
+	}
+	par, err := s.Generate(ctx, &Request{Workload: "quickstart", Format: "ascii",
+		Options: GenOptions{PlaceWorkers: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !par.Cached {
+		t.Error("parallel request missed the cache despite the byte-identity contract")
+	}
+	if par.Diagram != seq.Diagram {
+		t.Error("cached parallel response diverges from sequential original")
+	}
+	// Both knobs at once still map onto the same entry.
+	both, err := s.Generate(ctx, &Request{Workload: "quickstart", Format: "ascii",
+		Options: GenOptions{PlaceWorkers: 2, RouteWorkers: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !both.Cached {
+		t.Error("place+route workers request missed the cache")
+	}
+}
+
+// TestPlaceWorkersServerDefault: a server-wide PlaceWorkers default
+// applies to requests that don't pick their own, and a request
+// override wins.
+func TestPlaceWorkersServerDefault(t *testing.T) {
+	s := New(Config{Workers: 1, CacheEntries: 0, PlaceWorkers: 4, VerifyRouting: true})
+	defer s.Close()
+	if _, err := s.Generate(context.Background(),
+		&Request{Workload: "datapath", Format: "summary"}); err != nil {
+		t.Fatalf("server-default parallel placement failed: %v", err)
+	}
+	if _, err := s.Generate(context.Background(),
+		&Request{Workload: "datapath", Format: "summary",
+			Options: GenOptions{PlaceWorkers: 1}}); err != nil {
+		t.Fatalf("request override to sequential failed: %v", err)
+	}
+}
+
+// TestPlaceWorkersMetrics: a parallel-placement request must surface
+// the scheduler's work on the Prometheus surface — committed tasks in
+// netart_place_speculation_total and per-worker busy samples in the
+// netart_place_worker_busy_seconds histogram.
+func TestPlaceWorkersMetrics(t *testing.T) {
+	s := New(Config{Workers: 1, CacheEntries: 0, PlaceWorkers: 4})
+	defer s.Close()
+	if _, err := s.Generate(context.Background(),
+		&Request{Workload: "datapath", Format: "summary"}); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	s.obs.Reg.WritePrometheus(&sb)
+	text := sb.String()
+	if !strings.Contains(text, `netart_place_speculation_total{outcome="committed"}`) {
+		t.Error(`netart_place_speculation_total{outcome="committed"} missing from /metrics`)
+	}
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, `netart_place_speculation_total{outcome="committed"}`) &&
+			strings.HasSuffix(line, " 0") {
+			t.Errorf("committed counter stayed zero after a parallel placement: %s", line)
+		}
+	}
+	if !strings.Contains(text, "netart_place_worker_busy_seconds_count") {
+		t.Error("netart_place_worker_busy_seconds histogram missing from /metrics")
+	}
+}
+
+// TestPlaceWorkersRejectsNegative pins the 400 on a nonsense value.
+func TestPlaceWorkersRejectsNegative(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	_, err := s.Generate(context.Background(),
+		&Request{Workload: "fig61", Options: GenOptions{PlaceWorkers: -2}})
+	se, ok := err.(*svcError)
+	if !ok || se.status != 400 {
+		t.Fatalf("negative place_workers: got %v, want 400 svcError", err)
+	}
+}

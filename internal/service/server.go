@@ -59,6 +59,13 @@ type Config struct {
 	// byte-identical results, so this only trades CPU for latency.
 	RouteWorkers int
 
+	// PlaceWorkers is the server-wide default for the placement
+	// engine's parallelism (place.Options.Workers); requests that carry
+	// their own place_workers override it. 0/1 places sequentially.
+	// Parallel and sequential placement produce byte-identical results,
+	// so this only trades CPU for latency.
+	PlaceWorkers int
+
 	// VerifyRouting re-derives every response's net connectivity from
 	// the routed wire geometry and rejects the response if it does not
 	// match the netlist (route.VerifyEquivalence). A failed check is a
@@ -176,10 +183,11 @@ func New(cfg Config) *Server {
 		obs:   m,
 		lib:   library.Builtin(),
 		builtins: map[string]*netlist.Design{
-			"fig61":    workload.Fig61(),
-			"datapath": workload.Datapath16(),
-			"cpu":      workload.CPU(),
-			"life":     workload.Life27(),
+			"fig61":      workload.Fig61(),
+			"quickstart": workload.Quickstart(),
+			"datapath":   workload.Datapath16(),
+			"cpu":        workload.CPU(),
+			"life":       workload.Life27(),
 		},
 	}
 	// Pool/cache shape gauges are sampled live at scrape time.
@@ -410,6 +418,9 @@ func (s *Server) process(ctx context.Context, req *Request) (*ResponseV2, error)
 	}
 	if req.Options.RouteWorkers == 0 {
 		opts.RouteWorkers = s.cfg.RouteWorkers
+	}
+	if req.Options.PlaceWorkers == 0 {
+		opts.PlaceWorkers = s.cfg.PlaceWorkers
 	}
 	opts.Inject = s.cfg.Inject
 	opts.Observer = o

@@ -1,0 +1,57 @@
+package workload
+
+import (
+	"netart/internal/library"
+	"netart/internal/netlist"
+)
+
+// Quickstart builds the small synchronous pipeline of
+// examples/quickstart: two registers around an adder with a comparator
+// watching the result — 4 modules, 6 nets, 4 system terminals. It is
+// the canonical "first design" of the README and doubles as a compact
+// golden-corpus workload: big enough to exercise partitioning, string
+// formation and system-terminal routing, small enough that a diff in
+// its pinned rendering is reviewable by eye.
+//
+// Placed with -p 4 -b 4 (the options the example uses) it produces a
+// single-partition diagram.
+func Quickstart() *netlist.Design {
+	lib := library.Builtin()
+	d := netlist.NewDesign("quickstart")
+
+	mustModule(d, lib, "in_reg", "REG")
+	mustModule(d, lib, "adder", "ADD")
+	mustModule(d, lib, "out_reg", "REG")
+	mustModule(d, lib, "watch", "CMP")
+
+	for _, st := range []struct {
+		name string
+		typ  netlist.TermType
+	}{{"DIN", netlist.In}, {"CLK", netlist.In}, {"DOUT", netlist.Out}, {"ALARM", netlist.Out}} {
+		_, err := d.AddSysTerm(st.name, st.typ)
+		must(err)
+	}
+
+	must(d.ConnectSys("din", "DIN"))
+	must(d.Connect("din", "in_reg", "D"))
+
+	must(d.Connect("a", "in_reg", "Q"))
+	must(d.Connect("a", "adder", "A"))
+	must(d.Connect("a", "adder", "B"))
+
+	must(d.Connect("sum", "adder", "S"))
+	must(d.Connect("sum", "out_reg", "D"))
+	must(d.Connect("sum", "watch", "A"))
+
+	must(d.Connect("dout", "out_reg", "Q"))
+	must(d.ConnectSys("dout", "DOUT"))
+
+	must(d.Connect("alarm", "watch", "GT"))
+	must(d.ConnectSys("alarm", "ALARM"))
+
+	must(d.ConnectSys("clk", "CLK"))
+	must(d.Connect("clk", "in_reg", "CLK"))
+	must(d.Connect("clk", "out_reg", "CLK"))
+
+	return d
+}
