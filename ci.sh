@@ -8,8 +8,12 @@
 #                      check, + a coverage floor on the placement
 #                      packages, + 5s fuzz smoke of the Appendix-A
 #                      netlist parser, + the observability allocation
-#                      guard, + the pipeline latency benchmark
-#                      emitting BENCH_pipeline.json)
+#                      guard, + the store-tier -race battery (LRU /
+#                      disk / singleflight / fleet), + the pipeline
+#                      latency benchmark emitting BENCH_pipeline.json,
+#                      + the service-tier benchmark emitting
+#                      BENCH_service.json with a restart-survival
+#                      hit-rate gate)
 #   tier 2 (-race):    tier 1 with the race detector (slower; exercises
 #                      the netartd worker pool / cache / stats paths and
 #                      the chaos suite's injected panics)
@@ -100,9 +104,33 @@ if echo "$BENCH_OUT" | grep '^Benchmark.*Disabled' | grep -qv ' 0 allocs/op'; th
 	exit 1
 fi
 
+# Store tier: the pluggable result store (mem/disk/tiered LRU, crash
+# consistency, GC), the singleflight group and the consistent-hash
+# fleet layer must be data-race-free. Tier 2's full -race pass above
+# already covers them; tier 1 runs the store packages plus the
+# service-level restart-survival / stampede / in-process-fleet tests
+# under -race explicitly so a concurrency regression fails with its
+# own headline.
+if [ -z "${RACE}" ]; then
+	echo "== store tier: go test -race ./internal/store/..."
+	go test -race ./internal/store/...
+	echo "== store tier: go test -race -run 'TestRestartSurvival|TestSingleflightCollapse|TestFleet' ./internal/service"
+	go test -race -run 'TestRestartSurvival|TestSingleflightCollapse|TestFleet' ./internal/service
+fi
+
 # Pipeline latency record: cold (full pipeline) and warm (cache hit)
 # generate latencies per built-in workload, as machine-readable JSON.
 echo "== go run ./cmd/benchpipe -out BENCH_pipeline.json"
 go run ./cmd/benchpipe -out BENCH_pipeline.json
+
+# Service tier record: store cold/warm tails, restart-survival hit
+# rate (must be 1.0 — checked below), singleflight stampede outcome
+# and the 3-replica fleet numbers, as machine-readable JSON.
+echo "== go run ./cmd/benchpipe -service -workloads fig61,quickstart -out BENCH_service.json"
+go run ./cmd/benchpipe -service -workloads fig61,quickstart -out BENCH_service.json
+if ! grep -q '"hit_rate": 1' BENCH_service.json; then
+	echo "ci.sh: FAIL — restart-survival hit rate below 1.0 in BENCH_service.json" >&2
+	exit 1
+fi
 
 echo "ci.sh: all green"

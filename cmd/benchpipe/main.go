@@ -22,10 +22,19 @@
 // fact it is, not a scheduler defect — the determinism batteries, not
 // this bench, are the parallel stages' correctness gates.
 //
+// With -service the bench targets the daemon tier instead: store
+// cold/warm tail latency over a tiered disk-backed store, restart
+// survival (hit rate and artwork identity across a stop/start over
+// the same store directory), singleflight collapse under a 32-way
+// stampede, and a 3-replica in-process fleet with consistent-hash
+// routing (hit rate, peer outcome counts, kill-one degradation). The
+// output then defaults to BENCH_service.json.
+//
 // Usage:
 //
 //	benchpipe [-out BENCH_pipeline.json] [-workloads fig61,datapath,life]
 //	          [-warm-runs 5] [-route-workers 1,2,4,N] [-place-workers 1,2,4,N]
+//	benchpipe -service [-out BENCH_service.json] [-workloads fig61,quickstart]
 package main
 
 import (
@@ -131,14 +140,26 @@ func parseSweep(flagName, spec string) ([]int, error) {
 }
 
 func run() error {
-	out := flag.String("out", "BENCH_pipeline.json", "output file (- for stdout)")
+	out := flag.String("out", "", "output file (- for stdout; default BENCH_pipeline.json, or BENCH_service.json with -service)")
 	workloads := flag.String("workloads", "fig61,datapath,life", "comma-separated built-in workloads")
 	warmRuns := flag.Int("warm-runs", 5, "cache-hit repeats per workload (best is reported)")
 	sweepSpec := flag.String("route-workers", "1,2,4,N",
 		"comma-separated route-worker counts for the sweep (N = GOMAXPROCS; empty disables)")
 	placeSpec := flag.String("place-workers", "1,2,4,N",
 		"comma-separated place-worker counts for the sweep (N = GOMAXPROCS; empty disables)")
+	serviceMode := flag.Bool("service", false,
+		"benchmark the service tier instead (store cold/warm tails, restart survival, singleflight stampede, 3-replica fleet)")
 	flag.Parse()
+
+	if *serviceMode {
+		if *out == "" {
+			*out = "BENCH_service.json"
+		}
+		return runService(splitWorkloads(*workloads), *warmRuns, *out)
+	}
+	if *out == "" {
+		*out = "BENCH_pipeline.json"
+	}
 
 	sweep, err := parseSweep("-route-workers", *sweepSpec)
 	if err != nil {

@@ -1,0 +1,391 @@
+package main
+
+// The -service mode benchmarks the daemon tier rather than the raw
+// pipeline: store cold/warm tails, restart survival over a real disk
+// store, singleflight collapse under a concurrent stampede, and a
+// 3-replica in-process fleet with consistent-hash routing. CI runs it
+// as `go run ./cmd/benchpipe -service -out BENCH_service.json` so
+// every build leaves a machine-readable record of the service-layer
+// guarantees next to the pipeline numbers.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"netart/internal/service"
+	"netart/internal/store/cluster"
+)
+
+// latencyStats summarizes one latency sample set.
+type latencyStats struct {
+	Count int     `json:"count"`
+	P50Ms float64 `json:"p50_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	MaxMs float64 `json:"max_ms"`
+}
+
+func summarize(ms []float64) latencyStats {
+	if len(ms) == 0 {
+		return latencyStats{}
+	}
+	sorted := append([]float64(nil), ms...)
+	sort.Float64s(sorted)
+	q := func(p float64) float64 {
+		i := int(p * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	return latencyStats{
+		Count: len(sorted),
+		P50Ms: q(0.50),
+		P99Ms: q(0.99),
+		MaxMs: sorted[len(sorted)-1],
+	}
+}
+
+// serviceWorkload is one workload's store-tier numbers.
+type serviceWorkload struct {
+	Workload string       `json:"workload"`
+	ColdMs   float64      `json:"cold_ms"`
+	Warm     latencyStats `json:"warm"`
+	Speedup  float64      `json:"speedup"`
+}
+
+// restartResult is the restart-survival section: every pre-restart
+// request must come back as a cache hit with identical artwork.
+type restartResult struct {
+	Requests      int     `json:"requests"`
+	Hits          int     `json:"hits"`
+	HitRate       float64 `json:"hit_rate"`
+	BodiesMatched bool    `json:"bodies_matched"`
+	ReloadedMs    float64 `json:"reload_open_ms"`
+}
+
+// singleflightResult is the stampede section: N concurrent identical
+// cold requests, counted by singleflight outcome.
+type singleflightResult struct {
+	Concurrency int          `json:"concurrency"`
+	Leaders     uint64       `json:"leaders"`
+	Shared      uint64       `json:"shared"`
+	Canceled    uint64       `json:"canceled"`
+	PipelineRan uint64       `json:"pipeline_runs"`
+	Latency     latencyStats `json:"latency"`
+}
+
+// fleetResult is the replica-fleet section.
+type fleetResult struct {
+	Replicas     int          `json:"replicas"`
+	Requests     int          `json:"requests"`
+	CacheHits    uint64       `json:"cache_hits"`
+	HitRate      float64      `json:"hit_rate"`
+	PeerSelf     uint64       `json:"peer_self"`
+	PeerProxied  uint64       `json:"peer_proxied"`
+	PeerReceived uint64       `json:"peer_received"`
+	PeerFallback uint64       `json:"peer_fallback"`
+	Cold         latencyStats `json:"cold"`
+	Warm         latencyStats `json:"warm"`
+	// KilledReplicaServed reports whether a request owned by a killed
+	// replica was still served (local-compute fallback).
+	KilledReplicaServed bool `json:"killed_replica_served"`
+}
+
+// serviceBenchFile is the top-level shape of BENCH_service.json.
+type serviceBenchFile struct {
+	GeneratedAt  string             `json:"generated_at"`
+	CPUs         int                `json:"cpus"`
+	GoMaxProcs   int                `json:"gomaxprocs"`
+	StoreBackend string             `json:"store_backend"`
+	Workloads    []serviceWorkload  `json:"workloads"`
+	Restart      restartResult      `json:"restart"`
+	Singleflight singleflightResult `json:"singleflight"`
+	Fleet        fleetResult        `json:"fleet"`
+}
+
+// normalizeBody strips per-request fields so artwork can be compared
+// across restarts.
+func normalizeBody(r *service.ResponseV2) string {
+	c := *r
+	c.Cached = false
+	c.ElapsedMs = 0
+	c.Report.Trace = nil
+	b, _ := json.Marshal(&c)
+	return string(b)
+}
+
+func benchRequest(w string) service.Request {
+	req := service.Request{Workload: w, Format: service.FormatSummary}
+	if w == "life" {
+		req.Options = service.GenOptions{PartSize: 5, BoxSize: 5,
+			ModSpacing: 1, BoxSpacing: 2, PartSpacing: 3}
+	}
+	return req
+}
+
+func runService(workloads []string, warmRuns int, out string) error {
+	ctx := context.Background()
+	file := serviceBenchFile{
+		GeneratedAt:  time.Now().UTC().Format(time.RFC3339),
+		CPUs:         runtime.NumCPU(),
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		StoreBackend: "tiered",
+	}
+
+	dir, err := os.MkdirTemp("", "netart-bench-store-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	cfg := service.Config{Workers: 2, StoreBackend: "tiered", StoreDir: dir, CacheEntries: 64}
+
+	// ---- Store tier: cold vs warm tails, then restart survival. ----
+	srv, err := service.NewServer(cfg)
+	if err != nil {
+		return err
+	}
+	bodies := map[string]string{}
+	for _, w := range workloads {
+		req := benchRequest(w)
+		cold, err := srv.GenerateV2(ctx, &req)
+		if err != nil {
+			return fmt.Errorf("service bench %s (cold): %w", w, err)
+		}
+		bodies[w] = normalizeBody(cold)
+		var warm []float64
+		for i := 0; i < warmRuns; i++ {
+			r, err := srv.GenerateV2(ctx, &req)
+			if err != nil {
+				return fmt.Errorf("service bench %s (warm): %w", w, err)
+			}
+			if !r.Cached {
+				return fmt.Errorf("service bench %s: warm run missed", w)
+			}
+			warm = append(warm, r.ElapsedMs)
+		}
+		res := serviceWorkload{Workload: w, ColdMs: cold.ElapsedMs, Warm: summarize(warm)}
+		if res.Warm.P50Ms > 0 {
+			res.Speedup = res.ColdMs / res.Warm.P50Ms
+		}
+		file.Workloads = append(file.Workloads, res)
+		fmt.Fprintf(os.Stderr, "benchpipe: service %-10s cold %8.3fms  warm p50 %6.3fms p99 %6.3fms\n",
+			w, res.ColdMs, res.Warm.P50Ms, res.Warm.P99Ms)
+	}
+	srv.Close()
+
+	// Restart over the same directory: every request must hit.
+	t0 := time.Now()
+	srv2, err := service.NewServer(cfg)
+	if err != nil {
+		return err
+	}
+	file.Restart.ReloadedMs = float64(time.Since(t0).Microseconds()) / 1000.0
+	file.Restart.BodiesMatched = true
+	for _, w := range workloads {
+		req := benchRequest(w)
+		r, err := srv2.GenerateV2(ctx, &req)
+		if err != nil {
+			return fmt.Errorf("service bench %s (restart): %w", w, err)
+		}
+		file.Restart.Requests++
+		if r.Cached {
+			file.Restart.Hits++
+		}
+		if normalizeBody(r) != bodies[w] {
+			file.Restart.BodiesMatched = false
+		}
+	}
+	srv2.Close()
+	if file.Restart.Requests > 0 {
+		file.Restart.HitRate = float64(file.Restart.Hits) / float64(file.Restart.Requests)
+	}
+	fmt.Fprintf(os.Stderr, "benchpipe: restart survival %d/%d hits (rate %.2f), bodies matched %v\n",
+		file.Restart.Hits, file.Restart.Requests, file.Restart.HitRate, file.Restart.BodiesMatched)
+
+	// ---- Singleflight: a 32-way stampede on one cold key. ----
+	const stampede = 32
+	sfSrv, err := service.NewServer(service.Config{Workers: stampede, QueueDepth: stampede, CacheEntries: 64})
+	if err != nil {
+		return err
+	}
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		sfLats []float64
+	)
+	req := benchRequest(workloads[0])
+	for i := 0; i < stampede; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r, gerr := sfSrv.GenerateV2(ctx, &req)
+			if gerr != nil {
+				return
+			}
+			mu.Lock()
+			sfLats = append(sfLats, r.ElapsedMs)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	m := sfSrv.Metrics()
+	file.Singleflight = singleflightResult{
+		Concurrency: stampede,
+		Leaders:     m.SFLeader.Value(),
+		Shared:      m.SFShared.Value(),
+		Canceled:    m.SFCanceled.Value(),
+		PipelineRan: sfSrv.Stats().Stages["route"].Count,
+		Latency:     summarize(sfLats),
+	}
+	sfSrv.Close()
+	fmt.Fprintf(os.Stderr, "benchpipe: singleflight %d-way: %d leader / %d shared / %d pipeline runs\n",
+		stampede, file.Singleflight.Leaders, file.Singleflight.Shared, file.Singleflight.PipelineRan)
+
+	// ---- Fleet: 3 replicas, consistent-hash routing over HTTP. ----
+	fr, err := runFleetBench(ctx, workloads)
+	if err != nil {
+		return err
+	}
+	file.Fleet = *fr
+	fmt.Fprintf(os.Stderr, "benchpipe: fleet %d replicas: hit rate %.2f, self %d / proxied %d / received %d / fallback %d\n",
+		fr.Replicas, fr.HitRate, fr.PeerSelf, fr.PeerProxied, fr.PeerReceived, fr.PeerFallback)
+
+	b, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if out == "-" {
+		_, err = os.Stdout.Write(b)
+		return err
+	}
+	return os.WriteFile(out, b, 0o644)
+}
+
+func runFleetBench(ctx context.Context, workloads []string) (*fleetResult, error) {
+	const n = 3
+	type rep struct {
+		srv  *service.Server
+		http *http.Server
+		ln   net.Listener
+		url  string
+	}
+	reps := make([]*rep, n)
+	urls := make([]string, n)
+	for i := range reps {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		reps[i] = &rep{ln: ln, url: "http://" + ln.Addr().String()}
+		urls[i] = reps[i].url
+	}
+	for _, r := range reps {
+		srv, err := service.NewServer(service.Config{
+			Workers: 2, CacheEntries: 64, Peers: urls, SelfURL: r.url,
+		})
+		if err != nil {
+			return nil, err
+		}
+		r.srv = srv
+		r.http = &http.Server{Handler: srv.Handler()}
+		go r.http.Serve(r.ln)
+	}
+	stop := func(r *rep) {
+		if r.http != nil {
+			c, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			_ = r.http.Shutdown(c)
+			cancel()
+			r.http = nil
+			r.srv.Close()
+		}
+	}
+	defer func() {
+		for _, r := range reps {
+			stop(r)
+		}
+	}()
+
+	out := &fleetResult{Replicas: n}
+	var cold, warm []float64
+	// Round one: every request is cold somewhere — each key computes on
+	// its owner. Round two: everything is warm.
+	keys := map[string]string{} // workload → cache key
+	for round := 0; round < 2; round++ {
+		for _, w := range workloads {
+			req := benchRequest(w)
+			for _, r := range reps {
+				t0 := time.Now()
+				resp, err := r.srv.GenerateV2(ctx, &req)
+				if err != nil {
+					return nil, fmt.Errorf("fleet bench %s: %w", w, err)
+				}
+				keys[w] = resp.CacheKey
+				out.Requests++
+				ms := float64(time.Since(t0).Microseconds()) / 1000.0
+				if round == 0 {
+					cold = append(cold, ms)
+				} else {
+					warm = append(warm, ms)
+				}
+			}
+		}
+	}
+	for _, r := range reps {
+		st := r.srv.Stats()
+		out.CacheHits += st.Cache.Hits
+		m := r.srv.Metrics()
+		out.PeerSelf += m.PeerSelf.Value()
+		out.PeerProxied += m.PeerProxied.Value()
+		out.PeerReceived += m.PeerReceived.Value()
+		out.PeerFallback += m.PeerFallback.Value()
+	}
+	if out.Requests > 0 {
+		out.HitRate = float64(out.CacheHits) / float64(out.Requests)
+	}
+	out.Cold = summarize(cold)
+	out.Warm = summarize(warm)
+
+	// Kill one replica that owns at least one key; a survivor must
+	// still serve that key by computing locally (the survivor never
+	// cached the proxied result, so this forces the fallback path).
+	view, err := cluster.New(urls[0], urls)
+	if err != nil {
+		return nil, err
+	}
+	victim := reps[1]
+	victimReq := benchRequest(workloads[0])
+	for w, k := range keys {
+		if owner := view.Owner(k); owner != urls[0] {
+			victimReq = benchRequest(w)
+			for _, r := range reps {
+				if r.url == owner {
+					victim = r
+				}
+			}
+			break
+		}
+	}
+	stop(victim)
+	if _, err := reps[0].srv.GenerateV2(ctx, &victimReq); err == nil {
+		out.KilledReplicaServed = true
+	}
+	out.PeerFallback = reps[0].srv.Metrics().PeerFallback.Value()
+	return out, nil
+}
+
+func splitWorkloads(spec string) []string {
+	var out []string
+	for _, w := range strings.Split(spec, ",") {
+		if w = strings.TrimSpace(w); w != "" {
+			out = append(out, w)
+		}
+	}
+	return out
+}

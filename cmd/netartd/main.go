@@ -15,10 +15,26 @@
 //
 //	netartd [-addr :8417] [-workers N] [-queue N] [-cache N]
 //	        [-timeout 30s] [-max-timeout 2m]
+//	        [-store mem|disk|tiered] [-store-dir DIR] [-store-max-bytes N]
+//	        [-peers URL,URL,...] [-self URL]
 //	        [-degrade-mode none|strict|escalate|best-effort]
 //	        [-batch-retries N] [-retry-base 10ms] [-retry-max 250ms]
 //	        [-max-body BYTES] [-max-modules N] [-max-nets N] [-max-area N]
 //	        [-faults SPEC] [-fault-seed N]
+//
+// The result store is pluggable: -store mem keeps the in-process LRU
+// (the default), -store disk persists results as content-addressed
+// files under -store-dir so a restarted daemon comes back warm, and
+// -store tiered layers the LRU over the disk store (write-through,
+// promotion on hit). -store-max-bytes garbage-collects the disk tier
+// by LRU order.
+//
+// A fleet of replicas shards the store by content hash: start each
+// replica with the same -peers list and its own -self URL, and every
+// design hash gets exactly one consistent-hash owner that cold
+// requests are proxied to (single hop; if the owner is down the
+// replica computes locally, so the fleet degrades to independent
+// daemons, never to errors).
 //
 // Fault injection (chaos testing) is enabled with -faults or the
 // NETART_FAULTS environment variable, e.g.
@@ -59,6 +75,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -81,6 +98,14 @@ func run() error {
 	cacheEnts := flag.Int("cache", 256, "result cache entries (0 disables)")
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-request generation deadline")
 	maxTimeout := flag.Duration("max-timeout", 2*time.Minute, "upper bound for client-supplied timeouts")
+
+	storeBackend := flag.String("store", "mem", "result store backend: mem, disk, tiered")
+	storeDir := flag.String("store-dir", "", "disk store root (required for -store disk|tiered)")
+	storeMaxBytes := flag.Int64("store-max-bytes", 256<<20,
+		"disk-tier size bound, GC'd by LRU beyond it (negative disables)")
+	peers := flag.String("peers", "",
+		"comma-separated replica base URLs of a netartd fleet (enables consistent-hash sharding)")
+	self := flag.String("self", "", "this replica's own base URL as peers see it (required with -peers)")
 
 	degrade := flag.String("degrade-mode", "none",
 		"default routing-failure policy: none, strict, escalate, best-effort")
@@ -126,7 +151,11 @@ func run() error {
 		log.Printf("netartd: fault injection armed: %s (result cache bypassed)", inj)
 	}
 
-	srv := service.New(service.Config{
+	var peerList []string
+	if *peers != "" {
+		peerList = strings.Split(*peers, ",")
+	}
+	srv, err := service.NewServer(service.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		CacheEntries:   *cacheEnts,
@@ -144,7 +173,15 @@ func run() error {
 		RetryBase:      *retryBase,
 		RetryMax:       *retryMax,
 		Inject:         inj,
+		StoreBackend:   *storeBackend,
+		StoreDir:       *storeDir,
+		StoreMaxBytes:  *storeMaxBytes,
+		Peers:          peerList,
+		SelfURL:        *self,
 	})
+	if err != nil {
+		return err
+	}
 	defer srv.Close()
 
 	// Mount the service surface on a wrapper mux so the pprof handlers
@@ -171,8 +208,8 @@ func run() error {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("netartd: listening on %s (%d workers, queue %d, cache %d entries, degrade %s)",
-			*addr, *workers, *queue, *cacheEnts, dm)
+		log.Printf("netartd: listening on %s (%d workers, queue %d, cache %d entries, store %s, degrade %s)",
+			*addr, *workers, *queue, *cacheEnts, *storeBackend, dm)
 		errc <- httpSrv.ListenAndServe()
 	}()
 

@@ -53,6 +53,32 @@ type Pipeline struct {
 	// observation per worker per parallel route attempt.
 	RouteWorkerBusy *Histogram
 
+	// Store tier event counters (netart_store_events_total{tier,event}):
+	// the per-tier view of the pluggable result store — "mem"/"disk"
+	// crossed with hit/miss/put/evict/promote/error. The legacy
+	// netart_cache_events_total counters above stay the request-level
+	// view (did the store as a whole serve this request); these count
+	// what each tier did to produce that answer.
+	storeEvents map[string]*Counter
+
+	// Singleflight counters: per collapsed generate exactly one of
+	// leader/shared/canceled increments — leader executed the
+	// pipeline, shared received the leader's result, canceled gave up
+	// waiting because its own deadline expired.
+	SFLeader   *Counter
+	SFShared   *Counter
+	SFCanceled *Counter
+
+	// Peer-routing counters of the fleet sharding layer: one increment
+	// per cold request that reached the ownership decision. self =
+	// this replica owns the key; proxied = forwarded to the owner and
+	// served its answer; fallback = owner unreachable, computed
+	// locally; received = served a request a peer forwarded here.
+	PeerSelf     *Counter
+	PeerProxied  *Counter
+	PeerFallback *Counter
+	PeerReceived *Counter
+
 	// Placement scheduler counters of the parallel placement engine:
 	// partition tasks share no mutable state, so — unlike routing
 	// speculations — every examined task commits; the single
@@ -98,6 +124,32 @@ func NewPipeline() *Pipeline {
 	p.CacheMisses = cache("miss")
 	p.CacheEvictions = cache("eviction")
 
+	p.storeEvents = make(map[string]*Counter, len(StoreTiers)*len(StoreEventNames))
+	for _, tier := range StoreTiers {
+		for _, ev := range StoreEventNames {
+			p.storeEvents[tier+"\x00"+ev] = reg.Counter("netart_store_events_total",
+				"Result-store events by tier and kind.",
+				`tier="`+tier+`",event="`+ev+`"`)
+		}
+	}
+
+	sf := func(o string) *Counter {
+		return reg.Counter("netart_singleflight_total",
+			"Singleflight outcomes of collapsed generate requests.", `outcome="`+o+`"`)
+	}
+	p.SFLeader = sf("leader")
+	p.SFShared = sf("shared")
+	p.SFCanceled = sf("canceled")
+
+	peer := func(o string) *Counter {
+		return reg.Counter("netart_peer_requests_total",
+			"Fleet-sharding routing outcomes for cold requests.", `outcome="`+o+`"`)
+	}
+	p.PeerSelf = peer("self")
+	p.PeerProxied = peer("proxied")
+	p.PeerFallback = peer("fallback")
+	p.PeerReceived = peer("received")
+
 	p.Inflight = reg.Gauge("netart_inflight_requests",
 		"Requests currently inside the pipeline.", "")
 	p.Traces = reg.Counter("netart_traces_total",
@@ -128,6 +180,37 @@ func NewPipeline() *Pipeline {
 	reg.GaugeFunc("netart_uptime_seconds", "Seconds since process start.", "",
 		func() float64 { return time.Since(p.Start).Seconds() })
 	return p
+}
+
+// StoreTiers and StoreEventNames enumerate the pre-registered
+// children of netart_store_events_total. Registration stays
+// construction-time (the observation path is a lock-free map read of
+// an immutable map); an unknown (tier, event) pair is dropped rather
+// than lazily registered.
+var (
+	StoreTiers      = []string{"mem", "disk"}
+	StoreEventNames = []string{"hit", "miss", "put", "evict", "promote", "error"}
+)
+
+// StoreEvent counts one store event; unknown tiers/events are ignored.
+func (p *Pipeline) StoreEvent(tier, event string) {
+	if p == nil {
+		return
+	}
+	if c := p.storeEvents[tier+"\x00"+event]; c != nil {
+		c.Inc()
+	}
+}
+
+// StoreEventValue reads one store event counter (0 when unknown).
+func (p *Pipeline) StoreEventValue(tier, event string) uint64 {
+	if p == nil {
+		return 0
+	}
+	if c := p.storeEvents[tier+"\x00"+event]; c != nil {
+		return c.Value()
+	}
+	return 0
 }
 
 // Stage returns the histogram for a stage name, or nil for stages

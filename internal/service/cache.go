@@ -1,13 +1,21 @@
 package service
 
 import (
-	"container/list"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
-	"sync"
+	"encoding/json"
 
 	"netart/internal/obs"
+	"netart/internal/resilience"
+	"netart/internal/store"
 )
+
+// keyVersion versions the cache-key scheme AND the store namespace:
+// the disk layout lives under <store-dir>/<keyVersion>, so bumping
+// the scheme strands old persisted entries instead of ever serving
+// one against a key built by different rules.
+const keyVersion = "v1"
 
 // cacheKey is the content address of one generation request: the
 // SHA-256 of the canonical netlist serialization plus the canonical
@@ -21,7 +29,7 @@ type cacheKey [sha256.Size]byte
 // length-prefixed by separator bytes so concatenations cannot collide.
 func makeCacheKey(canonicalDesign, canonicalOptions, format string) cacheKey {
 	h := sha256.New()
-	h.Write([]byte("netartd/v1\x00"))
+	h.Write([]byte("netartd/" + keyVersion + "\x00"))
 	h.Write([]byte(canonicalDesign))
 	h.Write([]byte{0})
 	h.Write([]byte(canonicalOptions))
@@ -34,90 +42,131 @@ func makeCacheKey(canonicalDesign, canonicalOptions, format string) cacheKey {
 
 func (k cacheKey) String() string { return hex.EncodeToString(k[:]) }
 
-// resultCache is a mutex-guarded LRU over finished responses keyed by
-// content address. Entries store the Response by value; readers get a
-// copy, so a cached response is immutable shared state.
-type resultCache struct {
-	mu      sync.Mutex
-	maxEnts int
-	ll      *list.List // front = most recently used
-	items   map[cacheKey]*list.Element
+// resultStore adapts the pluggable store.Store tier to the service:
+// it owns the ResponseV2 ↔ bytes serialization, the request-level
+// hit/miss counters (the per-tier view lives in
+// netart_store_events_total), and — in exactly one place — the rule
+// that the store is bypassed while fault injection is armed, so every
+// backend (mem, disk, tiered) inherits it.
+type resultStore struct {
+	backend store.Store // nil disables caching entirely
+	backing string      // config backend name, for the health surface
+	inject  *resilience.Injector
 
-	// The event counters live in the shared obs metric set, so
-	// /metrics and the CacheStats block of /v1/stats read the same
-	// values (single source of truth).
-	hits      *obs.Counter
-	misses    *obs.Counter
-	evictions *obs.Counter
+	// Request-level event counters shared with /metrics and /v1/stats.
+	hits   *obs.Counter
+	misses *obs.Counter
 }
 
-type cacheEntry struct {
-	key  cacheKey
-	resp ResponseV2
-}
-
-// newResultCache returns a cache holding up to maxEntries responses;
-// maxEntries <= 0 disables caching (every lookup misses).
-func newResultCache(maxEntries int, m *obs.Pipeline) *resultCache {
-	return &resultCache{
-		maxEnts:   maxEntries,
-		ll:        list.New(),
-		items:     make(map[cacheKey]*list.Element),
-		hits:      m.CacheHits,
-		misses:    m.CacheMisses,
-		evictions: m.CacheEvictions,
+// newResultStore wraps backend (which may be nil = caching disabled).
+func newResultStore(backend store.Store, backing string, inject *resilience.Injector, m *obs.Pipeline) *resultStore {
+	return &resultStore{
+		backend: backend,
+		backing: backing,
+		inject:  inject,
+		hits:    m.CacheHits,
+		misses:  m.CacheMisses,
 	}
 }
 
-// get returns a copy of the cached response and promotes the entry.
-func (c *resultCache) get(k cacheKey) (ResponseV2, bool) {
-	if c.maxEnts <= 0 {
+// faultsArmed is THE single site of the cache-while-faults-armed
+// rule: while any injection rule is armed, cached artwork must not
+// be served (a chaos run must not be masked by earlier hits) and
+// results must not be stored (an injected failure must never poison
+// cached artwork). get, put, and the singleflight/peer layers all
+// consult this one helper.
+func (c *resultStore) faultsArmed() bool { return c.inject.Enabled() }
+
+// enabled reports whether lookups/stores run at all.
+func (c *resultStore) enabled() bool { return c.backend != nil && !c.faultsArmed() }
+
+// get returns the stored response for k. Misses are counted except
+// while faults are armed (bypass, not a miss); a disabled store
+// counts misses, matching the previous cache semantics.
+func (c *resultStore) get(ctx context.Context, k cacheKey) (ResponseV2, bool) {
+	if c.faultsArmed() {
+		return ResponseV2{}, false
+	}
+	if c.backend == nil {
 		c.misses.Add(1)
 		return ResponseV2{}, false
 	}
-	c.mu.Lock()
-	el, ok := c.items[k]
-	if !ok {
-		c.mu.Unlock()
+	val, ok, err := c.backend.Get(ctx, k.String())
+	if err != nil || !ok {
 		c.misses.Add(1)
 		return ResponseV2{}, false
 	}
-	c.ll.MoveToFront(el)
-	resp := el.Value.(*cacheEntry).resp
-	c.mu.Unlock()
+	var resp ResponseV2
+	if uerr := json.Unmarshal(val, &resp); uerr != nil {
+		// A value that stopped parsing is treated like corruption:
+		// drop it and recompute.
+		_ = c.backend.Delete(ctx, k.String())
+		c.misses.Add(1)
+		return ResponseV2{}, false
+	}
 	c.hits.Add(1)
 	return resp, true
 }
 
-// put stores a response, evicting from the LRU tail when full.
-func (c *resultCache) put(k cacheKey, resp ResponseV2) {
-	if c.maxEnts <= 0 {
+// put stores a response under k. Store errors are advisory (counted
+// by the backend; the response is still correct and served).
+func (c *resultStore) put(ctx context.Context, k cacheKey, resp ResponseV2) {
+	if !c.enabled() {
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.items[k]; ok {
-		el.Value.(*cacheEntry).resp = resp
-		c.ll.MoveToFront(el)
+	val, err := json.Marshal(resp)
+	if err != nil {
 		return
 	}
-	c.items[k] = c.ll.PushFront(&cacheEntry{key: k, resp: resp})
-	for c.ll.Len() > c.maxEnts {
-		tail := c.ll.Back()
-		c.ll.Remove(tail)
-		delete(c.items, tail.Value.(*cacheEntry).key)
-		c.evictions.Add(1)
+	_ = c.backend.Put(ctx, k.String(), val)
+}
+
+// len reports the backend entry count (0 when disabled).
+func (c *resultStore) len() int {
+	if c.backend == nil {
+		return 0
+	}
+	return c.backend.Len()
+}
+
+// tiers returns the backend's per-tier stats, flattened.
+func (c *resultStore) tiers() []store.Stats {
+	if c.backend == nil {
+		return nil
+	}
+	return c.backend.Stats().Flatten()
+}
+
+// bytes sums the stored bytes across tiers; diskErrors sums the error
+// counters of persistent tiers (the healthz degradation signal).
+func (c *resultStore) bytes() int64 {
+	var n int64
+	for _, t := range c.tiers() {
+		n += t.Bytes
+	}
+	return n
+}
+
+func (c *resultStore) diskErrors() uint64 {
+	var n uint64
+	for _, t := range c.tiers() {
+		if t.Tier == "disk" {
+			n += t.Errors
+		}
+	}
+	return n
+}
+
+// close releases the backend.
+func (c *resultStore) close() {
+	if c.backend != nil {
+		_ = c.backend.Close()
 	}
 }
 
-// len reports the current entry count.
-func (c *resultCache) len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.ll.Len()
-}
-
-// CacheStats is the /v1/stats slice owned by the result cache.
+// CacheStats is the /v1/stats slice owned by the result store. Hits
+// and misses are request-level (any-tier); Evictions counts the
+// memory tier, matching the pre-store-tier wire meaning.
 type CacheStats struct {
 	Entries   int    `json:"entries"`
 	Capacity  int    `json:"capacity"`
@@ -126,12 +175,51 @@ type CacheStats struct {
 	Evictions uint64 `json:"evictions"`
 }
 
-func (c *resultCache) stats() CacheStats {
+func (c *resultStore) stats(capacity int, evictions *obs.Counter) CacheStats {
 	return CacheStats{
 		Entries:   c.len(),
-		Capacity:  c.maxEnts,
+		Capacity:  capacity,
 		Hits:      c.hits.Value(),
 		Misses:    c.misses.Value(),
-		Evictions: c.evictions.Value(),
+		Evictions: evictions.Value(),
 	}
+}
+
+// StoreTierStats is the /v1/stats and /v1/healthz view of one store
+// tier.
+type StoreTierStats struct {
+	Tier      string `json:"tier"`
+	Entries   int    `json:"entries"`
+	Bytes     int64  `json:"bytes"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Puts      uint64 `json:"puts"`
+	Evictions uint64 `json:"evictions"`
+	Errors    uint64 `json:"errors"`
+}
+
+// StoreStats is the "store" block of /v1/stats.
+type StoreStats struct {
+	Backend string           `json:"backend"`
+	Tiers   []StoreTierStats `json:"tiers,omitempty"`
+}
+
+func (c *resultStore) storeStats() *StoreStats {
+	if c.backend == nil {
+		return nil
+	}
+	out := &StoreStats{Backend: c.backing}
+	for _, t := range c.tiers() {
+		out.Tiers = append(out.Tiers, StoreTierStats{
+			Tier:      t.Tier,
+			Entries:   t.Entries,
+			Bytes:     t.Bytes,
+			Hits:      t.Hits,
+			Misses:    t.Misses,
+			Puts:      t.Puts,
+			Evictions: t.Evictions,
+			Errors:    t.Errors,
+		})
+	}
+	return out
 }

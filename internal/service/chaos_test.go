@@ -456,7 +456,7 @@ func TestInjectorBypassesCache(t *testing.T) {
 	if r2.Cached {
 		t.Error("degraded result was served from cache")
 	}
-	if cs := s.cache.stats(); cs.Entries != 0 {
+	if cs := s.cache.stats(s.cfg.CacheEntries, s.obs.CacheEvictions); cs.Entries != 0 {
 		t.Errorf("cache holds %d entries while injector armed, want 0", cs.Entries)
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"netart/internal/resilience"
+	"netart/internal/store/cluster"
 )
 
 // maxBatchItems bounds one batch call; bigger batches should be split
@@ -102,7 +103,13 @@ func (s *Server) generateV2(w http.ResponseWriter, r *http.Request, render func(
 		writeError(w, err)
 		return
 	}
-	resp, err := s.GenerateV2(r.Context(), &req)
+	ctx := r.Context()
+	if r.Header.Get(cluster.HopHeader) != "" {
+		// A peer forwarded this request here: mark the context so the
+		// fleet layer computes locally instead of forwarding again.
+		ctx = withPeerHop(ctx)
+	}
+	resp, err := s.GenerateV2(ctx, &req)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -259,6 +266,23 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		status = "degraded"
 		reasons = append(reasons, fmt.Sprintf("%d panic(s) recovered since start", panics))
 	}
+	var sh *StoreHealth
+	if s.cache.backend != nil {
+		sh = &StoreHealth{
+			Backend:    s.cache.backing,
+			Entries:    s.cache.len(),
+			Bytes:      s.cache.bytes(),
+			DiskErrors: s.cache.diskErrors(),
+		}
+		if sh.DiskErrors > 0 {
+			// The disk tier is misbehaving (I/O failures or corrupt
+			// entries); requests still succeed — the memory tier and
+			// recomputation keep serving — so this is advisory.
+			status = "degraded"
+			reasons = append(reasons, fmt.Sprintf(
+				"store: %d disk error(s); memory tier still serving", sh.DiskErrors))
+		}
+	}
 	writeJSON(w, http.StatusOK, HealthResponse{
 		Status:  status,
 		Workers: s.cfg.Workers,
@@ -266,6 +290,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Queued:  queued,
 		Panics:  panics,
 		Reasons: reasons,
+		Store:   sh,
 		UptimeS: time.Since(s.stats.start()).Seconds(),
 	})
 }

@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -15,6 +16,9 @@ import (
 	"netart/internal/obs"
 	"netart/internal/resilience"
 	"netart/internal/route"
+	"netart/internal/store"
+	"netart/internal/store/cluster"
+	"netart/internal/store/singleflight"
 	"netart/internal/workload"
 )
 
@@ -87,6 +91,29 @@ type Config struct {
 	// armed the result cache is bypassed so injected failures cannot
 	// poison cached artwork. Nil disables injection at zero cost.
 	Inject *resilience.Injector
+
+	// StoreBackend selects the result-store composition: "mem" (the
+	// in-process LRU; default), "disk" (content-addressed files under
+	// StoreDir, survives restarts), or "tiered" (memory over disk with
+	// write-through and promotion on hit). "disk" and "tiered" require
+	// StoreDir.
+	StoreBackend string
+	// StoreDir is the disk store root; entries live under
+	// <StoreDir>/<key version>.
+	StoreDir string
+	// StoreMaxBytes bounds the disk tier; least-recently-used entries
+	// are garbage-collected beyond it (default 256 MiB; negative
+	// disables the bound).
+	StoreMaxBytes int64
+
+	// Peers is the static replica list of a netartd fleet (base URLs).
+	// When it names more than one replica, each design hash gets a
+	// consistent-hash owner: cold requests for keys owned elsewhere
+	// are proxied to the owner (single hop, local-compute fallback
+	// when it is unreachable). SelfURL must be this replica's own base
+	// URL as the peers see it; it is added to Peers if absent.
+	Peers   []string
+	SelfURL string
 }
 
 func (c Config) withDefaults() Config {
@@ -137,6 +164,15 @@ func (c Config) withDefaults() Config {
 	if c.RetryMax <= 0 {
 		c.RetryMax = 250 * time.Millisecond
 	}
+	if c.StoreBackend == "" {
+		c.StoreBackend = "mem"
+	}
+	switch {
+	case c.StoreMaxBytes == 0:
+		c.StoreMaxBytes = 256 << 20
+	case c.StoreMaxBytes < 0:
+		c.StoreMaxBytes = 0
+	}
 	return c
 }
 
@@ -150,14 +186,17 @@ func (c Config) guards() resilience.Guards {
 }
 
 // Server is the schematic-generation daemon: a worker pool, a result
-// cache, the stats registry, and the pre-parsed built-in workloads.
+// store, the singleflight group, the optional fleet view, the stats
+// registry, and the pre-parsed built-in workloads.
 type Server struct {
-	cfg   Config
-	pool  *workerPool
-	cache *resultCache
-	stats *serverStats
-	obs   *obs.Pipeline
-	lib   *library.Library
+	cfg    Config
+	pool   *workerPool
+	cache  *resultStore
+	flight *singleflight.Group
+	fleet  *cluster.Fleet
+	stats  *serverStats
+	obs    *obs.Pipeline
+	lib    *library.Library
 
 	// builtins maps workload names to designs parsed once at startup.
 	// Placement mutates designs through their pointers, so requests
@@ -167,21 +206,90 @@ type Server struct {
 
 	// testHook, when non-nil, runs inside every pooled task before the
 	// pipeline; tests use it to hold workers busy deterministically.
-	testHook func()
+	// flightHook runs inside a singleflight leader before it computes;
+	// tests use it to hold the leader until every follower has joined.
+	testHook   func()
+	flightHook func()
 }
 
 // New builds a Server (no listener; pair Handler() with http.Serve or
-// call Generate directly).
+// call Generate directly). It panics on a config error — only
+// possible with disk-backed stores or a bad peer list, so callers
+// using those pass through NewServer instead.
 func New(cfg Config) *Server {
+	s, err := NewServer(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("service: %v", err))
+	}
+	return s
+}
+
+// buildStore assembles the configured store composition. A zero
+// CacheEntries disables the memory tier (and with backend "mem",
+// caching entirely), preserving the old cache semantics.
+func buildStore(cfg Config, rec store.Recorder) (store.Store, error) {
+	newDisk := func() (store.Store, error) {
+		return store.NewDisk(cfg.StoreDir, store.DiskOptions{
+			Namespace: keyVersion,
+			MaxBytes:  cfg.StoreMaxBytes,
+			Recorder:  rec,
+		})
+	}
+	switch cfg.StoreBackend {
+	case "mem":
+		if cfg.CacheEntries <= 0 {
+			return nil, nil // caching disabled
+		}
+		return store.NewMem(cfg.CacheEntries, rec), nil
+	case "disk":
+		return newDisk()
+	case "tiered":
+		disk, err := newDisk()
+		if err != nil {
+			return nil, err
+		}
+		if cfg.CacheEntries <= 0 {
+			return disk, nil // no memory tier to put on top
+		}
+		return store.NewTiered(store.NewMem(cfg.CacheEntries, rec), disk, rec), nil
+	default:
+		return nil, fmt.Errorf("unknown store backend %q (mem, disk, tiered)", cfg.StoreBackend)
+	}
+}
+
+// NewServer builds a Server, surfacing store/fleet config errors.
+func NewServer(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	m := obs.NewPipeline()
+	// The recorder bridges backend events into the shared metric set;
+	// memory-tier evictions additionally feed the legacy cache counter
+	// so the pre-store-tier /v1/stats wire meaning is preserved.
+	rec := func(tier, event string) {
+		m.StoreEvent(tier, event)
+		if tier == "mem" && event == store.EventEvict {
+			m.CacheEvictions.Inc()
+		}
+	}
+	backend, err := buildStore(cfg, rec)
+	if err != nil {
+		return nil, err
+	}
+	var fleet *cluster.Fleet
+	if len(cfg.Peers) > 0 {
+		fleet, err = cluster.New(cfg.SelfURL, cfg.Peers)
+		if err != nil {
+			return nil, err
+		}
+	}
 	s := &Server{
-		cfg:   cfg,
-		pool:  newWorkerPool(cfg.Workers, cfg.QueueDepth),
-		cache: newResultCache(cfg.CacheEntries, m),
-		stats: newServerStats(m),
-		obs:   m,
-		lib:   library.Builtin(),
+		cfg:    cfg,
+		pool:   newWorkerPool(cfg.Workers, cfg.QueueDepth),
+		cache:  newResultStore(backend, cfg.StoreBackend, cfg.Inject, m),
+		flight: new(singleflight.Group),
+		fleet:  fleet,
+		stats:  newServerStats(m),
+		obs:    m,
+		lib:    library.Builtin(),
 		builtins: map[string]*netlist.Design{
 			"fig61":      workload.Fig61(),
 			"quickstart": workload.Quickstart(),
@@ -200,24 +308,33 @@ func New(cfg Config) *Server {
 		func() float64 { return float64(s.cache.len()) })
 	m.Reg.GaugeFunc("netart_cache_capacity", "Result cache capacity.", "",
 		func() float64 { return float64(s.cfg.CacheEntries) })
+	m.Reg.GaugeFunc("netart_store_bytes", "Bytes held across all store tiers.", "",
+		func() float64 { return float64(s.cache.bytes()) })
 	// Panics that escape a task (outside the per-request Recover) are
 	// still counted and surfaced in /v1/stats.
 	s.pool.onPanic = s.stats.recordPanic
-	return s
+	return s, nil
 }
 
 // Metrics exposes the server's obs metric set (the /metrics registry);
 // tests and embedding daemons read counters through it.
 func (s *Server) Metrics() *obs.Pipeline { return s.obs }
 
-// Close drains the worker pool. In-flight requests finish; queued
-// requests whose contexts expire are skipped.
-func (s *Server) Close() { s.pool.close() }
+// Close drains the worker pool, then closes the result store and the
+// fleet client. Ordering matters for graceful persistence: in-flight
+// requests finish (and write through to disk) before the store is
+// released, so a daemon stopped mid-traffic restarts warm.
+func (s *Server) Close() {
+	s.pool.close()
+	s.cache.close()
+	s.fleet.Close()
+}
 
 // Stats returns the current counters (also served at /v1/stats).
 func (s *Server) Stats() StatsResponse {
 	sr := s.stats.snapshot()
-	sr.Cache = s.cache.stats()
+	sr.Cache = s.cache.stats(s.cfg.CacheEntries, s.obs.CacheEvictions)
+	sr.Store = s.cache.storeStats()
 	sr.Queued = s.pool.queued()
 	sr.Workers = s.cfg.Workers
 	return sr
@@ -455,26 +572,131 @@ func (s *Server) process(ctx context.Context, req *Request) (*ResponseV2, error)
 		return nil, err
 	}
 
-	// While faults are armed the cache is bypassed entirely: a degraded
-	// or injected-failure artwork must never be served to a later clean
-	// request (and chaos runs must not be masked by earlier hits).
-	useCache := !s.cfg.Inject.Enabled()
-
 	key := makeCacheKey(canonical, req.Options.canonical(opts.Degrade), format)
-	if useCache {
-		if hit, ok := s.cache.get(key); ok {
-			hit.Cached = true
-			hit.ElapsedMs = msSince(t0)
-			// The cached report keeps the original run's timings and
-			// attempts, but the trace must describe *this* request:
-			// root + parse, nothing recomputed.
-			hit.Report.Trace = o.Snapshot()
-			s.obs.Traces.Inc()
-			s.obs.StageObserve("total", time.Since(t0))
-			return &hit, nil
-		}
+	// The fault-injection bypass lives inside the store wrapper (see
+	// resultStore.faultsArmed): while faults are armed, get and put
+	// are no-ops for every backend, so a degraded or injected-failure
+	// artwork is never served to a later clean request and chaos runs
+	// are not masked by earlier hits.
+	if hit, ok := s.cache.get(ctx, key); ok {
+		hit.Cached = true
+		hit.ElapsedMs = msSince(t0)
+		// The cached report keeps the original run's timings and
+		// attempts, but the trace must describe *this* request:
+		// root + parse, nothing recomputed.
+		hit.Report.Trace = o.Snapshot()
+		s.obs.Traces.Inc()
+		s.obs.StageObserve("total", time.Since(t0))
+		return &hit, nil
 	}
 
+	// Cold path. Concurrent identical requests collapse into one
+	// execution: the singleflight leader fetches (from the key's fleet
+	// owner) or computes, followers share its finished response
+	// verbatim — identical bodies, one pipeline run. The collapse is
+	// disabled while faults are armed for the same reason the cache
+	// is: each chaos request must independently meet the injector.
+	if s.cache.faultsArmed() {
+		return s.fetchOrCompute(ctx, t0, o, req, design, opts, format, key)
+	}
+	v, outcome, err := s.flight.Do(ctx, key.String(), func(ctx context.Context) (any, error) {
+		if s.flightHook != nil {
+			s.flightHook()
+		}
+		return s.fetchOrCompute(ctx, t0, o, req, design, opts, format, key)
+	})
+	switch outcome {
+	case singleflight.Shared:
+		s.obs.SFShared.Inc()
+		if err != nil {
+			return nil, err
+		}
+		// Copy the leader's (immutable, shared) response by value so
+		// handler-side mutation stays request-private.
+		resp := *(v.(*ResponseV2))
+		return &resp, nil
+	case singleflight.Canceled:
+		s.obs.SFCanceled.Inc()
+		return nil, err // the follower's own ctx error → 504 via mapError
+	default:
+		s.obs.SFLeader.Inc()
+		if err != nil {
+			return nil, err
+		}
+		return v.(*ResponseV2), nil
+	}
+}
+
+// fetchOrCompute resolves a cold key: if a fleet is configured and a
+// peer owns the key, the request is proxied there (single hop, local
+// fallback); otherwise the pipeline runs locally.
+func (s *Server) fetchOrCompute(ctx context.Context, t0 time.Time, o *obs.Observer,
+	req *Request, design *netlist.Design, opts gen.Options, format string, key cacheKey) (*ResponseV2, error) {
+	if s.fleet.Enabled() && !s.cache.faultsArmed() {
+		if peerHopped(ctx) {
+			// A peer already forwarded this request here: compute
+			// locally no matter who the hash says owns it, so a stale
+			// or disagreeing peer list cannot bounce a request around.
+			s.obs.PeerReceived.Inc()
+		} else if owner := s.fleet.Owner(key.String()); !s.fleet.OwnedBySelf(key.String()) {
+			if resp, err, handled := s.proxyToOwner(ctx, o, owner, req); handled {
+				return resp, err
+			}
+			// Owner unreachable: the fleet degrades to independent
+			// replicas — compute locally rather than fail.
+			s.obs.PeerFallback.Inc()
+		} else {
+			s.obs.PeerSelf.Inc()
+		}
+	}
+	return s.compute(ctx, t0, o, req, design, opts, format, key)
+}
+
+// proxyToOwner forwards the request to the key's owner and serves its
+// answer verbatim. handled=false means transport-level failure (the
+// caller falls back to local compute); an owner-side 4xx is handled —
+// it is the request's own verdict, reached faster elsewhere.
+func (s *Server) proxyToOwner(ctx context.Context, o *obs.Observer, owner string, req *Request) (*ResponseV2, error, bool) {
+	psp := o.StartSpan("peer")
+	psp.SetAttr("owner_len", int64(len(owner))) // attr values are int64; the URL itself rides on the log
+	body, err := json.Marshal(req)
+	if err != nil {
+		psp.EndError(err)
+		return nil, err, true
+	}
+	out, status, err := s.fleet.Proxy(ctx, owner, body)
+	if err != nil {
+		psp.EndError(err)
+		if ctx.Err() != nil {
+			// The request deadline expired mid-proxy: surface it
+			// rather than burning the remaining budget locally.
+			return nil, &svcError{status: 504, msg: ctx.Err().Error(), cause: ctx.Err()}, true
+		}
+		return nil, nil, false
+	}
+	if status != 200 {
+		var ep ErrorResponse
+		msg := fmt.Sprintf("owner %s answered %d", owner, status)
+		if jerr := json.Unmarshal(out, &ep); jerr == nil && ep.Error != "" {
+			msg = ep.Error
+		}
+		psp.End()
+		s.obs.PeerProxied.Inc()
+		return nil, &svcError{status: status, msg: msg}, true
+	}
+	var resp ResponseV2
+	if uerr := json.Unmarshal(out, &resp); uerr != nil {
+		psp.EndError(uerr)
+		return nil, nil, false
+	}
+	psp.End()
+	s.obs.PeerProxied.Inc()
+	return &resp, nil, true
+}
+
+// compute runs the generation pipeline locally and fills the store.
+func (s *Server) compute(ctx context.Context, t0 time.Time, o *obs.Observer,
+	req *Request, design *netlist.Design, opts gen.Options, format string, key cacheKey) (*ResponseV2, error) {
 	rep, err := gen.Run(ctx, design, opts)
 	if err != nil {
 		return nil, err
@@ -533,11 +755,22 @@ func (s *Server) process(ctx context.Context, req *Request) (*ResponseV2, error)
 	resp.ElapsedMs = msSince(t0)
 	resp.Report.Trace = o.Snapshot()
 	s.obs.Traces.Inc()
-	if useCache {
-		s.cache.put(key, resp)
-	}
+	s.cache.put(ctx, key, resp)
 	s.obs.StageObserve("total", time.Since(t0))
 	return &resp, nil
+}
+
+// peerHopKey marks a request context as already forwarded once by a
+// peer (the handler sets it from cluster.HopHeader).
+type peerHopKey struct{}
+
+func withPeerHop(ctx context.Context) context.Context {
+	return context.WithValue(ctx, peerHopKey{}, true)
+}
+
+func peerHopped(ctx context.Context) bool {
+	v, _ := ctx.Value(peerHopKey{}).(bool)
+	return v
 }
 
 // endSpanError closes a stage span with the right outcome: panic for

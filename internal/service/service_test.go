@@ -16,6 +16,7 @@ import (
 	"netart/internal/obs"
 	"netart/internal/place"
 	"netart/internal/route"
+	"netart/internal/store"
 	"netart/internal/workload"
 )
 
@@ -203,7 +204,7 @@ func TestCacheHitMiss(t *testing.T) {
 		t.Fatal("request with different format hit the cache")
 	}
 
-	cs := s.cache.stats()
+	cs := s.cache.stats(s.cfg.CacheEntries, s.obs.CacheEvictions)
 	if cs.Hits != 1 || cs.Misses != 3 {
 		t.Errorf("cache stats = %+v, want 1 hit / 3 misses", cs)
 	}
@@ -237,23 +238,32 @@ func TestInlineNetlistCanonicalization(t *testing.T) {
 }
 
 // TestLRUEviction fills the cache beyond capacity and checks eviction
-// counters plus the entry cap.
+// counters plus the entry cap, through the service wrapper (the LRU
+// mechanics themselves are covered in internal/store).
 func TestLRUEviction(t *testing.T) {
-	c := newResultCache(2, obs.NewPipeline())
+	m := obs.NewPipeline()
+	backend := store.NewMem(2, func(tier, event string) {
+		m.StoreEvent(tier, event)
+		if event == store.EventEvict {
+			m.CacheEvictions.Inc()
+		}
+	})
+	c := newResultStore(backend, "mem", nil, m)
+	ctx := context.Background()
 	k := func(i int) cacheKey { return makeCacheKey(fmt.Sprintf("d%d", i), "o", "f") }
 	for i := 0; i < 4; i++ {
-		c.put(k(i), ResponseV2{Name: fmt.Sprintf("r%d", i)})
+		c.put(ctx, k(i), ResponseV2{Name: fmt.Sprintf("r%d", i)})
 	}
 	if got := c.len(); got != 2 {
 		t.Fatalf("cache holds %d entries, want 2", got)
 	}
-	if ev := c.evictions.Value(); ev != 2 {
+	if ev := m.CacheEvictions.Value(); ev != 2 {
 		t.Fatalf("evictions = %d, want 2", ev)
 	}
-	if _, ok := c.get(k(0)); ok {
+	if _, ok := c.get(ctx, k(0)); ok {
 		t.Error("oldest entry not evicted")
 	}
-	if _, ok := c.get(k(3)); !ok {
+	if _, ok := c.get(ctx, k(3)); !ok {
 		t.Error("newest entry missing")
 	}
 }

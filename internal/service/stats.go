@@ -96,6 +96,10 @@ type StatsResponse struct {
 	Queued   int        `json:"queued"`
 	Workers  int        `json:"workers"`
 	Cache    CacheStats `json:"cache"`
+	// Store is the per-tier view of the pluggable result store (nil
+	// when caching is disabled); Cache above stays the request-level
+	// wire shape the pre-store-tier daemon served.
+	Store *StoreStats `json:"store,omitempty"`
 
 	// Panics counts panics converted into StageErrors by the isolation
 	// layer; RecentPanics holds the last few with stage + trimmed stack.

@@ -341,11 +341,23 @@ type BatchResponseV2 struct {
 // "degraded"; degraded is advisory (still HTTP 200) and Reasons says
 // why — a nearly-full queue or recovered panics since start.
 type HealthResponse struct {
-	Status  string  `json:"status"`
-	Workers int     `json:"workers"`
-	Queue   int     `json:"queue_depth"`
-	Queued  int     `json:"queued"`
-	Panics  uint64  `json:"panics"`
+	Status  string   `json:"status"`
+	Workers int      `json:"workers"`
+	Queue   int      `json:"queue_depth"`
+	Queued  int      `json:"queued"`
+	Panics  uint64   `json:"panics"`
 	Reasons []string `json:"reasons,omitempty"`
-	UptimeS float64 `json:"uptime_s"`
+	// Store summarizes the result store when one is configured; disk
+	// errors degrade the status (memory tier and recomputation still
+	// serve, so degradation is advisory like the other reasons).
+	Store   *StoreHealth `json:"store,omitempty"`
+	UptimeS float64      `json:"uptime_s"`
+}
+
+// StoreHealth is the healthz view of the result store.
+type StoreHealth struct {
+	Backend    string `json:"backend"`
+	Entries    int    `json:"entries"`
+	Bytes      int64  `json:"bytes"`
+	DiskErrors uint64 `json:"disk_errors"`
 }

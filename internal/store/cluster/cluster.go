@@ -1,0 +1,198 @@
+// Package cluster gives a fleet of netartd replicas consistent-hash
+// ownership of design hashes. Every replica is configured with the
+// same static peer list; rendezvous (highest-random-weight) hashing
+// maps each content-addressed cache key to exactly one owner, so a
+// warm result lives on one replica and every other replica proxies
+// cold requests for that key to it instead of recomputing.
+//
+// Rendezvous hashing was chosen over a ring because the peer lists
+// here are small and static: ownership is a pure function of (peers,
+// key) with no virtual-node state, every replica computes the same
+// answer independently, and removing a peer remaps only the keys that
+// peer owned.
+//
+// Failure model: proxying is an optimization, never a dependency. A
+// proxy that fails for transport reasons (owner down, timeout, 5xx)
+// falls back to local computation — the fleet degrades to independent
+// replicas, not to errors. Proxied requests carry a hop-marker header
+// and a replica never forwards a request that arrived with it, so a
+// stale or disagreeing peer list cannot create a forwarding loop
+// longer than one hop.
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"time"
+)
+
+// HopHeader marks a request already forwarded once by a peer; the
+// receiving replica must compute locally rather than forward again.
+const HopHeader = "X-Netart-Peer-Hop"
+
+// Fleet is one replica's view of the peer set.
+type Fleet struct {
+	self   string
+	peers  []string // normalized, sorted, includes self
+	client *http.Client
+}
+
+// New builds a fleet view. self must appear in peers (it is added
+// when missing, so `-peers` can list just the others); every URL is
+// normalized (scheme://host[:port], no trailing slash).
+func New(self string, peers []string) (*Fleet, error) {
+	if self == "" {
+		return nil, fmt.Errorf("cluster: peer list set but self URL empty")
+	}
+	selfN, err := normalize(self)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: self: %w", err)
+	}
+	seen := map[string]bool{selfN: true}
+	all := []string{selfN}
+	for _, p := range peers {
+		if strings.TrimSpace(p) == "" {
+			continue
+		}
+		n, err := normalize(p)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: peer %q: %w", p, err)
+		}
+		if !seen[n] {
+			seen[n] = true
+			all = append(all, n)
+		}
+	}
+	sort.Strings(all)
+	return &Fleet{
+		self:  selfN,
+		peers: all,
+		// No client-level timeout: the per-request context already
+		// carries the generation deadline, and a proxied route can
+		// legitimately take as long as a local one.
+		client: &http.Client{},
+	}, nil
+}
+
+func normalize(raw string) (string, error) {
+	u, err := url.Parse(strings.TrimRight(strings.TrimSpace(raw), "/"))
+	if err != nil {
+		return "", err
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return "", fmt.Errorf("need http(s) URL, got %q", raw)
+	}
+	if u.Host == "" {
+		return "", fmt.Errorf("missing host in %q", raw)
+	}
+	return u.Scheme + "://" + u.Host, nil
+}
+
+// Enabled reports whether sharding is on (more than one replica).
+func (f *Fleet) Enabled() bool { return f != nil && len(f.peers) > 1 }
+
+// Self returns this replica's normalized URL.
+func (f *Fleet) Self() string { return f.self }
+
+// Peers returns the full normalized peer list (self included).
+func (f *Fleet) Peers() []string { return append([]string(nil), f.peers...) }
+
+// Owner returns the peer URL that owns key: the peer with the highest
+// rendezvous score. Ties (astronomically unlikely with 64-bit scores)
+// break on the sorted peer order, so every replica agrees.
+func (f *Fleet) Owner(key string) string {
+	var best string
+	var bestScore uint64
+	for _, p := range f.peers {
+		if s := score(p, key); best == "" || s > bestScore {
+			best, bestScore = p, s
+		}
+	}
+	return best
+}
+
+// OwnedBySelf reports whether this replica owns key.
+func (f *Fleet) OwnedBySelf(key string) bool {
+	return !f.Enabled() || f.Owner(key) == f.self
+}
+
+// score is the rendezvous weight of (peer, key): the first 8 bytes of
+// SHA-256(peer NUL key). SHA-256 keeps the weight independent of the
+// cache key's own hash structure.
+func score(peer, key string) uint64 {
+	h := sha256.New()
+	io.WriteString(h, peer)
+	h.Write([]byte{0})
+	io.WriteString(h, key)
+	var sum [sha256.Size]byte
+	h.Sum(sum[:0])
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// ProxyError is a transport-level proxy failure: the owner was
+// unreachable or answered with a server-side status. The caller
+// should fall back to local computation.
+type ProxyError struct {
+	Owner  string
+	Status int // 0 for transport errors
+	Err    error
+}
+
+func (e *ProxyError) Error() string {
+	if e.Status != 0 {
+		return fmt.Sprintf("cluster: owner %s answered %d", e.Owner, e.Status)
+	}
+	return fmt.Sprintf("cluster: owner %s unreachable: %v", e.Owner, e.Err)
+}
+
+func (e *ProxyError) Unwrap() error { return e.Err }
+
+// Proxy forwards a generate request body (JSON) to the owner's
+// /v2/generate, marked with the hop header. It returns the owner's
+// response body and status for 2xx and 4xx answers; 5xx, 429 and
+// transport failures come back as *ProxyError so the caller can fall
+// back to local computation. 4xx answers are returned, not retried
+// locally: the owner judged the request itself invalid, and the local
+// pipeline would only reach the same verdict the slow way.
+func (f *Fleet) Proxy(ctx context.Context, owner string, body []byte) ([]byte, int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		owner+"/v2/generate", bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, &ProxyError{Owner: owner, Err: err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(HopHeader, "1")
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return nil, 0, &ProxyError{Owner: owner, Err: err}
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, 0, &ProxyError{Owner: owner, Err: err}
+	}
+	if resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests {
+		return nil, 0, &ProxyError{Owner: owner, Status: resp.StatusCode}
+	}
+	return out, resp.StatusCode, nil
+}
+
+// Close releases idle proxy connections.
+func (f *Fleet) Close() {
+	if f != nil {
+		f.client.CloseIdleConnections()
+	}
+}
+
+// Timeout sets an overall client-side bound on proxied calls in
+// addition to per-request contexts (used by tests and benches that
+// want fast failure detection against dead peers).
+func (f *Fleet) Timeout(d time.Duration) { f.client.Timeout = d }

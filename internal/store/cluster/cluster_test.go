@@ -1,0 +1,130 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"testing"
+)
+
+func testKey(i int) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("key-%d", i)))
+	return hex.EncodeToString(sum[:])
+}
+
+func mustFleet(t *testing.T, self string, peers []string) *Fleet {
+	t.Helper()
+	f, err := New(self, peers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("", []string{"http://a:1"}); err == nil {
+		t.Error("empty self accepted")
+	}
+	if _, err := New("ftp://a:1", nil); err == nil {
+		t.Error("non-http scheme accepted")
+	}
+	if _, err := New("http://", nil); err == nil {
+		t.Error("hostless URL accepted")
+	}
+	// Self is deduplicated and added when missing; trailing slashes and
+	// spacing normalize away.
+	f := mustFleet(t, "http://a:1/", []string{" http://b:2 ", "http://a:1", "", "http://b:2/"})
+	if got := f.Peers(); len(got) != 2 {
+		t.Fatalf("peers = %v, want 2 normalized entries", got)
+	}
+	if f.Self() != "http://a:1" {
+		t.Fatalf("self = %q", f.Self())
+	}
+}
+
+func TestSingleReplicaDisabled(t *testing.T) {
+	f := mustFleet(t, "http://a:1", nil)
+	if f.Enabled() {
+		t.Error("single-replica fleet claims to be enabled")
+	}
+	if !f.OwnedBySelf(testKey(1)) {
+		t.Error("single replica does not own its keys")
+	}
+	var nilFleet *Fleet
+	if nilFleet.Enabled() {
+		t.Error("nil fleet enabled")
+	}
+}
+
+// TestOwnershipDeterministic: every replica's view agrees on who owns
+// each key, regardless of the order the peer list was given in.
+func TestOwnershipDeterministic(t *testing.T) {
+	urls := []string{"http://a:1", "http://b:2", "http://c:3"}
+	fa := mustFleet(t, urls[0], urls)
+	fb := mustFleet(t, urls[1], []string{urls[2], urls[0], urls[1]}) // shuffled
+	fc := mustFleet(t, urls[2], urls[:2])                           // self omitted from list
+
+	for i := 0; i < 200; i++ {
+		k := testKey(i)
+		oa, ob, oc := fa.Owner(k), fb.Owner(k), fc.Owner(k)
+		if oa != ob || ob != oc {
+			t.Fatalf("key %d: owners disagree: %s / %s / %s", i, oa, ob, oc)
+		}
+		owners := 0
+		for _, f := range []*Fleet{fa, fb, fc} {
+			if f.OwnedBySelf(k) {
+				owners++
+			}
+		}
+		if owners != 1 {
+			t.Fatalf("key %d claimed by %d replicas, want exactly 1", i, owners)
+		}
+	}
+}
+
+// TestDistribution: rendezvous hashing spreads keys roughly evenly.
+func TestDistribution(t *testing.T) {
+	urls := []string{"http://a:1", "http://b:2", "http://c:3"}
+	f := mustFleet(t, urls[0], urls)
+	counts := map[string]int{}
+	const N = 3000
+	for i := 0; i < N; i++ {
+		counts[f.Owner(testKey(i))]++
+	}
+	for _, u := range urls {
+		if c := counts[u]; c < N/6 || c > N/2 {
+			t.Errorf("replica %s owns %d of %d keys (grossly uneven)", u, c, N)
+		}
+	}
+}
+
+// TestMinimalRemapping: removing one peer must remap only the keys it
+// owned; every other key keeps its owner.
+func TestMinimalRemapping(t *testing.T) {
+	urls := []string{"http://a:1", "http://b:2", "http://c:3"}
+	full := mustFleet(t, urls[0], urls)
+	reduced := mustFleet(t, urls[0], urls[:2]) // c removed
+
+	for i := 0; i < 500; i++ {
+		k := testKey(i)
+		before := full.Owner(k)
+		after := reduced.Owner(k)
+		if before != urls[2] && after != before {
+			t.Fatalf("key %d moved from %s to %s though its owner survived", i, before, after)
+		}
+		if before == urls[2] && after == urls[2] {
+			t.Fatalf("key %d still owned by the removed peer", i)
+		}
+	}
+}
+
+func TestProxyErrorFormatting(t *testing.T) {
+	e := &ProxyError{Owner: "http://a:1", Status: 503}
+	if e.Error() == "" {
+		t.Error("empty status error text")
+	}
+	e2 := &ProxyError{Owner: "http://a:1", Err: fmt.Errorf("refused")}
+	if e2.Error() == "" || e2.Unwrap() == nil {
+		t.Error("transport error text/unwrap broken")
+	}
+}

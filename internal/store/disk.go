@@ -1,0 +1,401 @@
+package store
+
+import (
+	"container/list"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Disk file format: an entry is a single file
+//
+//	<root>/<namespace>/<key[:2]>/<key>
+//
+// holding a fixed header followed by the value bytes:
+//
+//	offset 0  8B  magic "NARTSTO1"
+//	offset 8  4B  big-endian CRC-32 (IEEE) of the value bytes
+//	offset 12 8B  big-endian value length
+//	offset 20     value bytes
+//
+// Writes go to a ".tmp-*" file in the same directory and are renamed
+// into place, so a reader never observes a half-written entry under a
+// real key and a crash mid-Put leaves only a temp file behind (swept
+// on the next startup scan). Reads verify the magic, length and CRC;
+// any mismatch removes the file and degrades to a miss — corruption
+// costs a recomputation, never a failed request or a poisoned result.
+const (
+	diskMagic      = "NARTSTO1"
+	diskHeaderSize = 8 + 4 + 8
+	tmpPrefix      = ".tmp-"
+)
+
+// DiskOptions configures a disk store.
+type DiskOptions struct {
+	// Namespace isolates entries written under one cache-key version
+	// from every other: the store lives in <root>/<namespace>. Bumping
+	// the key version strands (rather than misserves) old entries.
+	// Empty means "v1".
+	Namespace string
+	// MaxBytes bounds the total value bytes on disk; the least
+	// recently used entries are garbage-collected beyond it. <= 0
+	// means unbounded. A single value larger than MaxBytes is not
+	// stored at all.
+	MaxBytes int64
+	// Recorder receives tier "disk" events.
+	Recorder Recorder
+}
+
+// Disk is the persistent tier: one content-addressed file per entry
+// with CRC-checked reads, atomic temp+rename writes, LRU-by-recency
+// GC against MaxBytes, and a startup scan that rebuilds the index
+// (recency seeded from file mtimes) while sweeping temp files and
+// corrupt entries.
+type Disk struct {
+	dir      string // <root>/<namespace>
+	maxBytes int64
+	rec      Recorder
+
+	mu    sync.Mutex
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+	bytes int64
+
+	hits, misses, puts, evicts, errs atomic.Uint64
+}
+
+type diskEntry struct {
+	key  string
+	size int64 // value bytes (header excluded)
+}
+
+// NewDisk opens (creating if needed) a disk store rooted at root. The
+// startup scan walks the namespace directory, removes temp files and
+// entries whose name or header is invalid, and rebuilds the LRU index
+// ordered by file mtime — so warm results survive a daemon restart
+// with their approximate recency intact. A scan problem with one
+// entry never fails the open.
+func NewDisk(root string, opts DiskOptions) (*Disk, error) {
+	if root == "" {
+		return nil, fmt.Errorf("store: disk store needs a root directory")
+	}
+	ns := opts.Namespace
+	if ns == "" {
+		ns = "v1"
+	}
+	d := &Disk{
+		dir:      filepath.Join(root, ns),
+		maxBytes: opts.MaxBytes,
+		rec:      opts.Recorder,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}
+	if err := os.MkdirAll(d.dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if err := d.scan(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// scan rebuilds the index from the files on disk (see NewDisk).
+func (d *Disk) scan() error {
+	type found struct {
+		key   string
+		size  int64
+		mtime time.Time
+	}
+	var entries []found
+	err := filepath.WalkDir(d.dir, func(path string, de os.DirEntry, err error) error {
+		if err != nil || de.IsDir() {
+			return err
+		}
+		name := de.Name()
+		if strings.HasPrefix(name, tmpPrefix) {
+			// A crash mid-Put left this behind; it was never visible
+			// under a real key, so removing it is always safe.
+			_ = os.Remove(path)
+			return nil
+		}
+		size, ok := d.validate(path, name)
+		if !ok {
+			_ = os.Remove(path)
+			d.errs.Add(1)
+			d.rec.emit("disk", EventError)
+			return nil
+		}
+		info, ierr := de.Info()
+		if ierr != nil {
+			return nil
+		}
+		entries = append(entries, found{key: name, size: size, mtime: info.ModTime()})
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("store: scanning %s: %w", d.dir, err)
+	}
+	// Oldest first, so the newest file ends up at the LRU front.
+	// mtime ties (coarse filesystems) break on the key for determinism.
+	sort.Slice(entries, func(i, j int) bool {
+		if !entries[i].mtime.Equal(entries[j].mtime) {
+			return entries[i].mtime.Before(entries[j].mtime)
+		}
+		return entries[i].key < entries[j].key
+	})
+	for _, e := range entries {
+		d.items[e.key] = d.ll.PushFront(&diskEntry{key: e.key, size: e.size})
+		d.bytes += e.size
+	}
+	return nil
+}
+
+// validate checks an entry file's name, magic and length (the CRC is
+// deferred to read time: the scan stays O(entries), not O(bytes)).
+// Returns the value size and whether the entry is acceptable.
+func (d *Disk) validate(path, name string) (int64, bool) {
+	if !validKey(name) || filepath.Base(filepath.Dir(path)) != name[:2] {
+		return 0, false
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, false
+	}
+	defer f.Close()
+	var hdr [diskHeaderSize]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return 0, false
+	}
+	if string(hdr[:8]) != diskMagic {
+		return 0, false
+	}
+	size := int64(binary.BigEndian.Uint64(hdr[12:20]))
+	info, err := f.Stat()
+	if err != nil || info.Size() != diskHeaderSize+size {
+		return 0, false
+	}
+	return size, true
+}
+
+// validKey accepts lowercase-hex content addresses of sane length —
+// the only names Put will create, and a guard against path tricks.
+func validKey(key string) bool {
+	if len(key) < 4 || len(key) > 128 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func (d *Disk) path(key string) string {
+	return filepath.Join(d.dir, key[:2], key)
+}
+
+// Get reads and CRC-verifies the entry. File IO runs outside the
+// index lock so concurrent reads do not serialize; a verification
+// failure removes the entry and counts an error, and the caller sees
+// a plain miss.
+func (d *Disk) Get(ctx context.Context, key string) ([]byte, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
+	d.mu.Lock()
+	el, ok := d.items[key]
+	if ok {
+		d.ll.MoveToFront(el)
+	}
+	d.mu.Unlock()
+	if !ok {
+		d.misses.Add(1)
+		d.rec.emit("disk", EventMiss)
+		return nil, false, nil
+	}
+
+	val, err := d.readEntry(key)
+	if err != nil {
+		// Corrupt or vanished (GC raced us): drop index and file, then
+		// miss — otherwise the next startup scan would re-index the
+		// corrupt bytes.
+		if d.removeEntry(key) {
+			_ = os.Remove(d.path(key))
+		}
+		d.errs.Add(1)
+		d.rec.emit("disk", EventError)
+		d.misses.Add(1)
+		d.rec.emit("disk", EventMiss)
+		return nil, false, nil
+	}
+	// Touch the mtime so recency survives a restart (best effort).
+	now := time.Now()
+	_ = os.Chtimes(d.path(key), now, now)
+	d.hits.Add(1)
+	d.rec.emit("disk", EventHit)
+	return val, true, nil
+}
+
+func (d *Disk) readEntry(key string) ([]byte, error) {
+	b, err := os.ReadFile(d.path(key))
+	if err != nil {
+		return nil, err
+	}
+	if len(b) < diskHeaderSize || string(b[:8]) != diskMagic {
+		return nil, fmt.Errorf("store: %s: bad header", key)
+	}
+	want := binary.BigEndian.Uint32(b[8:12])
+	size := binary.BigEndian.Uint64(b[12:20])
+	val := b[diskHeaderSize:]
+	if uint64(len(val)) != size {
+		return nil, fmt.Errorf("store: %s: length mismatch", key)
+	}
+	if got := crc32.ChecksumIEEE(val); got != want {
+		return nil, fmt.Errorf("store: %s: crc mismatch", key)
+	}
+	return val, nil
+}
+
+// Put writes the entry atomically (temp file + rename) and then
+// garbage-collects least-recently-used entries beyond MaxBytes.
+func (d *Disk) Put(ctx context.Context, key string, value []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if !validKey(key) {
+		d.errs.Add(1)
+		d.rec.emit("disk", EventError)
+		return fmt.Errorf("store: invalid key %q", key)
+	}
+	if d.maxBytes > 0 && int64(len(value)) > d.maxBytes {
+		// Never admit a value the size bound could not retain.
+		return nil
+	}
+	if err := d.writeEntry(key, value); err != nil {
+		d.errs.Add(1)
+		d.rec.emit("disk", EventError)
+		return err
+	}
+
+	d.mu.Lock()
+	if el, ok := d.items[key]; ok {
+		e := el.Value.(*diskEntry)
+		d.bytes += int64(len(value)) - e.size
+		e.size = int64(len(value))
+		d.ll.MoveToFront(el)
+	} else {
+		d.items[key] = d.ll.PushFront(&diskEntry{key: key, size: int64(len(value))})
+		d.bytes += int64(len(value))
+	}
+	var victims []string
+	for d.maxBytes > 0 && d.bytes > d.maxBytes && d.ll.Len() > 1 {
+		tail := d.ll.Back()
+		e := tail.Value.(*diskEntry)
+		d.ll.Remove(tail)
+		delete(d.items, e.key)
+		d.bytes -= e.size
+		victims = append(victims, e.key)
+	}
+	d.mu.Unlock()
+
+	d.puts.Add(1)
+	d.rec.emit("disk", EventPut)
+	for _, k := range victims {
+		_ = os.Remove(d.path(k))
+		d.evicts.Add(1)
+		d.rec.emit("disk", EventEvict)
+	}
+	return nil
+}
+
+func (d *Disk) writeEntry(key string, value []byte) error {
+	dir := filepath.Dir(d.path(key))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	f, err := os.CreateTemp(dir, tmpPrefix+"*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp := f.Name()
+	var hdr [diskHeaderSize]byte
+	copy(hdr[:8], diskMagic)
+	binary.BigEndian.PutUint32(hdr[8:12], crc32.ChecksumIEEE(value))
+	binary.BigEndian.PutUint64(hdr[12:20], uint64(len(value)))
+	_, werr := f.Write(hdr[:])
+	if werr == nil {
+		_, werr = f.Write(value)
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp, d.path(key))
+	}
+	if werr != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("store: writing %s: %w", key, werr)
+	}
+	return nil
+}
+
+// Delete removes the entry and its file if present.
+func (d *Disk) Delete(_ context.Context, key string) error {
+	if d.removeEntry(key) {
+		_ = os.Remove(d.path(key))
+	}
+	return nil
+}
+
+// removeEntry drops key from the index; reports whether it was there.
+func (d *Disk) removeEntry(key string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	el, ok := d.items[key]
+	if !ok {
+		return false
+	}
+	d.bytes -= el.Value.(*diskEntry).size
+	d.ll.Remove(el)
+	delete(d.items, key)
+	return true
+}
+
+// Len reports the current entry count.
+func (d *Disk) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.ll.Len()
+}
+
+// Stats reports the tier counters.
+func (d *Disk) Stats() Stats {
+	d.mu.Lock()
+	entries, bytes := d.ll.Len(), d.bytes
+	d.mu.Unlock()
+	return Stats{
+		Tier:      "disk",
+		Entries:   entries,
+		Bytes:     bytes,
+		Hits:      d.hits.Load(),
+		Misses:    d.misses.Load(),
+		Puts:      d.puts.Load(),
+		Evictions: d.evicts.Load(),
+		Errors:    d.errs.Load(),
+	}
+}
+
+// Close is cheap: every Put already rests on disk (write-through
+// persistence is continuous, not deferred to shutdown).
+func (d *Disk) Close() error { return nil }

@@ -1,0 +1,292 @@
+package store
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func diskKey(i int) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("key-%d", i)))
+	return hex.EncodeToString(sum[:])
+}
+
+func newTestDisk(t *testing.T, opts DiskOptions) (*Disk, string) {
+	t.Helper()
+	root := t.TempDir()
+	d, err := NewDisk(root, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, root
+}
+
+func TestDiskRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	d, root := newTestDisk(t, DiskOptions{})
+	k := diskKey(1)
+	if err := d.Put(ctx, k, []byte("artwork")); err != nil {
+		t.Fatal(err)
+	}
+	// Layout: <root>/v1/<key[:2]>/<key>.
+	if _, err := os.Stat(filepath.Join(root, "v1", k[:2], k)); err != nil {
+		t.Fatalf("entry file not at expected path: %v", err)
+	}
+	val, ok, err := d.Get(ctx, k)
+	if err != nil || !ok || string(val) != "artwork" {
+		t.Fatalf("Get = %q, %v, %v", val, ok, err)
+	}
+	if st := d.Stats(); st.Tier != "disk" || st.Entries != 1 || st.Bytes != 7 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if err := d.Delete(ctx, k); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "v1", k[:2], k)); !os.IsNotExist(err) {
+		t.Fatalf("entry file survived Delete: %v", err)
+	}
+}
+
+func TestDiskRejectsInvalidKeys(t *testing.T) {
+	ctx := context.Background()
+	d, _ := newTestDisk(t, DiskOptions{})
+	for _, k := range []string{"", "ab", "../../../../etc/passwd", "ABCDEF", "zz zz", diskKey(0) + "Z"} {
+		if err := d.Put(ctx, k, []byte("x")); err == nil {
+			t.Errorf("Put accepted invalid key %q", k)
+		}
+	}
+}
+
+func TestDiskRestartReload(t *testing.T) {
+	ctx := context.Background()
+	root := t.TempDir()
+	d1, err := NewDisk(root, DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := d1.Put(ctx, diskKey(i), []byte(fmt.Sprintf("value-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": a fresh store over the same root must serve every entry.
+	d2, err := NewDisk(root, DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Len() != 5 {
+		t.Fatalf("reloaded %d entries, want 5", d2.Len())
+	}
+	for i := 0; i < 5; i++ {
+		val, ok, err := d2.Get(ctx, diskKey(i))
+		if err != nil || !ok || string(val) != fmt.Sprintf("value-%d", i) {
+			t.Fatalf("key %d after restart: %q, %v, %v", i, val, ok, err)
+		}
+	}
+}
+
+func TestDiskNamespaceIsolation(t *testing.T) {
+	ctx := context.Background()
+	root := t.TempDir()
+	d1, err := NewDisk(root, DiskOptions{Namespace: "v1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1.Put(ctx, diskKey(1), []byte("v1 artwork"))
+
+	// A bumped key version opens a different namespace and must not see
+	// (or serve) entries written under the old scheme.
+	d2, err := NewDisk(root, DiskOptions{Namespace: "v2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Len() != 0 {
+		t.Fatalf("v2 namespace reloaded %d entries from v1", d2.Len())
+	}
+	if _, ok, _ := d2.Get(ctx, diskKey(1)); ok {
+		t.Fatal("v2 namespace served a v1 entry")
+	}
+}
+
+// TestDiskCrashTempFileSwept simulates a crash mid-Put: a temp file in
+// the entry directory is never visible as an entry and is removed by
+// the next startup scan.
+func TestDiskCrashTempFileSwept(t *testing.T) {
+	ctx := context.Background()
+	root := t.TempDir()
+	d1, err := NewDisk(root, DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := diskKey(1)
+	d1.Put(ctx, k, []byte("good"))
+
+	// A crash between CreateTemp and rename leaves this behind.
+	dir := filepath.Join(root, "v1", k[:2])
+	tmp := filepath.Join(dir, ".tmp-crashed123")
+	if err := os.WriteFile(tmp, []byte("half-written garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := NewDisk(root, DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Len() != 1 {
+		t.Fatalf("scan indexed %d entries, want 1 (temp file must not count)", d2.Len())
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("temp file survived the startup scan: %v", err)
+	}
+	if _, ok, _ := d2.Get(ctx, k); !ok {
+		t.Fatal("good entry lost while sweeping temp files")
+	}
+}
+
+// TestDiskCorruptCRC flips a payload byte on disk and checks the read
+// degrades to a miss, removes the file, and counts an error — never a
+// failed request, never the corrupt bytes.
+func TestDiskCorruptCRC(t *testing.T) {
+	ctx := context.Background()
+	d, root := newTestDisk(t, DiskOptions{})
+	k := diskKey(1)
+	if err := d.Put(ctx, k, []byte("pristine artwork bytes")); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(root, "v1", k[:2], k)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[diskHeaderSize+3] ^= 0xFF // flip one payload byte; header CRC now disagrees
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	val, ok, err := d.Get(ctx, k)
+	if err != nil || ok {
+		t.Fatalf("corrupt entry: Get = %q, %v, %v; want miss with nil error", val, ok, err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("corrupt entry file not removed: %v", err)
+	}
+	st := d.Stats()
+	if st.Errors != 1 || st.Entries != 0 {
+		t.Fatalf("stats after corruption = %+v, want 1 error / 0 entries", st)
+	}
+	// The key is recomputable: a fresh Put must fully restore service.
+	if err := d.Put(ctx, k, []byte("recomputed")); err != nil {
+		t.Fatal(err)
+	}
+	if val, ok, _ := d.Get(ctx, k); !ok || string(val) != "recomputed" {
+		t.Fatalf("after re-put: %q, %v", val, ok)
+	}
+}
+
+// TestDiskScanSkipsBadEntries seeds the namespace with garbage files —
+// wrong name, truncated header, bad magic — and checks the startup
+// scan drops all of them while keeping the valid entry.
+func TestDiskScanSkipsBadEntries(t *testing.T) {
+	ctx := context.Background()
+	root := t.TempDir()
+	d1, err := NewDisk(root, DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := diskKey(1)
+	d1.Put(ctx, good, []byte("keep me"))
+
+	ns := filepath.Join(root, "v1")
+	bad := diskKey(2)
+	badDir := filepath.Join(ns, bad[:2])
+	os.MkdirAll(badDir, 0o755)
+	// Truncated: shorter than the header.
+	os.WriteFile(filepath.Join(badDir, bad), []byte("tiny"), 0o644)
+	// Bad magic, full-size header.
+	wrong := diskKey(3)
+	wrongDir := filepath.Join(ns, wrong[:2])
+	os.MkdirAll(wrongDir, 0o755)
+	os.WriteFile(filepath.Join(wrongDir, wrong), append([]byte("WRONGMAG"), make([]byte, 20)...), 0o644)
+	// Not a hex key at all.
+	os.WriteFile(filepath.Join(ns, "README.txt"), []byte("hello"), 0o644)
+
+	d2, err := NewDisk(root, DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Len() != 1 {
+		t.Fatalf("scan indexed %d entries, want 1", d2.Len())
+	}
+	if val, ok, _ := d2.Get(ctx, good); !ok || string(val) != "keep me" {
+		t.Fatalf("good entry lost: %q, %v", val, ok)
+	}
+	if st := d2.Stats(); st.Errors == 0 {
+		t.Error("scan absorbed bad entries without counting errors")
+	}
+	for _, p := range []string{filepath.Join(badDir, bad), filepath.Join(wrongDir, wrong)} {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Errorf("bad entry %s survived the scan", p)
+		}
+	}
+}
+
+func TestDiskGCBound(t *testing.T) {
+	ctx := context.Background()
+	// Each value is 100 bytes; bound at 350 → at most 3 entries fit.
+	d, _ := newTestDisk(t, DiskOptions{MaxBytes: 350})
+	val := make([]byte, 100)
+	for i := 0; i < 6; i++ {
+		if err := d.Put(ctx, diskKey(i), val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := d.Stats()
+	if st.Bytes > 350 {
+		t.Fatalf("bytes = %d exceeds the 350 bound", st.Bytes)
+	}
+	if st.Entries != 3 || st.Evictions != 3 {
+		t.Fatalf("stats = %+v, want 3 entries / 3 evictions", st)
+	}
+	// LRU order: the oldest puts are the victims.
+	for i := 0; i < 3; i++ {
+		if _, ok, _ := d.Get(ctx, diskKey(i)); ok {
+			t.Errorf("old entry %d survived GC", i)
+		}
+	}
+	for i := 3; i < 6; i++ {
+		if _, ok, _ := d.Get(ctx, diskKey(i)); !ok {
+			t.Errorf("recent entry %d lost to GC", i)
+		}
+	}
+}
+
+func TestDiskOversizedValueSkipped(t *testing.T) {
+	ctx := context.Background()
+	d, _ := newTestDisk(t, DiskOptions{MaxBytes: 10})
+	if err := d.Put(ctx, diskKey(1), make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 0 {
+		t.Fatal("value larger than MaxBytes was admitted")
+	}
+}
+
+func TestDiskCanceledContext(t *testing.T) {
+	d, _ := newTestDisk(t, DiskOptions{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := d.Put(ctx, diskKey(1), []byte("x")); err == nil {
+		t.Error("Put ignored a canceled context")
+	}
+	if _, _, err := d.Get(ctx, diskKey(1)); err == nil {
+		t.Error("Get ignored a canceled context")
+	}
+}

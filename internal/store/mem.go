@@ -1,0 +1,130 @@
+package store
+
+import (
+	"container/list"
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// Mem is the in-memory tier: a mutex-guarded LRU over value bytes,
+// bounded by entry count. It is the old service result cache hoisted
+// behind the Store interface; values are immutable shared state (the
+// caller must not mutate a returned slice).
+type Mem struct {
+	mu      sync.Mutex
+	maxEnts int
+	ll      *list.List // front = most recently used
+	items   map[string]*list.Element
+	bytes   int64
+	rec     Recorder
+
+	hits, misses, puts, evicts atomic.Uint64
+}
+
+type memEntry struct {
+	key string
+	val []byte
+}
+
+// NewMem returns a memory store holding up to maxEntries values;
+// maxEntries <= 0 means unbounded (callers that want "disabled"
+// simply don't construct a store).
+func NewMem(maxEntries int, rec Recorder) *Mem {
+	return &Mem{
+		maxEnts: maxEntries,
+		ll:      list.New(),
+		items:   make(map[string]*list.Element),
+		rec:     rec,
+	}
+}
+
+// Get returns the stored bytes and promotes the entry to MRU.
+func (m *Mem) Get(_ context.Context, key string) ([]byte, bool, error) {
+	m.mu.Lock()
+	el, ok := m.items[key]
+	if !ok {
+		m.mu.Unlock()
+		m.misses.Add(1)
+		m.rec.emit("mem", EventMiss)
+		return nil, false, nil
+	}
+	m.ll.MoveToFront(el)
+	val := el.Value.(*memEntry).val
+	m.mu.Unlock()
+	m.hits.Add(1)
+	m.rec.emit("mem", EventHit)
+	return val, true, nil
+}
+
+// Put stores value, evicting from the LRU tail when over capacity.
+func (m *Mem) Put(_ context.Context, key string, value []byte) error {
+	m.mu.Lock()
+	if el, ok := m.items[key]; ok {
+		e := el.Value.(*memEntry)
+		m.bytes += int64(len(value)) - int64(len(e.val))
+		e.val = value
+		m.ll.MoveToFront(el)
+		m.mu.Unlock()
+		m.puts.Add(1)
+		m.rec.emit("mem", EventPut)
+		return nil
+	}
+	m.items[key] = m.ll.PushFront(&memEntry{key: key, val: value})
+	m.bytes += int64(len(value))
+	var evicted int
+	for m.maxEnts > 0 && m.ll.Len() > m.maxEnts {
+		tail := m.ll.Back()
+		e := tail.Value.(*memEntry)
+		m.ll.Remove(tail)
+		delete(m.items, e.key)
+		m.bytes -= int64(len(e.val))
+		evicted++
+	}
+	m.mu.Unlock()
+	m.puts.Add(1)
+	m.rec.emit("mem", EventPut)
+	for i := 0; i < evicted; i++ {
+		m.evicts.Add(1)
+		m.rec.emit("mem", EventEvict)
+	}
+	return nil
+}
+
+// Delete removes key if present.
+func (m *Mem) Delete(_ context.Context, key string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if el, ok := m.items[key]; ok {
+		m.bytes -= int64(len(el.Value.(*memEntry).val))
+		m.ll.Remove(el)
+		delete(m.items, key)
+	}
+	return nil
+}
+
+// Len reports the current entry count.
+func (m *Mem) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ll.Len()
+}
+
+// Stats reports the tier counters.
+func (m *Mem) Stats() Stats {
+	m.mu.Lock()
+	entries, bytes := m.ll.Len(), m.bytes
+	m.mu.Unlock()
+	return Stats{
+		Tier:      "mem",
+		Entries:   entries,
+		Bytes:     bytes,
+		Hits:      m.hits.Load(),
+		Misses:    m.misses.Load(),
+		Puts:      m.puts.Load(),
+		Evictions: m.evicts.Load(),
+	}
+}
+
+// Close is a no-op: memory does not outlive the process.
+func (m *Mem) Close() error { return nil }

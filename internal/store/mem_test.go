@@ -1,0 +1,110 @@
+package store
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestMemBasic(t *testing.T) {
+	ctx := context.Background()
+	m := NewMem(4, nil)
+	if _, ok, _ := m.Get(ctx, "aa00"); ok {
+		t.Fatal("empty store returned a hit")
+	}
+	if err := m.Put(ctx, "aa00", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	val, ok, err := m.Get(ctx, "aa00")
+	if err != nil || !ok || string(val) != "hello" {
+		t.Fatalf("Get = %q, %v, %v; want hello, true, nil", val, ok, err)
+	}
+	st := m.Stats()
+	if st.Tier != "mem" || st.Entries != 1 || st.Bytes != 5 || st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if err := m.Delete(ctx, "aa00"); err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 0 || m.Stats().Bytes != 0 {
+		t.Fatalf("after delete: len=%d bytes=%d", m.Len(), m.Stats().Bytes)
+	}
+}
+
+func TestMemLRUEviction(t *testing.T) {
+	ctx := context.Background()
+	var events []string
+	m := NewMem(2, func(tier, ev string) { events = append(events, tier+"/"+ev) })
+	keys := func(i int) string { return fmt.Sprintf("ab%02d", i) }
+	for i := 0; i < 3; i++ {
+		if err := m.Put(ctx, keys(i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Len() != 2 {
+		t.Fatalf("len = %d, want 2", m.Len())
+	}
+	if _, ok, _ := m.Get(ctx, keys(0)); ok {
+		t.Error("oldest entry survived eviction")
+	}
+	if st := m.Stats(); st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", st.Evictions)
+	}
+	var evicts int
+	for _, e := range events {
+		if e == "mem/evict" {
+			evicts++
+		}
+	}
+	if evicts != 1 {
+		t.Errorf("recorder saw %d evict events, want 1", evicts)
+	}
+
+	// A Get refreshes recency: key 1 must now outlive key 2.
+	if _, ok, _ := m.Get(ctx, keys(1)); !ok {
+		t.Fatal("key 1 missing")
+	}
+	if err := m.Put(ctx, keys(3), []byte{3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := m.Get(ctx, keys(1)); !ok {
+		t.Error("recently used entry evicted")
+	}
+	if _, ok, _ := m.Get(ctx, keys(2)); ok {
+		t.Error("least recently used entry survived")
+	}
+}
+
+func TestMemOverwriteTracksBytes(t *testing.T) {
+	ctx := context.Background()
+	m := NewMem(4, nil)
+	m.Put(ctx, "aa00", []byte("short"))
+	m.Put(ctx, "aa00", []byte("a much longer value"))
+	if st := m.Stats(); st.Entries != 1 || st.Bytes != int64(len("a much longer value")) {
+		t.Fatalf("stats after overwrite = %+v", st)
+	}
+}
+
+func TestMemConcurrent(t *testing.T) {
+	ctx := context.Background()
+	m := NewMem(32, nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprintf("ab%02d", (g+i)%40)
+				m.Put(ctx, k, []byte(k))
+				if val, ok, _ := m.Get(ctx, k); ok && string(val) != k {
+					t.Errorf("key %s returned %q", k, val)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if m.Len() > 32 {
+		t.Fatalf("len = %d exceeds capacity 32", m.Len())
+	}
+}

@@ -1,0 +1,111 @@
+// Package singleflight collapses concurrent identical computations:
+// the first caller for a key becomes the leader and executes the
+// function; callers that arrive while it runs become followers and
+// block on the leader's result. On a deterministic, content-addressed
+// pipeline this turns an N-way stampede on a cold key into one
+// pipeline execution and N-1 shared results.
+//
+// Unlike x/sync/singleflight, this group is cancellation-aware in
+// both directions: a follower honors its own context while waiting,
+// and a leader whose context is canceled does not poison the key —
+// its result is marked abandoned and the waiting followers re-enter,
+// one of them being promoted to the new leader (no work is lost to a
+// departed caller). No goroutines are spawned: the leader's function
+// runs synchronously on the leader's own goroutine, so the group
+// cannot leak.
+package singleflight
+
+import (
+	"context"
+	"sync"
+)
+
+// Outcome classifies how one Do call obtained its result.
+type Outcome string
+
+const (
+	// Leader executed fn itself (including followers promoted after a
+	// canceled leader).
+	Leader Outcome = "leader"
+	// Shared received the leader's result without executing fn.
+	Shared Outcome = "shared"
+	// Canceled gave up waiting because its own context ended; the
+	// returned error is the context's.
+	Canceled Outcome = "canceled"
+)
+
+// call is one in-flight computation.
+type call struct {
+	done    chan struct{} // closed when the leader finishes
+	val     any
+	err     error
+	waiters int
+	// abandoned marks a result produced by a canceled leader: it must
+	// not be shared, and followers retry instead.
+	abandoned bool
+}
+
+// Group collapses concurrent Do calls per key. The zero value is
+// ready to use.
+type Group struct {
+	mu    sync.Mutex
+	calls map[string]*call
+}
+
+// Do executes fn once per key among concurrent callers and returns
+// its result to all of them. The leader runs fn synchronously under
+// its own ctx; followers block until the leader finishes or their own
+// ctx is done. When the leader's ctx is canceled its (failed) result
+// is returned to the leader alone, and one waiting follower is
+// promoted to re-execute fn.
+func (g *Group) Do(ctx context.Context, key string, fn func(context.Context) (any, error)) (any, Outcome, error) {
+	for {
+		g.mu.Lock()
+		if g.calls == nil {
+			g.calls = make(map[string]*call)
+		}
+		if c, ok := g.calls[key]; ok {
+			c.waiters++
+			g.mu.Unlock()
+			select {
+			case <-c.done:
+				// The call is already out of the map; no need to
+				// un-count ourselves from a finished call.
+				if c.abandoned {
+					continue // promotion: race to become the new leader
+				}
+				return c.val, Shared, c.err
+			case <-ctx.Done():
+				g.mu.Lock()
+				c.waiters--
+				g.mu.Unlock()
+				return nil, Canceled, ctx.Err()
+			}
+		}
+		c := &call{done: make(chan struct{})}
+		g.calls[key] = c
+		g.mu.Unlock()
+
+		val, err := fn(ctx)
+
+		g.mu.Lock()
+		delete(g.calls, key)
+		c.val, c.err = val, err
+		c.abandoned = err != nil && ctx.Err() != nil
+		close(c.done)
+		g.mu.Unlock()
+		return val, Leader, err
+	}
+}
+
+// Waiters reports how many followers are currently blocked on key's
+// in-flight call (0 when no call is in flight). Leaders can poll it
+// to coordinate tests and benchmarks deterministically.
+func (g *Group) Waiters(key string) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.calls[key]; ok {
+		return c.waiters
+	}
+	return 0
+}

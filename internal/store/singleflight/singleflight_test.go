@@ -1,0 +1,232 @@
+package singleflight
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSingleCallerIsLeader(t *testing.T) {
+	var g Group
+	v, outcome, err := g.Do(context.Background(), "k", func(context.Context) (any, error) {
+		return 42, nil
+	})
+	if err != nil || outcome != Leader || v.(int) != 42 {
+		t.Fatalf("Do = %v, %v, %v", v, outcome, err)
+	}
+}
+
+func TestConcurrentCallersCollapse(t *testing.T) {
+	const N = 32
+	var g Group
+	var execs atomic.Int64
+	release := make(chan struct{})
+
+	var wg sync.WaitGroup
+	outcomes := make([]Outcome, N)
+	values := make([]any, N)
+	for i := 0; i < N; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, o, err := g.Do(context.Background(), "k", func(context.Context) (any, error) {
+				execs.Add(1)
+				// Hold until every follower has joined, so the collapse
+				// is exact rather than racy.
+				<-release
+				return "result", nil
+			})
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+			}
+			outcomes[i], values[i] = o, v
+		}(i)
+	}
+	// Wait until the leader is in and all N-1 followers are blocked.
+	deadline := time.Now().Add(5 * time.Second)
+	for g.Waiters("k") < N-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d followers joined", g.Waiters("k"))
+		}
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+
+	if n := execs.Load(); n != 1 {
+		t.Fatalf("fn executed %d times, want 1", n)
+	}
+	var leaders, shared int
+	for i := 0; i < N; i++ {
+		switch outcomes[i] {
+		case Leader:
+			leaders++
+		case Shared:
+			shared++
+		}
+		if values[i] != "result" {
+			t.Errorf("caller %d got %v", i, values[i])
+		}
+	}
+	if leaders != 1 || shared != N-1 {
+		t.Fatalf("leaders=%d shared=%d, want 1/%d", leaders, shared, N-1)
+	}
+}
+
+func TestDistinctKeysDoNotCollapse(t *testing.T) {
+	var g Group
+	var execs atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			g.Do(context.Background(), fmt.Sprintf("k%d", i), func(context.Context) (any, error) {
+				execs.Add(1)
+				return nil, nil
+			})
+		}(i)
+	}
+	wg.Wait()
+	if n := execs.Load(); n != 4 {
+		t.Fatalf("fn executed %d times, want 4", n)
+	}
+}
+
+// TestFollowerHonorsOwnContext: a follower whose context expires while
+// the leader is still working returns Canceled with its own ctx error;
+// the leader is unaffected.
+func TestFollowerHonorsOwnContext(t *testing.T) {
+	var g Group
+	release := make(chan struct{})
+	leaderIn := make(chan struct{})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v, o, err := g.Do(context.Background(), "k", func(context.Context) (any, error) {
+			close(leaderIn)
+			<-release
+			return "late", nil
+		})
+		if o != Leader || err != nil || v != "late" {
+			t.Errorf("leader: %v, %v, %v", v, o, err)
+		}
+	}()
+	<-leaderIn
+
+	fctx, fcancel := context.WithCancel(context.Background())
+	var followerDone sync.WaitGroup
+	followerDone.Add(1)
+	go func() {
+		defer followerDone.Done()
+		_, o, err := g.Do(fctx, "k", func(context.Context) (any, error) {
+			t.Error("follower executed fn")
+			return nil, nil
+		})
+		if o != Canceled || !errors.Is(err, context.Canceled) {
+			t.Errorf("follower: %v, %v", o, err)
+		}
+	}()
+	waitWaiters(t, &g, "k", 1)
+	fcancel()
+	followerDone.Wait()
+	if n := g.Waiters("k"); n != 0 {
+		t.Errorf("departed follower still counted: %d", n)
+	}
+	close(release)
+	wg.Wait()
+}
+
+// TestLeaderCancellationPromotesFollower: when the leader's own
+// context is canceled mid-flight, its failed result is not shared —
+// a waiting follower is promoted and re-executes fn.
+func TestLeaderCancellationPromotesFollower(t *testing.T) {
+	var g Group
+	var execs atomic.Int64
+	lctx, lcancel := context.WithCancel(context.Background())
+	leaderIn := make(chan struct{})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, o, err := g.Do(lctx, "k", func(ctx context.Context) (any, error) {
+			execs.Add(1)
+			close(leaderIn)
+			<-ctx.Done() // simulate a computation that dies with its ctx
+			return nil, ctx.Err()
+		})
+		if o != Leader || err == nil {
+			t.Errorf("canceled leader: %v, %v", o, err)
+		}
+	}()
+	<-leaderIn
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v, o, err := g.Do(context.Background(), "k", func(context.Context) (any, error) {
+			execs.Add(1)
+			return "recomputed", nil
+		})
+		// The follower must be promoted to leader and succeed.
+		if o != Leader || err != nil || v != "recomputed" {
+			t.Errorf("promoted follower: %v, %v, %v", v, o, err)
+		}
+	}()
+	waitWaiters(t, &g, "k", 1)
+	lcancel()
+	wg.Wait()
+	if n := execs.Load(); n != 2 {
+		t.Fatalf("fn executed %d times, want 2 (leader + promoted follower)", n)
+	}
+}
+
+// TestNoGoroutineLeak: the group spawns no goroutines of its own, so
+// heavy churn must leave the goroutine count where it started.
+func TestNoGoroutineLeak(t *testing.T) {
+	var g Group
+	before := runtime.NumGoroutine()
+	for round := 0; round < 50; round++ {
+		var wg sync.WaitGroup
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+				defer cancel()
+				g.Do(ctx, "churn", func(context.Context) (any, error) {
+					time.Sleep(100 * time.Microsecond)
+					return nil, nil
+				})
+			}()
+		}
+		wg.Wait()
+	}
+	// Give exiting goroutines a moment to be reaped.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before+2 {
+		t.Fatalf("goroutines grew from %d to %d", before, after)
+	}
+}
+
+func waitWaiters(t *testing.T, g *Group, key string, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for g.Waiters(key) < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d waiters on %q, want %d", g.Waiters(key), key, n)
+		}
+		runtime.Gosched()
+	}
+}

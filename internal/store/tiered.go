@@ -1,0 +1,84 @@
+package store
+
+import "context"
+
+// Tiered composes a fast upper tier (memory) over a persistent lower
+// tier (disk): reads promote lower-tier hits into the upper tier,
+// writes go through to both. A failing lower tier degrades the store
+// to memory-only service — its errors are counted in Stats (the
+// health surface reads them) but never propagated to the caller,
+// because a result that cannot be persisted is still a correct
+// result.
+type Tiered struct {
+	upper, lower Store
+	rec          Recorder
+}
+
+// NewTiered composes upper over lower.
+func NewTiered(upper, lower Store, rec Recorder) *Tiered {
+	return &Tiered{upper: upper, lower: lower, rec: rec}
+}
+
+// Get tries the upper tier first, then the lower; a lower-tier hit is
+// promoted (copied up) so repeats are memory-fast.
+func (t *Tiered) Get(ctx context.Context, key string) ([]byte, bool, error) {
+	if val, ok, err := t.upper.Get(ctx, key); err != nil || ok {
+		return val, ok, err
+	}
+	val, ok, err := t.lower.Get(ctx, key)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	if perr := t.upper.Put(ctx, key, val); perr == nil {
+		t.rec.emit("mem", EventPromote)
+	}
+	return val, true, nil
+}
+
+// Put writes through to both tiers. See the type comment for why a
+// lower-tier write error is absorbed rather than returned.
+func (t *Tiered) Put(ctx context.Context, key string, value []byte) error {
+	if err := t.upper.Put(ctx, key, value); err != nil {
+		return err
+	}
+	_ = t.lower.Put(ctx, key, value)
+	return nil
+}
+
+// Delete removes the key from both tiers.
+func (t *Tiered) Delete(ctx context.Context, key string) error {
+	uerr := t.upper.Delete(ctx, key)
+	lerr := t.lower.Delete(ctx, key)
+	if uerr != nil {
+		return uerr
+	}
+	return lerr
+}
+
+// Len reports the lower tier's count (the superset under
+// write-through; the upper tier holds a hot subset).
+func (t *Tiered) Len() int {
+	if n := t.lower.Len(); n > 0 {
+		return n
+	}
+	// A failing lower tier reports what memory still serves.
+	return t.upper.Len()
+}
+
+// Stats reports both tiers under Tiers.
+func (t *Tiered) Stats() Stats {
+	return Stats{
+		Tier:  "tiered",
+		Tiers: []Stats{t.upper.Stats(), t.lower.Stats()},
+	}
+}
+
+// Close closes both tiers.
+func (t *Tiered) Close() error {
+	uerr := t.upper.Close()
+	lerr := t.lower.Close()
+	if uerr != nil {
+		return uerr
+	}
+	return lerr
+}

@@ -1,0 +1,123 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// failingStore is a lower tier whose writes always fail (a full or
+// dying disk); reads miss.
+type failingStore struct {
+	errs uint64
+}
+
+func (f *failingStore) Get(context.Context, string) ([]byte, bool, error) {
+	return nil, false, nil
+}
+func (f *failingStore) Put(context.Context, string, []byte) error {
+	f.errs++
+	return errors.New("disk on fire")
+}
+func (f *failingStore) Delete(context.Context, string) error { return nil }
+func (f *failingStore) Len() int                             { return 0 }
+func (f *failingStore) Stats() Stats                         { return Stats{Tier: "disk", Errors: f.errs} }
+func (f *failingStore) Close() error                         { return nil }
+
+func TestTieredWriteThrough(t *testing.T) {
+	ctx := context.Background()
+	upper := NewMem(8, nil)
+	lower := NewMem(8, nil) // stands in for disk; same interface
+	tr := NewTiered(upper, lower, nil)
+
+	if err := tr.Put(ctx, "aa01", []byte("art")); err != nil {
+		t.Fatal(err)
+	}
+	if upper.Len() != 1 || lower.Len() != 1 {
+		t.Fatalf("write-through: upper=%d lower=%d, want 1/1", upper.Len(), lower.Len())
+	}
+	val, ok, err := tr.Get(ctx, "aa01")
+	if err != nil || !ok || string(val) != "art" {
+		t.Fatalf("Get = %q, %v, %v", val, ok, err)
+	}
+	// The hit came from the upper tier: the lower saw no Get at all.
+	if st := lower.Stats(); st.Hits != 0 {
+		t.Errorf("lower tier served a hit the upper should have: %+v", st)
+	}
+}
+
+func TestTieredPromotion(t *testing.T) {
+	ctx := context.Background()
+	var promotes int
+	upper := NewMem(8, nil)
+	lower := NewMem(8, nil)
+	tr := NewTiered(upper, lower, func(tier, ev string) {
+		if tier == "mem" && ev == EventPromote {
+			promotes++
+		}
+	})
+
+	// Seed only the lower tier (the state after a restart: disk warm,
+	// memory cold).
+	if err := lower.Put(ctx, "aa02", []byte("persisted")); err != nil {
+		t.Fatal(err)
+	}
+	val, ok, err := tr.Get(ctx, "aa02")
+	if err != nil || !ok || string(val) != "persisted" {
+		t.Fatalf("Get = %q, %v, %v", val, ok, err)
+	}
+	if promotes != 1 {
+		t.Fatalf("promotes = %d, want 1", promotes)
+	}
+	if upper.Len() != 1 {
+		t.Fatal("lower-tier hit was not promoted into the upper tier")
+	}
+	// The repeat is served from memory.
+	if _, ok, _ := tr.Get(ctx, "aa02"); !ok {
+		t.Fatal("promoted entry missing")
+	}
+	if st := lower.Stats(); st.Hits != 1 {
+		t.Errorf("lower hits = %d, want exactly 1 (repeat must hit memory)", st.Hits)
+	}
+}
+
+// TestTieredAbsorbsLowerFailure: a dying lower tier degrades the store
+// to memory-only service; the caller never sees the error.
+func TestTieredAbsorbsLowerFailure(t *testing.T) {
+	ctx := context.Background()
+	upper := NewMem(8, nil)
+	lower := &failingStore{}
+	tr := NewTiered(upper, lower, nil)
+
+	if err := tr.Put(ctx, "aa03", []byte("art")); err != nil {
+		t.Fatalf("lower-tier failure leaked to the caller: %v", err)
+	}
+	if val, ok, _ := tr.Get(ctx, "aa03"); !ok || string(val) != "art" {
+		t.Fatalf("memory tier stopped serving: %q, %v", val, ok)
+	}
+	// The failure is visible to the health surface through Stats.
+	var errs uint64
+	for _, st := range tr.Stats().Flatten() {
+		if st.Tier == "disk" {
+			errs += st.Errors
+		}
+	}
+	if errs == 0 {
+		t.Error("lower-tier errors invisible in flattened stats")
+	}
+	// Len falls back to the upper tier when the lower reports nothing.
+	if tr.Len() != 1 {
+		t.Errorf("Len = %d, want 1", tr.Len())
+	}
+}
+
+func TestTieredStatsShape(t *testing.T) {
+	tr := NewTiered(NewMem(2, nil), NewMem(4, nil), nil)
+	st := tr.Stats()
+	if st.Tier != "tiered" || len(st.Tiers) != 2 {
+		t.Fatalf("stats shape = %+v", st)
+	}
+	if flat := st.Flatten(); len(flat) != 2 {
+		t.Fatalf("flatten returned %d tiers, want 2", len(flat))
+	}
+}
