@@ -9,11 +9,13 @@
 #                      packages, + 5s fuzz smoke of the Appendix-A
 #                      netlist parser, + the observability allocation
 #                      guard, + the store-tier -race battery (LRU /
-#                      disk / singleflight / fleet), + the pipeline
-#                      latency benchmark emitting BENCH_pipeline.json,
-#                      + the service-tier benchmark emitting
-#                      BENCH_service.json with a restart-survival
-#                      hit-rate gate)
+#                      disk / singleflight / fleet), + the fleet chaos
+#                      battery under -race (peers blackholed / killed /
+#                      restored mid-run), + the pipeline latency
+#                      benchmark emitting BENCH_pipeline.json, + the
+#                      service-tier benchmark emitting
+#                      BENCH_service.json with restart-survival
+#                      hit-rate and re-shard convergence gates)
 #   tier 2 (-race):    tier 1 with the race detector (slower; exercises
 #                      the netartd worker pool / cache / stats paths and
 #                      the chaos suite's injected panics)
@@ -118,6 +120,14 @@ if [ -z "${RACE}" ]; then
 	go test -race -run 'TestRestartSurvival|TestSingleflightCollapse|TestFleet' ./internal/service
 fi
 
+# Fleet chaos battery: three replicas under mixed traffic while peers
+# are blackholed, killed and restored through the network-layer fault
+# plan. Zero non-4xx errors, artwork byte-identical to a fleet-less
+# reference, deterministic re-sharding, hedge + breaker metrics
+# populated — all under the race detector, bounded by -timeout.
+echo "== fleet chaos battery: go test -race -timeout 120s -run 'TestFleetChaosBattery|TestSingleflightCollapsesProxiedRequest|TestSingleflightFollowersSurviveOpenBreaker' ./internal/service"
+go test -race -timeout 120s -run 'TestFleetChaosBattery|TestSingleflightCollapsesProxiedRequest|TestSingleflightFollowersSurviveOpenBreaker' ./internal/service
+
 # Pipeline latency record: cold (full pipeline) and warm (cache hit)
 # generate latencies per built-in workload, as machine-readable JSON.
 echo "== go run ./cmd/benchpipe -out BENCH_pipeline.json"
@@ -130,6 +140,16 @@ echo "== go run ./cmd/benchpipe -service -workloads fig61,quickstart -out BENCH_
 go run ./cmd/benchpipe -service -workloads fig61,quickstart -out BENCH_service.json
 if ! grep -q '"hit_rate": 1' BENCH_service.json; then
 	echo "ci.sh: FAIL — restart-survival hit rate below 1.0 in BENCH_service.json" >&2
+	exit 1
+fi
+# Re-shard convergence gate: after a replica is killed, its keys must
+# remap onto the live set within 3 probe intervals and serve warm.
+if ! grep -q '"reshard_converged": true' BENCH_service.json; then
+	echo "ci.sh: FAIL — fleet did not re-shard within the detection budget in BENCH_service.json" >&2
+	exit 1
+fi
+if ! grep -q '"reshard_served_warm": true' BENCH_service.json; then
+	echo "ci.sh: FAIL — remapped key not served warm within the detection budget in BENCH_service.json" >&2
 	exit 1
 fi
 

@@ -95,6 +95,21 @@ type fleetResult struct {
 	// KilledReplicaServed reports whether a request owned by a killed
 	// replica was still served (local-compute fallback).
 	KilledReplicaServed bool `json:"killed_replica_served"`
+
+	// Failure-management numbers (health probing + circuit breakers).
+	// ProbeIntervalMs is the configured probe period; ReshardMs is how
+	// long after a replica's death its keys took to remap onto the live
+	// set, and ReshardConverged holds when that fits the detection
+	// budget (3 × probe interval). ReshardServedWarm reports whether a
+	// remapped key was served from cache within that same budget.
+	ProbeIntervalMs   float64 `json:"probe_interval_ms"`
+	ReshardMs         float64 `json:"reshard_ms"`
+	ReshardConverged  bool    `json:"reshard_converged"`
+	ReshardServedWarm bool    `json:"reshard_served_warm"`
+	// Flapping is the request-latency profile while one peer flaps
+	// (blackholed and restored repeatedly): the tails show what a
+	// partition costs when hedged proxying is on.
+	Flapping latencyStats `json:"flapping"`
 }
 
 // serviceBenchFile is the top-level shape of BENCH_service.json.
@@ -255,6 +270,9 @@ func runService(workloads []string, warmRuns int, out string) error {
 	file.Fleet = *fr
 	fmt.Fprintf(os.Stderr, "benchpipe: fleet %d replicas: hit rate %.2f, self %d / proxied %d / received %d / fallback %d\n",
 		fr.Replicas, fr.HitRate, fr.PeerSelf, fr.PeerProxied, fr.PeerReceived, fr.PeerFallback)
+	fmt.Fprintf(os.Stderr, "benchpipe: fleet re-shard %.1fms after kill (converged %v, served warm %v); flapping p50 %.3fms p99 %.3fms over %d reqs\n",
+		fr.ReshardMs, fr.ReshardConverged, fr.ReshardServedWarm,
+		fr.Flapping.P50Ms, fr.Flapping.P99Ms, fr.Flapping.Count)
 
 	b, err := json.MarshalIndent(file, "", "  ")
 	if err != nil {
@@ -286,9 +304,16 @@ func runFleetBench(ctx context.Context, workloads []string) (*fleetResult, error
 		reps[i] = &rep{ln: ln, url: "http://" + ln.Addr().String()}
 		urls[i] = reps[i].url
 	}
+	const probeInterval = 200 * time.Millisecond
+	plan := cluster.NewFaultPlan(1)
 	for _, r := range reps {
 		srv, err := service.NewServer(service.Config{
 			Workers: 2, CacheEntries: 64, Peers: urls, SelfURL: r.url,
+			PeerProbeInterval: probeInterval,
+			PeerFailThreshold: 2,
+			ProxyHedgeAfter:   25 * time.Millisecond,
+			PeerTimeout:       2 * time.Second,
+			PeerFaults:        plan,
 		})
 		if err != nil {
 			return nil, err
@@ -352,18 +377,59 @@ func runFleetBench(ctx context.Context, workloads []string) (*fleetResult, error
 	out.Cold = summarize(cold)
 	out.Warm = summarize(warm)
 
-	// Kill one replica that owns at least one key; a survivor must
-	// still serve that key by computing locally (the survivor never
-	// cached the proxied result, so this forces the fallback path).
+	out.ProbeIntervalMs = float64(probeInterval.Milliseconds())
+
+	// ---- Flapping peer: blackhole and restore one replica in short
+	// cycles while traffic flows through another. With hedged proxying
+	// the partition shows up in the tails, never as an error.
+	flap := reps[1]
+	var flapping []float64
+	for cycle := 0; cycle < 3; cycle++ {
+		plan.Blackhole(flap.url)
+		for phase := 0; phase < 2; phase++ {
+			deadline := time.Now().Add(150 * time.Millisecond)
+			for i := 0; time.Now().Before(deadline); i++ {
+				req := benchRequest(workloads[i%len(workloads)])
+				t0 := time.Now()
+				if _, err := reps[0].srv.GenerateV2(ctx, &req); err != nil {
+					return nil, fmt.Errorf("fleet bench (flapping): %w", err)
+				}
+				flapping = append(flapping, float64(time.Since(t0).Microseconds())/1000.0)
+			}
+			plan.Restore(flap.url)
+		}
+	}
+	out.Flapping = summarize(flapping)
+	// Let every breaker re-close before the kill phase measures
+	// detection from a clean state.
+	settle := time.Now().Add(10 * probeInterval)
+	for time.Now().Before(settle) {
+		closed := true
+		for _, ps := range reps[0].srv.Fleet().PeerStates() {
+			if ps.State != cluster.StateClosed {
+				closed = false
+			}
+		}
+		if closed {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// ---- Kill one replica that owns at least one key; a survivor must
+	// still serve that key (fallback or re-shard), its breaker must
+	// open, and ownership must remap within the detection budget.
 	view, err := cluster.New(urls[0], urls)
 	if err != nil {
 		return nil, err
 	}
 	victim := reps[1]
 	victimReq := benchRequest(workloads[0])
+	victimKey := keys[workloads[0]]
 	for w, k := range keys {
 		if owner := view.Owner(k); owner != urls[0] {
 			victimReq = benchRequest(w)
+			victimKey = k
 			for _, r := range reps {
 				if r.url == owner {
 					victim = r
@@ -372,9 +438,31 @@ func runFleetBench(ctx context.Context, workloads []string) (*fleetResult, error
 			break
 		}
 	}
+	killedAt := time.Now()
 	stop(victim)
+	// Re-shard convergence: the victim's key must move to a live owner
+	// — failing probes alone drive the detection (FailThreshold
+	// consecutive refusals) — within 3 probe intervals of the kill.
+	budget := killedAt.Add(3 * probeInterval)
+	for time.Now().Before(budget) {
+		if reps[0].srv.Fleet().Owner(victimKey) != victim.url {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	out.ReshardMs = float64(time.Since(killedAt).Microseconds()) / 1000.0
+	out.ReshardConverged = reps[0].srv.Fleet().Owner(victimKey) != victim.url
+	// The dead owner's key still serves (re-shard or fallback)...
 	if _, err := reps[0].srv.GenerateV2(ctx, &victimReq); err == nil {
 		out.KilledReplicaServed = true
+	}
+	// ...and serves warm within a further detection budget: once the
+	// key remapped, its first compute fills a live replica's cache.
+	warmBudget := time.Now().Add(3 * probeInterval)
+	for time.Now().Before(warmBudget) && !out.ReshardServedWarm {
+		if r, err := reps[0].srv.GenerateV2(ctx, &victimReq); err == nil && r.Cached {
+			out.ReshardServedWarm = true
+		}
 	}
 	out.PeerFallback = reps[0].srv.Metrics().PeerFallback.Value()
 	return out, nil

@@ -17,6 +17,8 @@
 //	        [-timeout 30s] [-max-timeout 2m]
 //	        [-store mem|disk|tiered] [-store-dir DIR] [-store-max-bytes N]
 //	        [-peers URL,URL,...] [-self URL]
+//	        [-peer-probe-interval 2s] [-peer-fail-threshold 3]
+//	        [-proxy-hedge-after 0] [-peer-timeout 0]
 //	        [-degrade-mode none|strict|escalate|best-effort]
 //	        [-batch-retries N] [-retry-base 10ms] [-retry-max 250ms]
 //	        [-max-body BYTES] [-max-modules N] [-max-nets N] [-max-area N]
@@ -34,7 +36,14 @@
 // design hash gets exactly one consistent-hash owner that cold
 // requests are proxied to (single hop; if the owner is down the
 // replica computes locally, so the fleet degrades to independent
-// daemons, never to errors).
+// daemons, never to errors). Each replica actively health-probes its
+// peers every -peer-probe-interval (jittered) and keeps a per-peer
+// circuit breaker that opens after -peer-fail-threshold consecutive
+// transport failures; keys owned by a down peer remap deterministically
+// onto the live set and move back when the breaker re-closes. Proxied
+// calls retry once on transient failure, and -proxy-hedge-after hedges
+// a slow proxy with a second request to the next-ranked live replica
+// (first response wins — safe because the pipeline is deterministic).
 //
 // Fault injection (chaos testing) is enabled with -faults or the
 // NETART_FAULTS environment variable, e.g.
@@ -44,6 +53,15 @@
 // (sites: parse, place.box, route.wavefront, render; modes: error,
 // panic, latency). While faults are armed the result cache is
 // bypassed so injected failures cannot poison cached artwork.
+// Clauses whose site starts with "peer" arm the network layer instead
+// of the pipeline: peer[@HOSTPAT]:error|latency|blackhole|5xx with the
+// same [:prob][:duration][:xN] suffixes (HOSTPAT is a colon-free
+// substring of the peer's host:port, e.g. a port number), e.g.
+//
+//	netartd -faults 'peer@9002:blackhole:0.2;peer:5xx:0.05:x10'
+//
+// injects faults into proxied peer calls so breaker opening, hedging,
+// and re-sharding can be exercised end to end.
 //
 // Endpoints:
 //
@@ -75,6 +93,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -82,6 +101,7 @@ import (
 	"netart/internal/gen"
 	"netart/internal/resilience"
 	"netart/internal/service"
+	"netart/internal/store/cluster"
 )
 
 func main() {
@@ -106,6 +126,14 @@ func run() error {
 	peers := flag.String("peers", "",
 		"comma-separated replica base URLs of a netartd fleet (enables consistent-hash sharding)")
 	self := flag.String("self", "", "this replica's own base URL as peers see it (required with -peers)")
+	probeInterval := flag.Duration("peer-probe-interval", 2*time.Second,
+		"fleet health-probe interval per peer (jittered; <=0 disables active probing)")
+	failThreshold := flag.Int("peer-fail-threshold", 3,
+		"consecutive peer transport failures that open its circuit breaker")
+	hedgeAfter := flag.Duration("proxy-hedge-after", 0,
+		"hedge a proxied request to the next live peer after this delay (0 disables)")
+	peerTimeout := flag.Duration("peer-timeout", 0,
+		"client-side bound per proxied peer call (0 = request deadline only)")
 
 	degrade := flag.String("degrade-mode", "none",
 		"default routing-failure policy: none, strict, escalate, best-effort")
@@ -136,19 +164,42 @@ func run() error {
 		return err
 	}
 
-	inj, err := resilience.ParseSpec(*faults, *faultSeed)
+	// One -faults spec arms both injectors: clauses starting with
+	// "peer" go to the fleet's network-layer fault plan, the rest to
+	// the pipeline injector. The environment spec is the fallback so
+	// chaos runs need no command-line changes.
+	spec, seed := *faults, *faultSeed
+	if spec == "" {
+		spec = os.Getenv(resilience.EnvFaults)
+		if s := os.Getenv(resilience.EnvFaultSeed); spec != "" && s != "" {
+			if v, perr := strconv.ParseInt(s, 10, 64); perr == nil {
+				seed = v
+			} else {
+				return fmt.Errorf("bad %s %q: %v", resilience.EnvFaultSeed, s, perr)
+			}
+		}
+	}
+	peerSpec, pipeSpec := cluster.SplitFaultSpec(spec)
+	inj, err := resilience.ParseSpec(pipeSpec, seed)
 	if err != nil {
 		return err
 	}
-	if inj == nil {
-		// Fall back to the environment spec so chaos runs need no
-		// command-line changes.
-		if inj, err = resilience.FromEnv(); err != nil {
-			return err
-		}
+	plan, err := cluster.ParseFaultSpec(peerSpec, seed)
+	if err != nil {
+		return err
 	}
 	if inj != nil {
 		log.Printf("netartd: fault injection armed: %s (result cache bypassed)", inj)
+	}
+	if plan != nil {
+		log.Printf("netartd: peer-layer fault injection armed: %s", peerSpec)
+	}
+
+	// The Config convention inverts the flag's: 0 means default there,
+	// so a disabling flag value (<=0) maps to a negative interval.
+	cfgProbe := *probeInterval
+	if cfgProbe <= 0 {
+		cfgProbe = -1
 	}
 
 	var peerList []string
@@ -176,8 +227,13 @@ func run() error {
 		StoreBackend:   *storeBackend,
 		StoreDir:       *storeDir,
 		StoreMaxBytes:  *storeMaxBytes,
-		Peers:          peerList,
-		SelfURL:        *self,
+		Peers:             peerList,
+		SelfURL:           *self,
+		PeerProbeInterval: cfgProbe,
+		PeerFailThreshold: *failThreshold,
+		ProxyHedgeAfter:   *hedgeAfter,
+		PeerTimeout:       *peerTimeout,
+		PeerFaults:        plan,
 	})
 	if err != nil {
 		return err

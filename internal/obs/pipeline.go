@@ -79,6 +79,22 @@ type Pipeline struct {
 	PeerFallback *Counter
 	PeerReceived *Counter
 
+	// Fleet-health counters (netart_peer_transitions_total{to}): one
+	// increment per circuit-breaker transition, labeled by the state
+	// entered. open = a peer left the ownership set (its keys remap),
+	// half_open = a recovery trial started, closed = it rejoined.
+	PeerOpened     *Counter
+	PeerHalfOpened *Counter
+	PeerClosed     *Counter
+	// Hedged-proxy counters (netart_proxy_hedge_total{event}):
+	// launched = the owner missed the hedge deadline and a twin was
+	// sent to the next live peer; won = the twin answered first.
+	HedgeLaunched *Counter
+	HedgeWon      *Counter
+	// ProxyRetries counts extra proxy attempts spent on transient
+	// peer failures (netart_proxy_retries_total).
+	ProxyRetries *Counter
+
 	// Placement scheduler counters of the parallel placement engine:
 	// partition tasks share no mutable state, so — unlike routing
 	// speculations — every examined task commits; the single
@@ -149,6 +165,22 @@ func NewPipeline() *Pipeline {
 	p.PeerProxied = peer("proxied")
 	p.PeerFallback = peer("fallback")
 	p.PeerReceived = peer("received")
+
+	trans := func(to string) *Counter {
+		return reg.Counter("netart_peer_transitions_total",
+			"Per-peer circuit-breaker transitions by state entered.", `to="`+to+`"`)
+	}
+	p.PeerOpened = trans("open")
+	p.PeerHalfOpened = trans("half_open")
+	p.PeerClosed = trans("closed")
+	hedge := func(ev string) *Counter {
+		return reg.Counter("netart_proxy_hedge_total",
+			"Hedged proxy requests by event.", `event="`+ev+`"`)
+	}
+	p.HedgeLaunched = hedge("launched")
+	p.HedgeWon = hedge("won")
+	p.ProxyRetries = reg.Counter("netart_proxy_retries_total",
+		"Extra proxy attempts spent on transient peer failures.", "")
 
 	p.Inflight = reg.Gauge("netart_inflight_requests",
 		"Requests currently inside the pipeline.", "")

@@ -29,7 +29,10 @@ func IsTransient(err error) bool {
 
 // RetryPolicy is a bounded exponential-backoff schedule with full
 // jitter. The zero value means "one attempt, no retries", so callers
-// that never configure retry get the old behavior.
+// that never configure retry get the old behavior. Both the /v1/batch
+// item path and the fleet proxy layer (internal/store/cluster) retry
+// through this one policy — RetryPolicy, Backoff and IsTransient are
+// the repo's single retry stack, there is no second one.
 type RetryPolicy struct {
 	// MaxAttempts is the total number of tries including the first
 	// (<=1 disables retry).

@@ -39,13 +39,15 @@ func startFleet(t *testing.T, n int, cfg Config) []*replica {
 		c := cfg
 		c.Peers = urls
 		c.SelfURL = r.url
+		// Dead-peer detection must be fast in tests; the default client
+		// would wait on the OS connect timeout.
+		if c.PeerTimeout == 0 {
+			c.PeerTimeout = 5 * time.Second
+		}
 		srv, err := NewServer(c)
 		if err != nil {
 			t.Fatal(err)
 		}
-		// Dead-peer detection must be fast in tests; the default client
-		// would wait on the OS connect timeout.
-		srv.fleet.Timeout(5 * time.Second)
 		r.srv = srv
 		r.http = &http.Server{Handler: srv.Handler()}
 		go r.http.Serve(r.ln)

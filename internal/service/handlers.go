@@ -283,6 +283,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 				"store: %d disk error(s); memory tier still serving", sh.DiskErrors))
 		}
 	}
+	fh := s.fleetHealth()
+	if fh != nil && fh.Down > 0 {
+		// Down peers are advisory for the same reason disk errors are:
+		// their keys remap to live replicas, so requests still serve.
+		status = "degraded"
+		reasons = append(reasons, fmt.Sprintf(
+			"fleet: %d peer(s) down; their keys remapped to live replicas", fh.Down))
+	}
 	writeJSON(w, http.StatusOK, HealthResponse{
 		Status:  status,
 		Workers: s.cfg.Workers,
@@ -291,6 +299,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Panics:  panics,
 		Reasons: reasons,
 		Store:   sh,
+		Fleet:   fh,
 		UptimeS: time.Since(s.stats.start()).Seconds(),
 	})
 }

@@ -114,6 +114,31 @@ type Config struct {
 	// URL as the peers see it; it is added to Peers if absent.
 	Peers   []string
 	SelfURL string
+
+	// PeerProbeInterval paces the fleet health prober: each remote
+	// peer's /v1/healthz is probed on a jittered schedule, and the
+	// results drive a per-peer circuit breaker that removes dead peers
+	// from the ownership set (their keys remap to live replicas and
+	// remap back on recovery). 0 uses the default (2s); negative
+	// disables active probing — breakers then open on proxy failures
+	// only and never recover until restart. Only meaningful with Peers.
+	PeerProbeInterval time.Duration
+	// PeerFailThreshold is the consecutive-transport-failure count
+	// that opens a peer's breaker (default 3).
+	PeerFailThreshold int
+	// ProxyHedgeAfter, when positive, hedges a proxied request: if the
+	// key's owner has not answered within the delay, the same request
+	// is sent to the next-ranked live peer and the first response wins
+	// (the loser is canceled). Deterministic generation makes this
+	// safe — both peers produce byte-identical artwork. 0 disables.
+	ProxyHedgeAfter time.Duration
+	// PeerTimeout is an overall client-side bound per proxied call in
+	// addition to the per-request context (0 = context only).
+	PeerTimeout time.Duration
+	// PeerFaults injects seeded network-layer faults (error / latency
+	// / blackhole / 5xx per peer) into all peer traffic, probes
+	// included — the fleet half of chaos testing. Nil disables.
+	PeerFaults *cluster.FaultPlan
 }
 
 func (c Config) withDefaults() Config {
@@ -166,6 +191,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.StoreBackend == "" {
 		c.StoreBackend = "mem"
+	}
+	switch {
+	case c.PeerProbeInterval == 0:
+		c.PeerProbeInterval = 2 * time.Second
+	case c.PeerProbeInterval < 0:
+		c.PeerProbeInterval = 0
+	}
+	if c.PeerFailThreshold <= 0 {
+		c.PeerFailThreshold = 3
 	}
 	switch {
 	case c.StoreMaxBytes == 0:
@@ -276,7 +310,41 @@ func NewServer(cfg Config) (*Server, error) {
 	}
 	var fleet *cluster.Fleet
 	if len(cfg.Peers) > 0 {
-		fleet, err = cluster.New(cfg.SelfURL, cfg.Peers)
+		copts := cluster.Options{
+			Timeout:          cfg.PeerTimeout,
+			MaxResponseBytes: cfg.MaxBodyBytes,
+			HedgeAfter:       cfg.ProxyHedgeAfter,
+			OnEvent: func(ev string) {
+				switch ev {
+				case cluster.EventProxyRetry:
+					m.ProxyRetries.Inc()
+				case cluster.EventHedgeLaunched:
+					m.HedgeLaunched.Inc()
+				case cluster.EventHedgeWon:
+					m.HedgeWon.Inc()
+				}
+			},
+			// Breakers are always on for a fleet; PeerProbeInterval 0
+			// (a negative config value) merely disables the prober.
+			Probe: &cluster.HealthOptions{
+				ProbeInterval: cfg.PeerProbeInterval,
+				FailThreshold: cfg.PeerFailThreshold,
+				OnTransition: func(peer string, from, to cluster.State) {
+					switch to {
+					case cluster.StateOpen:
+						m.PeerOpened.Inc()
+					case cluster.StateHalfOpen:
+						m.PeerHalfOpened.Inc()
+					default:
+						m.PeerClosed.Inc()
+					}
+				},
+			},
+		}
+		if cfg.PeerFaults != nil {
+			copts.Transport = &cluster.FaultTransport{Plan: cfg.PeerFaults}
+		}
+		fleet, err = cluster.New(cfg.SelfURL, cfg.Peers, copts)
 		if err != nil {
 			return nil, err
 		}
@@ -310,6 +378,17 @@ func NewServer(cfg Config) (*Server, error) {
 		func() float64 { return float64(s.cfg.CacheEntries) })
 	m.Reg.GaugeFunc("netart_store_bytes", "Bytes held across all store tiers.", "",
 		func() float64 { return float64(s.cache.bytes()) })
+	// One breaker-state gauge per fleet peer, sampled at scrape time:
+	// 1 closed (live), 0.5 half-open (probing), 0 open (down).
+	if s.fleet.Enabled() {
+		for _, ps := range s.fleet.PeerStates() {
+			peer := ps.URL
+			m.Reg.GaugeFunc("netart_peer_state",
+				"Per-peer circuit-breaker state: 1 closed (live), 0.5 half-open (probing), 0 open (down).",
+				`peer="`+peer+`"`,
+				func() float64 { return s.fleet.StateOf(peer).GaugeValue() })
+		}
+	}
 	// Panics that escape a task (outside the per-request Recover) are
 	// still counted and surfaced in /v1/stats.
 	s.pool.onPanic = s.stats.recordPanic
@@ -319,6 +398,31 @@ func NewServer(cfg Config) (*Server, error) {
 // Metrics exposes the server's obs metric set (the /metrics registry);
 // tests and embedding daemons read counters through it.
 func (s *Server) Metrics() *obs.Pipeline { return s.obs }
+
+// Fleet exposes the live fleet view (nil outside a fleet); benches
+// and tests read ownership and breaker states through it.
+func (s *Server) Fleet() *cluster.Fleet { return s.fleet }
+
+// fleetHealth snapshots the fleet section of /v1/healthz and
+// /v1/stats; nil when this daemon is not part of a fleet.
+func (s *Server) fleetHealth() *FleetHealth {
+	if !s.fleet.Enabled() {
+		return nil
+	}
+	fh := &FleetHealth{Self: s.fleet.Self()}
+	for _, ps := range s.fleet.PeerStates() {
+		live := ps.State == cluster.StateClosed
+		fh.Peers = append(fh.Peers, PeerHealth{
+			URL:   ps.URL,
+			State: ps.State.String(),
+			Live:  live,
+		})
+		if !live {
+			fh.Down++
+		}
+	}
+	return fh
+}
 
 // Close drains the worker pool, then closes the result store and the
 // fleet client. Ordering matters for graceful persistence: in-flight
@@ -335,6 +439,7 @@ func (s *Server) Stats() StatsResponse {
 	sr := s.stats.snapshot()
 	sr.Cache = s.cache.stats(s.cfg.CacheEntries, s.obs.CacheEvictions)
 	sr.Store = s.cache.storeStats()
+	sr.Fleet = s.fleetHealth()
 	sr.Queued = s.pool.queued()
 	sr.Workers = s.cfg.Workers
 	return sr
@@ -638,8 +743,12 @@ func (s *Server) fetchOrCompute(ctx context.Context, t0 time.Time, o *obs.Observ
 			// locally no matter who the hash says owns it, so a stale
 			// or disagreeing peer list cannot bounce a request around.
 			s.obs.PeerReceived.Inc()
-		} else if owner := s.fleet.Owner(key.String()); !s.fleet.OwnedBySelf(key.String()) {
-			if resp, err, handled := s.proxyToOwner(ctx, o, owner, req); handled {
+		} else if owner := s.fleet.Owner(key.String()); owner != s.fleet.Self() {
+			// The single Owner call above is the routing decision:
+			// ownership is live-set dependent now, so recomputing it
+			// (as OwnedBySelf would) could race a breaker transition
+			// and disagree with the owner actually proxied to.
+			if resp, err, handled := s.proxyToOwner(ctx, o, key.String(), owner, req); handled {
 				return resp, err
 			}
 			// Owner unreachable: the fleet degrades to independent
@@ -656,7 +765,7 @@ func (s *Server) fetchOrCompute(ctx context.Context, t0 time.Time, o *obs.Observ
 // answer verbatim. handled=false means transport-level failure (the
 // caller falls back to local compute); an owner-side 4xx is handled —
 // it is the request's own verdict, reached faster elsewhere.
-func (s *Server) proxyToOwner(ctx context.Context, o *obs.Observer, owner string, req *Request) (*ResponseV2, error, bool) {
+func (s *Server) proxyToOwner(ctx context.Context, o *obs.Observer, key, owner string, req *Request) (*ResponseV2, error, bool) {
 	psp := o.StartSpan("peer")
 	psp.SetAttr("owner_len", int64(len(owner))) // attr values are int64; the URL itself rides on the log
 	body, err := json.Marshal(req)
@@ -664,7 +773,7 @@ func (s *Server) proxyToOwner(ctx context.Context, o *obs.Observer, owner string
 		psp.EndError(err)
 		return nil, err, true
 	}
-	out, status, err := s.fleet.Proxy(ctx, owner, body)
+	out, status, err := s.fleet.Proxy(ctx, key, owner, body)
 	if err != nil {
 		psp.EndError(err)
 		if ctx.Err() != nil {

@@ -100,6 +100,9 @@ type StatsResponse struct {
 	// when caching is disabled); Cache above stays the request-level
 	// wire shape the pre-store-tier daemon served.
 	Store *StoreStats `json:"store,omitempty"`
+	// Fleet is this replica's view of peer health (nil outside a
+	// fleet) — the same snapshot /v1/healthz serves.
+	Fleet *FleetHealth `json:"fleet,omitempty"`
 
 	// Panics counts panics converted into StageErrors by the isolation
 	// layer; RecentPanics holds the last few with stage + trimmed stack.

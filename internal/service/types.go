@@ -350,7 +350,11 @@ type HealthResponse struct {
 	// Store summarizes the result store when one is configured; disk
 	// errors degrade the status (memory tier and recomputation still
 	// serve, so degradation is advisory like the other reasons).
-	Store   *StoreHealth `json:"store,omitempty"`
+	Store *StoreHealth `json:"store,omitempty"`
+	// Fleet summarizes peer health when this daemon is part of a
+	// fleet; down peers degrade the status (their keys remap to live
+	// replicas, so this too is advisory).
+	Fleet   *FleetHealth `json:"fleet,omitempty"`
 	UptimeS float64      `json:"uptime_s"`
 }
 
@@ -360,4 +364,23 @@ type StoreHealth struct {
 	Entries    int    `json:"entries"`
 	Bytes      int64  `json:"bytes"`
 	DiskErrors uint64 `json:"disk_errors"`
+}
+
+// FleetHealth is the healthz/stats view of the fleet health layer:
+// this replica's opinion of every peer's circuit breaker. Down peers
+// degrade the status (advisory — their keys remap to live replicas
+// and every request still serves).
+type FleetHealth struct {
+	Self string `json:"self"`
+	// Down counts peers currently excluded from the ownership set
+	// (breaker open or half-open).
+	Down  int          `json:"down"`
+	Peers []PeerHealth `json:"peers"`
+}
+
+// PeerHealth is one peer's breaker state as this replica sees it.
+type PeerHealth struct {
+	URL   string `json:"url"`
+	State string `json:"state"` // closed | half-open | open
+	Live  bool   `json:"live"`
 }

@@ -1,0 +1,162 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// State is a circuit breaker's position in the closed → open →
+// half-open cycle. Closed is the healthy state (traffic and probes
+// flow), Open means the peer has failed FailThreshold consecutive
+// times and is excluded from ownership, HalfOpen admits exactly one
+// trial probe to decide between reopening and closing.
+type State int
+
+const (
+	StateClosed State = iota
+	StateHalfOpen
+	StateOpen
+)
+
+func (s State) String() string {
+	switch s {
+	case StateClosed:
+		return "closed"
+	case StateHalfOpen:
+		return "half-open"
+	case StateOpen:
+		return "open"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// GaugeValue renders the state for the netart_peer_state gauge:
+// 1 closed (live), 0.5 half-open (probing), 0 open (down).
+func (s State) GaugeValue() float64 {
+	switch s {
+	case StateClosed:
+		return 1
+	case StateHalfOpen:
+		return 0.5
+	default:
+		return 0
+	}
+}
+
+// Breaker is one peer's circuit breaker. Failures are consecutive
+// transport-level outcomes (a probe that timed out, a proxy whose
+// connection failed); any success resets the count and closes the
+// breaker. The half-open state admits exactly one in-flight trial —
+// concurrent Allow calls while a trial is pending are rejected, so a
+// recovering peer is not stampeded.
+type Breaker struct {
+	mu       sync.Mutex
+	state    State
+	fails    int
+	openedAt time.Time
+	probing  bool // a half-open trial is in flight
+
+	threshold    int
+	openFor      time.Duration
+	now          func() time.Time
+	onTransition func(from, to State)
+}
+
+// newBreaker builds a closed breaker. onTransition (may be nil) is
+// called under the breaker's lock and must not call back into it.
+func newBreaker(threshold int, openFor time.Duration, now func() time.Time, onTransition func(from, to State)) *Breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	if openFor <= 0 {
+		openFor = time.Second
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &Breaker{threshold: threshold, openFor: openFor, now: now, onTransition: onTransition}
+}
+
+// transition moves to a new state and fires the callback; callers
+// hold b.mu.
+func (b *Breaker) transition(to State) {
+	if b.state == to {
+		return
+	}
+	from := b.state
+	b.state = to
+	if b.onTransition != nil {
+		b.onTransition(from, to)
+	}
+}
+
+// State reports the current position.
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Allow reports whether a probe may be sent now. Closed always
+// allows; open allows nothing until openFor has elapsed, then moves
+// to half-open and admits one trial; half-open admits one trial at a
+// time. The proxy path never calls Allow — non-closed peers are
+// already excluded from ownership — so Allow gates probes only.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case StateClosed:
+		return true
+	case StateOpen:
+		if b.now().Sub(b.openedAt) < b.openFor {
+			return false
+		}
+		b.transition(StateHalfOpen)
+		b.probing = true
+		return true
+	default: // StateHalfOpen
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Success records a completed round trip: the failure streak resets
+// and the breaker closes from any state. Closing straight from open
+// is deliberate — a proxy response that arrives while the peer is
+// marked down proves the peer reachable, and waiting out the
+// half-open dance would only delay the remap back.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	b.fails = 0
+	b.transition(StateClosed)
+}
+
+// Failure records a transport-level failure. Closed opens after
+// threshold consecutive failures; a failed half-open trial reopens
+// and restarts the openFor clock. Failures while already open are
+// ignored — late losers of a hedge race must not extend the reopen
+// clock and keep a recovered peer down.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	switch b.state {
+	case StateClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.openedAt = b.now()
+			b.transition(StateOpen)
+		}
+	case StateHalfOpen:
+		b.openedAt = b.now()
+		b.transition(StateOpen)
+	}
+}

@@ -1,0 +1,162 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// stubClock is a manually-advanced clock for breaker timing tests.
+type stubClock struct{ t time.Time }
+
+func (c *stubClock) now() time.Time          { return c.t }
+func (c *stubClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newStubClock() *stubClock               { return &stubClock{t: time.Unix(1000, 0)} }
+func (c *stubClock) breaker(threshold int, openFor time.Duration, onT func(from, to State)) *Breaker {
+	return newBreaker(threshold, openFor, c.now, onT)
+}
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	clk := newStubClock()
+	b := clk.breaker(3, time.Second, nil)
+	if b.State() != StateClosed {
+		t.Fatalf("new breaker state = %v", b.State())
+	}
+	b.Failure()
+	b.Failure()
+	if b.State() != StateClosed {
+		t.Fatalf("opened after 2/3 failures")
+	}
+	b.Failure()
+	if b.State() != StateOpen {
+		t.Fatalf("state after 3 failures = %v, want open", b.State())
+	}
+	if b.Allow() {
+		t.Error("open breaker allowed a probe before OpenFor elapsed")
+	}
+}
+
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	clk := newStubClock()
+	b := clk.breaker(3, time.Second, nil)
+	b.Failure()
+	b.Failure()
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if b.State() != StateClosed {
+		t.Fatal("success did not reset the consecutive-failure streak")
+	}
+	b.Failure()
+	if b.State() != StateOpen {
+		t.Fatal("third consecutive failure after reset did not open")
+	}
+}
+
+func TestBreakerHalfOpenCycle(t *testing.T) {
+	clk := newStubClock()
+	var transitions []string
+	b := clk.breaker(1, time.Second, func(from, to State) {
+		transitions = append(transitions, from.String()+">"+to.String())
+	})
+	b.Failure() // threshold 1: opens immediately
+	if b.State() != StateOpen {
+		t.Fatal("did not open")
+	}
+	if b.Allow() {
+		t.Fatal("allowed while OpenFor pending")
+	}
+	clk.advance(time.Second)
+	// OpenFor elapsed: the next Allow admits exactly one trial.
+	if !b.Allow() {
+		t.Fatal("did not half-open after OpenFor")
+	}
+	if b.State() != StateHalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("second trial admitted while one is in flight")
+	}
+	// Trial fails: reopen and restart the clock.
+	b.Failure()
+	if b.State() != StateOpen {
+		t.Fatal("failed trial did not reopen")
+	}
+	clk.advance(500 * time.Millisecond)
+	if b.Allow() {
+		t.Fatal("reopen did not restart the OpenFor clock")
+	}
+	clk.advance(500 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("did not half-open again")
+	}
+	// Trial succeeds: closed, streak reset.
+	b.Success()
+	if b.State() != StateClosed {
+		t.Fatal("successful trial did not close")
+	}
+	want := []string{"closed>open", "open>half-open", "half-open>open", "open>half-open", "half-open>closed"}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions = %v, want %v", transitions, want)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Fatalf("transition %d = %q, want %q (%v)", i, transitions[i], want[i], transitions)
+		}
+	}
+}
+
+func TestBreakerSuccessClosesFromOpen(t *testing.T) {
+	// A proxy response arriving while the peer is marked down proves it
+	// reachable; the breaker closes without the half-open dance.
+	clk := newStubClock()
+	b := clk.breaker(1, time.Minute, nil)
+	b.Failure()
+	if b.State() != StateOpen {
+		t.Fatal("did not open")
+	}
+	b.Success()
+	if b.State() != StateClosed {
+		t.Fatal("success while open did not close")
+	}
+}
+
+func TestBreakerIgnoresFailuresWhileOpen(t *testing.T) {
+	// Late losers of a hedge race must not extend the reopen clock.
+	clk := newStubClock()
+	b := clk.breaker(1, time.Second, nil)
+	b.Failure()
+	clk.advance(900 * time.Millisecond)
+	b.Failure() // must NOT reset openedAt
+	clk.advance(100 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("failure while open extended the reopen clock")
+	}
+}
+
+func TestBreakerDefaults(t *testing.T) {
+	b := newBreaker(0, 0, nil, nil)
+	b.Failure() // threshold floors at 1
+	if b.State() != StateOpen {
+		t.Fatal("threshold 0 did not floor to 1")
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	cases := []struct {
+		s     State
+		str   string
+		gauge float64
+	}{
+		{StateClosed, "closed", 1},
+		{StateHalfOpen, "half-open", 0.5},
+		{StateOpen, "open", 0},
+	}
+	for _, c := range cases {
+		if c.s.String() != c.str {
+			t.Errorf("%d.String() = %q, want %q", c.s, c.s.String(), c.str)
+		}
+		if c.s.GaugeValue() != c.gauge {
+			t.Errorf("%d.GaugeValue() = %v, want %v", c.s, c.s.GaugeValue(), c.gauge)
+		}
+	}
+}

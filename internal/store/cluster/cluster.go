@@ -11,13 +11,22 @@
 // answer independently, and removing a peer remaps only the keys that
 // peer owned.
 //
+// Liveness is layered under the hash (health.go, breaker.go): each
+// remote peer gets a circuit breaker driven by active /v1/healthz
+// probes and live proxy outcomes, and Owner ranks only the live peer
+// set. A dead owner's keys therefore remap deterministically to the
+// next-highest-weight live peer — and remap back when it recovers —
+// which is safe because the owner is a cache of record, not a data
+// owner: a remapped key is just a cold miss.
+//
 // Failure model: proxying is an optimization, never a dependency. A
 // proxy that fails for transport reasons (owner down, timeout, 5xx)
-// falls back to local computation — the fleet degrades to independent
-// replicas, not to errors. Proxied requests carry a hop-marker header
-// and a replica never forwards a request that arrived with it, so a
-// stale or disagreeing peer list cannot create a forwarding loop
-// longer than one hop.
+// is retried once with equal-jitter backoff, optionally hedged to the
+// next-ranked live peer, and finally falls back to local computation
+// — the fleet degrades to independent replicas, not to errors.
+// Proxied requests carry a hop-marker header and a replica never
+// forwards a request that arrived with it, so a stale or disagreeing
+// peer list cannot create a forwarding loop longer than one hop.
 package cluster
 
 import (
@@ -32,23 +41,76 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"netart/internal/resilience"
 )
 
 // HopHeader marks a request already forwarded once by a peer; the
 // receiving replica must compute locally rather than forward again.
 const HopHeader = "X-Netart-Peer-Hop"
 
+// Fleet event names reported through Options.OnEvent (metrics hooks).
+const (
+	EventProxyRetry    = "proxy_retry"
+	EventHedgeLaunched = "hedge_launched"
+	EventHedgeWon      = "hedge_won"
+)
+
+// Options tunes a fleet view. The zero value preserves the static
+// behavior: no client timeout beyond the request context, no health
+// layer (every peer permanently live), no retry, no hedging.
+type Options struct {
+	// Timeout is an overall client-side bound per proxied call, in
+	// addition to the per-request context (0 = context only). Fixed at
+	// construction — the shared http.Client is never mutated after the
+	// fleet may be serving.
+	Timeout time.Duration
+	// Transport underlies all peer traffic, probes included; nil uses
+	// http.DefaultTransport. Chaos tests pass a *FaultTransport.
+	Transport http.RoundTripper
+	// MaxResponseBytes caps a proxied response body read (default
+	// 8 MiB, matching the service's MaxBodyBytes); a longer body is a
+	// proxy failure, so a misbehaving peer cannot OOM this replica.
+	MaxResponseBytes int64
+	// Retry bounds proxy retries against one peer; the zero value
+	// defaults to {MaxAttempts: 2, BaseDelay: 10ms, MaxDelay: 100ms} —
+	// one extra attempt with equal-jitter backoff for transient
+	// failures (transport errors, 5xx, 429).
+	Retry resilience.RetryPolicy
+	// HedgeAfter, when positive, launches a second request to the
+	// next-ranked live peer if the owner has not answered within the
+	// delay; the first response wins and the loser is canceled. Safe
+	// because the pipeline is deterministic: every replica produces
+	// byte-identical artwork for a key, so it cannot matter which
+	// answer wins. 0 disables hedging.
+	HedgeAfter time.Duration
+	// Probe enables the health layer (breakers + optional prober);
+	// nil keeps ownership static.
+	Probe *HealthOptions
+	// OnEvent observes proxy-path events (Event* constants).
+	OnEvent func(event string)
+}
+
 // Fleet is one replica's view of the peer set.
 type Fleet struct {
 	self   string
 	peers  []string // normalized, sorted, includes self
 	client *http.Client
+	opts   Options
+	health *health
 }
 
 // New builds a fleet view. self must appear in peers (it is added
 // when missing, so `-peers` can list just the others); every URL is
-// normalized (scheme://host[:port], no trailing slash).
-func New(self string, peers []string) (*Fleet, error) {
+// normalized (scheme://host[:port], no trailing slash). Options are
+// variadic for compatibility: view-only callers (ownership math in
+// tests and benches) pass none and get the static zero-value
+// behavior.
+func New(self string, peers []string, opts ...Options) (*Fleet, error) {
+	var o Options
+	if len(opts) > 0 {
+		o = opts[0]
+	}
 	if self == "" {
 		return nil, fmt.Errorf("cluster: peer list set but self URL empty")
 	}
@@ -72,14 +134,31 @@ func New(self string, peers []string) (*Fleet, error) {
 		}
 	}
 	sort.Strings(all)
-	return &Fleet{
+	if o.MaxResponseBytes <= 0 {
+		o.MaxResponseBytes = 8 << 20
+	}
+	if o.Retry.MaxAttempts < 1 {
+		o.Retry = resilience.RetryPolicy{
+			MaxAttempts: 2,
+			BaseDelay:   10 * time.Millisecond,
+			MaxDelay:    100 * time.Millisecond,
+		}
+	}
+	f := &Fleet{
 		self:  selfN,
 		peers: all,
-		// No client-level timeout: the per-request context already
+		opts:  o,
+		// No default client timeout: the per-request context already
 		// carries the generation deadline, and a proxied route can
-		// legitimately take as long as a local one.
-		client: &http.Client{},
-	}, nil
+		// legitimately take as long as a local one. Options.Timeout
+		// tightens it for deployments that want fast failure.
+		client: &http.Client{Transport: o.Transport, Timeout: o.Timeout},
+	}
+	if o.Probe != nil && len(all) > 1 {
+		f.health = newHealth(all, selfN, o.Transport, *o.Probe)
+		f.health.start()
+	}
+	return f, nil
 }
 
 func normalize(raw string) (string, error) {
@@ -105,13 +184,38 @@ func (f *Fleet) Self() string { return f.self }
 // Peers returns the full normalized peer list (self included).
 func (f *Fleet) Peers() []string { return append([]string(nil), f.peers...) }
 
-// Owner returns the peer URL that owns key: the peer with the highest
-// rendezvous score. Ties (astronomically unlikely with 64-bit scores)
-// break on the sorted peer order, so every replica agrees.
+// Owner returns the live peer with the highest rendezvous score for
+// key. Peers whose breaker is not closed are excluded, so a down
+// owner's keys remap deterministically to the next-highest-weight
+// live peer on every replica that observes the same health state, and
+// remap back when it recovers. Self is always live — with every peer
+// down this degrades to independent local computation, never to
+// errors. Ties (astronomically unlikely with 64-bit scores) break on
+// the sorted peer order, so every replica agrees.
 func (f *Fleet) Owner(key string) string {
 	var best string
 	var bestScore uint64
 	for _, p := range f.peers {
+		if p != f.self && !f.health.live(p) {
+			continue
+		}
+		if s := score(p, key); best == "" || s > bestScore {
+			best, bestScore = p, s
+		}
+	}
+	return best
+}
+
+// nextLive returns the highest-scoring live peer for key other than
+// exclude and self — the hedge target when the owner is slow. Empty
+// when no third party exists.
+func (f *Fleet) nextLive(key, exclude string) string {
+	var best string
+	var bestScore uint64
+	for _, p := range f.peers {
+		if p == exclude || p == f.self || !f.health.live(p) {
+			continue
+		}
 		if s := score(p, key); best == "" || s > bestScore {
 			best, bestScore = p, s
 		}
@@ -122,6 +226,34 @@ func (f *Fleet) Owner(key string) string {
 // OwnedBySelf reports whether this replica owns key.
 func (f *Fleet) OwnedBySelf(key string) bool {
 	return !f.Enabled() || f.Owner(key) == f.self
+}
+
+// StateOf reports a peer's breaker state; self, unknown peers and
+// fleets without a health layer read as closed.
+func (f *Fleet) StateOf(peer string) State {
+	if f == nil {
+		return StateClosed
+	}
+	return f.health.stateOf(peer)
+}
+
+// PeerState pairs a peer URL with its breaker state.
+type PeerState struct {
+	URL   string
+	State State
+}
+
+// PeerStates lists every peer (self included) with its breaker state,
+// in sorted URL order.
+func (f *Fleet) PeerStates() []PeerState {
+	if f == nil {
+		return nil
+	}
+	out := make([]PeerState, 0, len(f.peers))
+	for _, p := range f.peers {
+		out = append(out, PeerState{URL: p, State: f.StateOf(p)})
+	}
+	return out
 }
 
 // score is the rendezvous weight of (peer, key): the first 8 bytes of
@@ -137,17 +269,25 @@ func score(peer, key string) uint64 {
 	return binary.BigEndian.Uint64(sum[:8])
 }
 
-// ProxyError is a transport-level proxy failure: the owner was
-// unreachable or answered with a server-side status. The caller
+// proxyErrSnippet bounds how much of an owner's error body rides in
+// the ProxyError message.
+const proxyErrSnippet = 512
+
+// ProxyError is a proxy failure: the owner was unreachable, answered
+// with a server-side status, or sent an oversized body. The caller
 // should fall back to local computation.
 type ProxyError struct {
 	Owner  string
-	Status int // 0 for transport errors
+	Status int    // 0 for transport errors
+	Body   string // first proxyErrSnippet bytes of the owner's error body
 	Err    error
 }
 
 func (e *ProxyError) Error() string {
 	if e.Status != 0 {
+		if e.Body != "" {
+			return fmt.Sprintf("cluster: owner %s answered %d: %s", e.Owner, e.Status, e.Body)
+		}
 		return fmt.Sprintf("cluster: owner %s answered %d", e.Owner, e.Status)
 	}
 	return fmt.Sprintf("cluster: owner %s unreachable: %v", e.Owner, e.Err)
@@ -155,44 +295,193 @@ func (e *ProxyError) Error() string {
 
 func (e *ProxyError) Unwrap() error { return e.Err }
 
-// Proxy forwards a generate request body (JSON) to the owner's
-// /v2/generate, marked with the hop header. It returns the owner's
-// response body and status for 2xx and 4xx answers; 5xx, 429 and
-// transport failures come back as *ProxyError so the caller can fall
-// back to local computation. 4xx answers are returned, not retried
-// locally: the owner judged the request itself invalid, and the local
-// pipeline would only reach the same verdict the slow way.
-func (f *Fleet) Proxy(ctx context.Context, owner string, body []byte) ([]byte, int, error) {
+// Transient classifies proxy failures for resilience.Retry: transport
+// errors and server-side statuses (5xx, 429) are worth one more
+// attempt — the owner may be restarting or momentarily overloaded.
+func (e *ProxyError) Transient() bool {
+	return e.Status == 0 || e.Status >= 500 || e.Status == http.StatusTooManyRequests
+}
+
+// snippet trims a response body for the error message: whitespace
+// collapsed at the edges, hard-capped at proxyErrSnippet bytes.
+func snippet(body []byte) string {
+	s := strings.TrimSpace(string(body))
+	if len(s) > proxyErrSnippet {
+		s = s[:proxyErrSnippet]
+	}
+	return s
+}
+
+// event reports a proxy-path event to the metrics hook.
+func (f *Fleet) event(ev string) {
+	if f.opts.OnEvent != nil {
+		f.opts.OnEvent(ev)
+	}
+}
+
+// noteSuccess / noteFailure feed a proxy outcome into the peer's
+// breaker (live traffic and probes drive the same state machine).
+func (f *Fleet) noteSuccess(peer string) {
+	if peer != f.self {
+		f.health.success(peer)
+	}
+}
+
+func (f *Fleet) noteFailure(peer string) {
+	if peer != f.self {
+		f.health.failure(peer)
+	}
+}
+
+// proxyOnce performs one forwarded call to peer's /v2/generate.
+// Breaker accounting judges transport only: any complete HTTP answer
+// — even a 5xx — proves the peer reachable and counts as a success,
+// while connection failures count against it. Canceled attempts
+// (ctx already done: a hedge race was lost, or the caller's deadline
+// expired) are ambiguous and count neither way; the prober owns
+// slow-failure detection.
+func (f *Fleet) proxyOnce(ctx context.Context, peer string, body []byte) ([]byte, int, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-		owner+"/v2/generate", bytes.NewReader(body))
+		peer+"/v2/generate", bytes.NewReader(body))
 	if err != nil {
-		return nil, 0, &ProxyError{Owner: owner, Err: err}
+		return nil, 0, &ProxyError{Owner: peer, Err: err}
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(HopHeader, "1")
 	resp, err := f.client.Do(req)
 	if err != nil {
-		return nil, 0, &ProxyError{Owner: owner, Err: err}
+		if ctx.Err() == nil {
+			f.noteFailure(peer)
+		}
+		return nil, 0, &ProxyError{Owner: peer, Err: err}
 	}
 	defer resp.Body.Close()
-	out, err := io.ReadAll(resp.Body)
+	// The read is capped so a misbehaving peer cannot OOM this
+	// replica; an over-long body is a transport-class failure and the
+	// local fallback still serves the request.
+	out, err := io.ReadAll(io.LimitReader(resp.Body, f.opts.MaxResponseBytes+1))
 	if err != nil {
-		return nil, 0, &ProxyError{Owner: owner, Err: err}
+		if ctx.Err() == nil {
+			f.noteFailure(peer)
+		}
+		return nil, 0, &ProxyError{Owner: peer, Err: err}
+	}
+	f.noteSuccess(peer)
+	if int64(len(out)) > f.opts.MaxResponseBytes {
+		return nil, 0, &ProxyError{Owner: peer,
+			Err: fmt.Errorf("response exceeds %d bytes", f.opts.MaxResponseBytes)}
 	}
 	if resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests {
-		return nil, 0, &ProxyError{Owner: owner, Status: resp.StatusCode}
+		return nil, 0, &ProxyError{Owner: peer, Status: resp.StatusCode, Body: snippet(out)}
 	}
 	return out, resp.StatusCode, nil
 }
 
-// Close releases idle proxy connections.
-func (f *Fleet) Close() {
-	if f != nil {
-		f.client.CloseIdleConnections()
+// proxyRetry is the bounded-retry call against one peer: transient
+// failures (ProxyError.Transient — transport errors, 5xx, 429) earn
+// extra attempts under the fleet's retry policy with equal-jitter
+// backoff; everything else returns immediately.
+func (f *Fleet) proxyRetry(ctx context.Context, peer string, body []byte) ([]byte, int, error) {
+	var out []byte
+	var status int
+	_, err := resilience.Retry(ctx, f.opts.Retry, nil, nil, func(attempt int) error {
+		if attempt > 1 {
+			f.event(EventProxyRetry)
+		}
+		var perr error
+		out, status, perr = f.proxyOnce(ctx, peer, body)
+		return perr
+	})
+	if err != nil {
+		return nil, 0, err
 	}
+	return out, status, nil
 }
 
-// Timeout sets an overall client-side bound on proxied calls in
-// addition to per-request contexts (used by tests and benches that
-// want fast failure detection against dead peers).
-func (f *Fleet) Timeout(d time.Duration) { f.client.Timeout = d }
+// Proxy forwards a generate request body (JSON) for key to the
+// owner's /v2/generate, marked with the hop header. It returns the
+// answering peer's body and status for 2xx and 4xx answers; 5xx, 429
+// and transport failures come back as *ProxyError so the caller can
+// fall back to local computation. 4xx answers are returned, not
+// retried locally: the owner judged the request itself invalid, and
+// the local pipeline would only reach the same verdict the slow way.
+//
+// With HedgeAfter set and a third live peer available, a primary that
+// has not answered within the delay gets a hedged twin sent to the
+// next-ranked live peer; the first response wins and cancels the
+// loser. The hedge target computes locally (the forwarded request
+// carries the hop header), so a blackholed owner costs HedgeAfter
+// plus one computation instead of a full transport timeout.
+func (f *Fleet) Proxy(ctx context.Context, key, owner string, body []byte) ([]byte, int, error) {
+	hedge := ""
+	if f.opts.HedgeAfter > 0 {
+		hedge = f.nextLive(key, owner)
+	}
+	if hedge == "" {
+		return f.proxyRetry(ctx, owner, body)
+	}
+
+	type answer struct {
+		out    []byte
+		status int
+		err    error
+		peer   string
+	}
+	// Both attempts share one cancelable child context; the results
+	// channel is buffered so a canceled loser's goroutine can always
+	// deliver and exit.
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make(chan answer, 2)
+	go func() {
+		out, status, err := f.proxyRetry(actx, owner, body)
+		results <- answer{out, status, err, owner}
+	}()
+	timer := time.NewTimer(f.opts.HedgeAfter)
+	defer timer.Stop()
+	inflight := 1
+	hedged := false
+	var firstErr error
+	for inflight > 0 {
+		select {
+		case a := <-results:
+			inflight--
+			if a.err == nil {
+				if hedged && a.peer != owner {
+					f.event(EventHedgeWon)
+				}
+				return a.out, a.status, nil
+			}
+			if firstErr == nil || a.peer == owner {
+				// Prefer the owner's error in the caller's message.
+				firstErr = a.err
+			}
+			if !hedged {
+				// The primary failed before the hedge delay: return
+				// now — the caller is about to fall back locally,
+				// which beats starting a second network attempt.
+				return nil, 0, firstErr
+			}
+		case <-timer.C:
+			if !hedged {
+				hedged = true
+				inflight++
+				f.event(EventHedgeLaunched)
+				go func() {
+					out, status, err := f.proxyOnce(actx, hedge, body)
+					results <- answer{out, status, err, hedge}
+				}()
+			}
+		}
+	}
+	return nil, 0, firstErr
+}
+
+// Close stops the health prober and releases idle proxy connections.
+func (f *Fleet) Close() {
+	if f == nil {
+		return
+	}
+	f.health.close()
+	f.client.CloseIdleConnections()
+}

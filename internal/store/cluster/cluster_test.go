@@ -62,7 +62,7 @@ func TestOwnershipDeterministic(t *testing.T) {
 	urls := []string{"http://a:1", "http://b:2", "http://c:3"}
 	fa := mustFleet(t, urls[0], urls)
 	fb := mustFleet(t, urls[1], []string{urls[2], urls[0], urls[1]}) // shuffled
-	fc := mustFleet(t, urls[2], urls[:2])                           // self omitted from list
+	fc := mustFleet(t, urls[2], urls[:2])                            // self omitted from list
 
 	for i := 0; i < 200; i++ {
 		k := testKey(i)

@@ -1,0 +1,313 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Network-layer fault injection: where internal/resilience injects
+// faults into pipeline stages, FaultTransport injects them into the
+// fleet's peer traffic — probes and proxies alike — at the
+// http.RoundTripper seam. The chaos batteries use it to kill,
+// blackhole and restore peers mid-run without rebinding listeners.
+
+// FaultMode is one kind of injected network failure.
+type FaultMode int
+
+const (
+	// FaultError fails the round trip instantly (connection refused).
+	FaultError FaultMode = iota
+	// FaultLatency sleeps, then forwards the request normally.
+	FaultLatency
+	// FaultBlackhole hangs until the request context ends — the
+	// packets-dropped partition, the failure mode timeouts exist for.
+	FaultBlackhole
+	// Fault5xx forwards nothing and synthesizes a 503 answer: the
+	// peer's TCP stack is fine, the peer is not.
+	Fault5xx
+)
+
+func (m FaultMode) String() string {
+	switch m {
+	case FaultError:
+		return "error"
+	case FaultLatency:
+		return "latency"
+	case FaultBlackhole:
+		return "blackhole"
+	case Fault5xx:
+		return "5xx"
+	default:
+		return fmt.Sprintf("FaultMode(%d)", int(m))
+	}
+}
+
+// FaultRule arms one probabilistic fault against matching peers.
+type FaultRule struct {
+	// HostPat is a substring of the target host:port; "" matches every
+	// peer. It cannot contain ':' (the spec separator) — single out
+	// one replica by its port.
+	HostPat string
+	Mode    FaultMode
+	// Prob is the per-request fire probability in (0,1]; 0 means 1.
+	Prob float64
+	// Latency is the FaultLatency sleep (default 10ms).
+	Latency time.Duration
+	// Count caps total fires; 0 is unlimited.
+	Count int
+}
+
+// FaultPlan is a seeded set of fault rules plus dynamic per-host
+// overrides (Kill / Blackhole / Restore). One plan is typically
+// shared by every replica of an in-process test fleet, so "this peer
+// is down" is a single switch seen by all of them.
+type FaultPlan struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	rules []*armedFault
+	down  map[string]FaultMode // host → unconditional mode
+	fired map[string]uint64    // mode name → fires
+}
+
+type armedFault struct {
+	rule  FaultRule
+	fires int
+}
+
+// NewFaultPlan builds an empty plan with a deterministic RNG.
+func NewFaultPlan(seed int64) *FaultPlan {
+	return &FaultPlan{
+		rng:   rand.New(rand.NewSource(seed)),
+		down:  make(map[string]FaultMode),
+		fired: make(map[string]uint64),
+	}
+}
+
+// Arm adds a probabilistic rule.
+func (p *FaultPlan) Arm(r FaultRule) {
+	if r.Prob <= 0 || r.Prob > 1 {
+		r.Prob = 1
+	}
+	if r.Mode == FaultLatency && r.Latency <= 0 {
+		r.Latency = 10 * time.Millisecond
+	}
+	p.mu.Lock()
+	p.rules = append(p.rules, &armedFault{rule: r})
+	p.mu.Unlock()
+}
+
+// Kill makes every request to host fail instantly (the process died).
+func (p *FaultPlan) Kill(host string) { p.set(host, FaultError) }
+
+// Blackhole makes every request to host hang until its context ends
+// (the network partition).
+func (p *FaultPlan) Blackhole(host string) { p.set(host, FaultBlackhole) }
+
+// Restore lifts a Kill or Blackhole.
+func (p *FaultPlan) Restore(host string) {
+	p.mu.Lock()
+	delete(p.down, hostOf(host))
+	p.mu.Unlock()
+}
+
+func (p *FaultPlan) set(host string, m FaultMode) {
+	p.mu.Lock()
+	p.down[hostOf(host)] = m
+	p.mu.Unlock()
+}
+
+// hostOf accepts a bare host:port or a full URL.
+func hostOf(s string) string {
+	if i := strings.Index(s, "://"); i >= 0 {
+		s = s[i+3:]
+	}
+	return strings.TrimSuffix(s, "/")
+}
+
+// Counts snapshots fires per mode name (test assertions).
+func (p *FaultPlan) Counts() map[string]uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]uint64, len(p.fired))
+	for k, v := range p.fired {
+		out[k] = v
+	}
+	return out
+}
+
+// decide picks at most one fault for a request to host: dynamic
+// overrides first, then armed rules in order.
+func (p *FaultPlan) decide(host string) (FaultMode, time.Duration, bool) {
+	if p == nil {
+		return 0, 0, false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if m, ok := p.down[host]; ok {
+		p.fired[m.String()]++
+		return m, 0, true
+	}
+	for _, a := range p.rules {
+		if a.rule.Count > 0 && a.fires >= a.rule.Count {
+			continue
+		}
+		if a.rule.HostPat != "" && !strings.Contains(host, a.rule.HostPat) {
+			continue
+		}
+		if a.rule.Prob < 1 && p.rng.Float64() >= a.rule.Prob {
+			continue
+		}
+		a.fires++
+		p.fired[a.rule.Mode.String()]++
+		return a.rule.Mode, a.rule.Latency, true
+	}
+	return 0, 0, false
+}
+
+// FaultTransport injects a plan's faults under any http.RoundTripper.
+// A nil Plan (or no matching rule) forwards transparently.
+type FaultTransport struct {
+	Base http.RoundTripper // nil means http.DefaultTransport
+	Plan *FaultPlan
+}
+
+func (t *FaultTransport) base() http.RoundTripper {
+	if t.Base != nil {
+		return t.Base
+	}
+	return http.DefaultTransport
+}
+
+func (t *FaultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	mode, lat, ok := t.Plan.decide(req.URL.Host)
+	if !ok {
+		return t.base().RoundTrip(req)
+	}
+	switch mode {
+	case FaultLatency:
+		select {
+		case <-time.After(lat):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+		return t.base().RoundTrip(req)
+	case FaultBlackhole:
+		<-req.Context().Done()
+		return nil, req.Context().Err()
+	case Fault5xx:
+		return &http.Response{
+			StatusCode: http.StatusServiceUnavailable,
+			Status:     "503 Service Unavailable (injected)",
+			Proto:      "HTTP/1.1",
+			ProtoMajor: 1,
+			ProtoMinor: 1,
+			Header:     http.Header{"Content-Type": []string{"application/json"}},
+			Body:       io.NopCloser(strings.NewReader(`{"error":"cluster: injected 503"}`)),
+			Request:    req,
+		}, nil
+	default: // FaultError
+		return nil, fmt.Errorf("cluster: injected transport error to %s", req.URL.Host)
+	}
+}
+
+// SplitFaultSpec separates the peer-layer clauses (those starting
+// with "peer") of a combined -faults spec from the pipeline-layer
+// clauses understood by resilience.ParseSpec, so one flag can arm
+// both injectors.
+func SplitFaultSpec(spec string) (peer, pipeline string) {
+	var ps, rs []string
+	for _, clause := range splitClauses(spec) {
+		if strings.HasPrefix(clause, "peer:") || strings.HasPrefix(clause, "peer@") {
+			ps = append(ps, clause)
+		} else {
+			rs = append(rs, clause)
+		}
+	}
+	return strings.Join(ps, ";"), strings.Join(rs, ";")
+}
+
+func splitClauses(spec string) []string {
+	var out []string
+	for _, c := range strings.FieldsFunc(spec, func(r rune) bool { return r == ',' || r == ';' }) {
+		if c = strings.TrimSpace(c); c != "" {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// ParseFaultSpec compiles peer-layer fault clauses into a plan:
+//
+//	peer[@HOSTPAT]:MODE[:TOKEN[:TOKEN...]]
+//
+// MODE is error, latency, blackhole or 5xx. Each TOKEN is a fire
+// probability (0.05), a latency duration (150ms), or a fire cap (x3)
+// — the same token grammar as resilience.ParseSpec. HOSTPAT matches
+// as a ':'-free substring of the peer's host:port. An empty spec
+// returns (nil, nil).
+func ParseFaultSpec(spec string, seed int64) (*FaultPlan, error) {
+	clauses := splitClauses(spec)
+	if len(clauses) == 0 {
+		return nil, nil
+	}
+	plan := NewFaultPlan(seed)
+	for _, clause := range clauses {
+		fields := strings.Split(clause, ":")
+		head := fields[0]
+		if !strings.HasPrefix(head, "peer") {
+			return nil, fmt.Errorf("cluster: clause %q is not a peer fault (want peer[@HOST]:mode...)", clause)
+		}
+		var r FaultRule
+		if rest := strings.TrimPrefix(head, "peer"); rest != "" {
+			if !strings.HasPrefix(rest, "@") || len(rest) < 2 {
+				return nil, fmt.Errorf("cluster: bad peer clause %q (want peer[@HOST]:mode...)", clause)
+			}
+			r.HostPat = rest[1:]
+		}
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("cluster: clause %q needs a mode (error, latency, blackhole, 5xx)", clause)
+		}
+		switch fields[1] {
+		case "error":
+			r.Mode = FaultError
+		case "latency":
+			r.Mode = FaultLatency
+		case "blackhole":
+			r.Mode = FaultBlackhole
+		case "5xx":
+			r.Mode = Fault5xx
+		default:
+			return nil, fmt.Errorf("cluster: unknown peer fault mode %q (error, latency, blackhole, 5xx)", fields[1])
+		}
+		for _, tok := range fields[2:] {
+			if strings.HasPrefix(tok, "x") {
+				n, err := strconv.Atoi(tok[1:])
+				if err != nil || n <= 0 {
+					return nil, fmt.Errorf("cluster: bad fire cap %q in %q", tok, clause)
+				}
+				r.Count = n
+				continue
+			}
+			if v, err := strconv.ParseFloat(tok, 64); err == nil {
+				if v <= 0 || v > 1 {
+					return nil, fmt.Errorf("cluster: probability %q in %q outside (0,1]", tok, clause)
+				}
+				r.Prob = v
+				continue
+			}
+			if d, err := time.ParseDuration(tok); err == nil {
+				r.Latency = d
+				continue
+			}
+			return nil, fmt.Errorf("cluster: unrecognized token %q in %q (probability, duration, or xN)", tok, clause)
+		}
+		plan.Arm(r)
+	}
+	return plan, nil
+}

@@ -1,0 +1,211 @@
+package cluster
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// okRT is a stub base transport answering 200 to everything.
+type okRT struct{ calls int }
+
+func (rt *okRT) RoundTrip(req *http.Request) (*http.Response, error) {
+	rt.calls++
+	return &http.Response{
+		StatusCode: 200,
+		Body:       io.NopCloser(strings.NewReader("ok")),
+		Request:    req,
+	}, nil
+}
+
+func faultReq(t *testing.T, host string) *http.Request {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, "http://"+host+"/v1/healthz", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return req
+}
+
+func TestSplitFaultSpec(t *testing.T) {
+	peer, pipe := SplitFaultSpec("route.wavefront:error:0.05;peer:5xx:0.1;render:panic,peer@9002:blackhole")
+	if peer != "peer:5xx:0.1;peer@9002:blackhole" {
+		t.Errorf("peer spec = %q", peer)
+	}
+	if pipe != "route.wavefront:error:0.05;render:panic" {
+		t.Errorf("pipeline spec = %q", pipe)
+	}
+	if p, r := SplitFaultSpec(""); p != "" || r != "" {
+		t.Errorf("empty spec split to %q / %q", p, r)
+	}
+}
+
+func TestParseFaultSpec(t *testing.T) {
+	plan, err := ParseFaultSpec("peer@9002:latency:0.5:150ms:x3;peer:error", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan == nil || len(plan.rules) != 2 {
+		t.Fatalf("plan = %+v", plan)
+	}
+	r := plan.rules[0].rule
+	if r.HostPat != "9002" || r.Mode != FaultLatency || r.Prob != 0.5 ||
+		r.Latency != 150*time.Millisecond || r.Count != 3 {
+		t.Errorf("rule 0 = %+v", r)
+	}
+	if r2 := plan.rules[1].rule; r2.HostPat != "" || r2.Mode != FaultError {
+		t.Errorf("rule 1 = %+v", r2)
+	}
+
+	if p, err := ParseFaultSpec("", 0); p != nil || err != nil {
+		t.Errorf("empty spec: plan=%v err=%v", p, err)
+	}
+	for _, bad := range []string{
+		"route:error",      // not a peer clause
+		"peer9002:error",   // missing @
+		"peer@:error",      // empty host pattern
+		"peer",             // no mode
+		"peer:reboot",      // unknown mode
+		"peer:error:1.5",   // probability out of range
+		"peer:error:x0",    // zero fire cap
+		"peer:error:bogus", // unrecognized token
+	} {
+		if _, err := ParseFaultSpec(bad, 0); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+func TestFaultTransportModes(t *testing.T) {
+	plan := NewFaultPlan(1)
+	plan.Arm(FaultRule{HostPat: "err-host", Mode: FaultError})
+	plan.Arm(FaultRule{HostPat: "5xx-host", Mode: Fault5xx})
+	plan.Arm(FaultRule{HostPat: "lat-host", Mode: FaultLatency, Latency: 5 * time.Millisecond})
+	base := &okRT{}
+	ft := &FaultTransport{Base: base, Plan: plan}
+
+	if _, err := ft.RoundTrip(faultReq(t, "err-host:1")); err == nil {
+		t.Error("error mode round trip succeeded")
+	}
+
+	resp, err := ft.RoundTrip(faultReq(t, "5xx-host:1"))
+	if err != nil || resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("5xx mode: resp=%v err=%v", resp, err)
+	} else {
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if !strings.Contains(string(body), "injected 503") {
+			t.Errorf("5xx body = %q", body)
+		}
+	}
+	if base.calls != 0 {
+		t.Errorf("synthesized modes reached the base transport %d times", base.calls)
+	}
+
+	start := time.Now()
+	if _, err := ft.RoundTrip(faultReq(t, "lat-host:1")); err != nil {
+		t.Errorf("latency mode failed: %v", err)
+	}
+	if time.Since(start) < 5*time.Millisecond {
+		t.Error("latency mode did not sleep")
+	}
+	if base.calls != 1 {
+		t.Errorf("latency mode forwarded %d times, want 1", base.calls)
+	}
+
+	// Unmatched hosts forward transparently.
+	if _, err := ft.RoundTrip(faultReq(t, "clean-host:1")); err != nil || base.calls != 2 {
+		t.Errorf("clean host: err=%v calls=%d", err, base.calls)
+	}
+
+	counts := plan.Counts()
+	if counts["error"] != 1 || counts["5xx"] != 1 || counts["latency"] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+}
+
+func TestFaultBlackholeHangsUntilCancel(t *testing.T) {
+	plan := NewFaultPlan(1)
+	plan.Blackhole("http://dark-host:1")
+	ft := &FaultTransport{Base: &okRT{}, Plan: plan}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	req := faultReq(t, "dark-host:1").WithContext(ctx)
+	start := time.Now()
+	_, err := ft.RoundTrip(req)
+	if err == nil {
+		t.Fatal("blackholed round trip succeeded")
+	}
+	if time.Since(start) < 15*time.Millisecond {
+		t.Error("blackhole returned before the context ended")
+	}
+}
+
+func TestFaultPlanKillRestore(t *testing.T) {
+	plan := NewFaultPlan(1)
+	base := &okRT{}
+	ft := &FaultTransport{Base: base, Plan: plan}
+
+	// Kill accepts full URLs; decide matches on host:port.
+	plan.Kill("http://victim:9001/")
+	if _, err := ft.RoundTrip(faultReq(t, "victim:9001")); err == nil {
+		t.Fatal("killed host answered")
+	}
+	plan.Restore("victim:9001")
+	if _, err := ft.RoundTrip(faultReq(t, "victim:9001")); err != nil {
+		t.Fatalf("restored host still failing: %v", err)
+	}
+}
+
+func TestFaultRuleCountCap(t *testing.T) {
+	plan := NewFaultPlan(1)
+	plan.Arm(FaultRule{Mode: FaultError, Count: 2})
+	ft := &FaultTransport{Base: &okRT{}, Plan: plan}
+	fails := 0
+	for i := 0; i < 5; i++ {
+		if _, err := ft.RoundTrip(faultReq(t, "h:1")); err != nil {
+			fails++
+		}
+	}
+	if fails != 2 {
+		t.Errorf("capped rule fired %d times, want 2", fails)
+	}
+}
+
+func TestFaultPlanSeededProbability(t *testing.T) {
+	// Same seed → identical fire pattern; the probability roughly holds.
+	pattern := func(seed int64) (string, int) {
+		plan := NewFaultPlan(seed)
+		plan.Arm(FaultRule{Mode: FaultError, Prob: 0.3})
+		var sb strings.Builder
+		fires := 0
+		for i := 0; i < 200; i++ {
+			if _, _, ok := plan.decide("h:1"); ok {
+				sb.WriteByte('x')
+				fires++
+			} else {
+				sb.WriteByte('.')
+			}
+		}
+		return sb.String(), fires
+	}
+	p1, fires := pattern(7)
+	p2, _ := pattern(7)
+	if p1 != p2 {
+		t.Error("same seed produced different fire patterns")
+	}
+	if fires < 30 || fires > 90 {
+		t.Errorf("prob 0.3 fired %d/200 times", fires)
+	}
+}
+
+func TestNilFaultPlan(t *testing.T) {
+	var p *FaultPlan
+	if _, _, ok := p.decide("h:1"); ok {
+		t.Error("nil plan decided a fault")
+	}
+}

@@ -1,0 +1,222 @@
+package cluster
+
+import (
+	"context"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// HealthOptions configures the fleet health layer: one circuit
+// breaker per remote peer, optionally driven by an active prober
+// that GETs each peer's /v1/healthz on a jittered schedule.
+type HealthOptions struct {
+	// ProbeInterval is the target probe period per peer. Probes fire
+	// at a jittered 40–70% of it (see jittered), so FailThreshold
+	// consecutive failures — each bounded by ProbeTimeout — complete
+	// within FailThreshold × ProbeInterval worst case, which keeps
+	// dead-peer detection inside the "re-shard within probe-interval
+	// × 3" budget for the default threshold. 0 disables active
+	// probing: breakers still open on proxy failures, but an open
+	// breaker never half-opens again (no prober to trial it), so the
+	// remap is permanent until restart.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe round trip (default
+	// ProbeInterval×3/10, capped at 1s).
+	ProbeTimeout time.Duration
+	// FailThreshold is the consecutive-failure count that opens a
+	// peer's breaker (default 3).
+	FailThreshold int
+	// OpenFor is how long an open breaker rejects before half-opening
+	// (default 2×ProbeInterval, or 1s without probing).
+	OpenFor time.Duration
+	// OnTransition observes every breaker state change (metrics).
+	// Called synchronously from probe and proxy paths; must be fast.
+	OnTransition func(peer string, from, to State)
+
+	// now is stubbed by tests; nil means time.Now.
+	now func() time.Time
+}
+
+func (o HealthOptions) withDefaults() HealthOptions {
+	if o.ProbeInterval < 0 {
+		o.ProbeInterval = 0
+	}
+	if o.ProbeTimeout <= 0 {
+		o.ProbeTimeout = o.ProbeInterval * 3 / 10
+		if o.ProbeTimeout > time.Second || o.ProbeTimeout <= 0 {
+			o.ProbeTimeout = time.Second
+		}
+	}
+	if o.FailThreshold <= 0 {
+		o.FailThreshold = 3
+	}
+	if o.OpenFor <= 0 {
+		o.OpenFor = 2 * o.ProbeInterval
+		if o.OpenFor <= 0 {
+			o.OpenFor = time.Second
+		}
+	}
+	if o.now == nil {
+		o.now = time.Now
+	}
+	return o
+}
+
+// health is the per-fleet health state: a breaker per remote peer and
+// (when probing is enabled) one probe goroutine per peer. All methods
+// are nil-receiver safe — a fleet without a health layer treats every
+// peer as permanently live, preserving the static-ownership behavior.
+type health struct {
+	opts     HealthOptions
+	client   *http.Client
+	breakers map[string]*Breaker
+	stop     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// newHealth builds the breakers for every peer except self. The probe
+// client shares the fleet's transport, so network-layer fault
+// injection (FaultTransport) applies to probes exactly as it does to
+// proxies — a blackholed peer fails its probes too.
+func newHealth(peers []string, self string, transport http.RoundTripper, opts HealthOptions) *health {
+	opts = opts.withDefaults()
+	h := &health{
+		opts:     opts,
+		client:   &http.Client{Transport: transport, Timeout: opts.ProbeTimeout},
+		breakers: make(map[string]*Breaker),
+		stop:     make(chan struct{}),
+	}
+	for _, p := range peers {
+		if p == self {
+			continue
+		}
+		peer := p
+		var onT func(from, to State)
+		if opts.OnTransition != nil {
+			onT = func(from, to State) { opts.OnTransition(peer, from, to) }
+		}
+		h.breakers[peer] = newBreaker(opts.FailThreshold, opts.OpenFor, opts.now, onT)
+	}
+	return h
+}
+
+// start launches the probe loops (no-op when probing is disabled).
+func (h *health) start() {
+	if h.opts.ProbeInterval <= 0 {
+		return
+	}
+	for peer := range h.breakers {
+		h.wg.Add(1)
+		go h.probeLoop(peer)
+	}
+}
+
+// probeLoop probes one peer forever at a jittered interval. The
+// breaker's Allow gates the half-open dance: while open, ticks pass
+// without traffic until OpenFor elapses, then exactly one trial probe
+// decides recovery.
+func (h *health) probeLoop(peer string) {
+	defer h.wg.Done()
+	b := h.breakers[peer]
+	t := time.NewTimer(h.jittered())
+	defer t.Stop()
+	for {
+		select {
+		case <-h.stop:
+			return
+		case <-t.C:
+		}
+		if b.Allow() {
+			if h.probe(peer) {
+				b.Success()
+			} else {
+				b.Failure()
+			}
+		}
+		t.Reset(h.jittered())
+	}
+}
+
+// jittered spreads probes over [0.4, 0.7) of the interval — equal
+// jitter below the nominal period, so independent replicas
+// decorrelate while each failure round trip (delay + ProbeTimeout)
+// stays under one full interval. math/rand's global source is
+// concurrency-safe and deliberately unseeded here: probe phase is an
+// execution detail, never a result.
+func (h *health) jittered() time.Duration {
+	i := float64(h.opts.ProbeInterval)
+	return time.Duration(0.4*i + rand.Float64()*0.3*i)
+}
+
+// probe reports whether peer's /v1/healthz answered 2xx in time.
+// Probes judge the HTTP status where proxies judge only transport: a
+// sick-but-responsive peer (healthz 5xx) should leave the ownership
+// set even though its TCP stack still answers.
+func (h *health) probe(peer string) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), h.opts.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/v1/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := h.client.Do(req)
+	if err != nil {
+		return false
+	}
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	return resp.StatusCode >= 200 && resp.StatusCode < 300
+}
+
+// close stops the probe loops and waits for them.
+func (h *health) close() {
+	if h == nil {
+		return
+	}
+	close(h.stop)
+	h.wg.Wait()
+}
+
+// live reports whether peer participates in ownership: closed breaker
+// or no breaker at all (self, unknown, or no health layer).
+func (h *health) live(peer string) bool {
+	if h == nil {
+		return true
+	}
+	b, ok := h.breakers[peer]
+	return !ok || b.State() == StateClosed
+}
+
+// stateOf reports peer's breaker state (closed when untracked).
+func (h *health) stateOf(peer string) State {
+	if h == nil {
+		return StateClosed
+	}
+	if b, ok := h.breakers[peer]; ok {
+		return b.State()
+	}
+	return StateClosed
+}
+
+// success / failure feed live proxy outcomes into the breaker, so
+// traffic and probes drive the same state machine.
+func (h *health) success(peer string) {
+	if h == nil {
+		return
+	}
+	if b, ok := h.breakers[peer]; ok {
+		b.Success()
+	}
+}
+
+func (h *health) failure(peer string) {
+	if h == nil {
+		return
+	}
+	if b, ok := h.breakers[peer]; ok {
+		b.Failure()
+	}
+}

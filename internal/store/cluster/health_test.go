@@ -1,0 +1,167 @@
+package cluster
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// waitFor polls cond every millisecond until it holds or the deadline
+// passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal(msg)
+}
+
+// TestProberOpensAndRecovers drives a real prober against an httptest
+// peer that can be flipped between healthy and sick: the breaker must
+// open while healthz answers 500 and re-close after it recovers.
+func TestProberOpensAndRecovers(t *testing.T) {
+	var sick atomic.Bool
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/healthz" {
+			t.Errorf("probe hit %s, want /v1/healthz", r.URL.Path)
+		}
+		if sick.Load() {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		w.Write([]byte(`{"status":"ok"}`))
+	}))
+	defer peer.Close()
+
+	var mu sync.Mutex
+	var transitions []State
+	h := newHealth([]string{"http://self:1", peer.URL}, "http://self:1", nil, HealthOptions{
+		ProbeInterval: 20 * time.Millisecond,
+		FailThreshold: 2,
+		OpenFor:       30 * time.Millisecond,
+		OnTransition: func(p string, from, to State) {
+			if p != peer.URL {
+				t.Errorf("transition for %q, want %q", p, peer.URL)
+			}
+			mu.Lock()
+			transitions = append(transitions, to)
+			mu.Unlock()
+		},
+	})
+	h.start()
+	defer h.close()
+
+	if !h.live(peer.URL) {
+		t.Fatal("healthy peer not live at start")
+	}
+	if !h.live("http://self:1") {
+		t.Fatal("self must always read live")
+	}
+
+	sick.Store(true)
+	waitFor(t, 2*time.Second, func() bool { return h.stateOf(peer.URL) == StateOpen },
+		"breaker never opened while healthz answered 500")
+	if h.live(peer.URL) {
+		t.Error("open peer still counted live")
+	}
+
+	sick.Store(false)
+	waitFor(t, 2*time.Second, func() bool { return h.live(peer.URL) },
+		"breaker never re-closed after the peer recovered")
+
+	mu.Lock()
+	defer mu.Unlock()
+	sawOpen, sawClosed := false, false
+	for _, s := range transitions {
+		if s == StateOpen {
+			sawOpen = true
+		}
+		if sawOpen && s == StateClosed {
+			sawClosed = true
+		}
+	}
+	if !sawOpen || !sawClosed {
+		t.Errorf("transition sequence %v missing open and/or re-close", transitions)
+	}
+}
+
+// TestProberDisabled: ProbeInterval <= 0 builds breakers (proxy
+// outcomes still drive them) but launches no probe goroutines.
+func TestProberDisabled(t *testing.T) {
+	var probes atomic.Int64
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		probes.Add(1)
+	}))
+	defer peer.Close()
+
+	h := newHealth([]string{peer.URL}, "http://self:1", nil, HealthOptions{ProbeInterval: -1})
+	h.start()
+	defer h.close()
+
+	time.Sleep(30 * time.Millisecond)
+	if n := probes.Load(); n != 0 {
+		t.Fatalf("disabled prober sent %d probes", n)
+	}
+	// Breakers still exist and respond to explicit outcomes.
+	h.failure(peer.URL)
+	h.failure(peer.URL)
+	h.failure(peer.URL)
+	if h.live(peer.URL) {
+		t.Fatal("proxy failures did not open the breaker with probing disabled")
+	}
+}
+
+// TestHealthNilReceiver: a fleet without a health layer treats every
+// peer as permanently live.
+func TestHealthNilReceiver(t *testing.T) {
+	var h *health
+	if !h.live("http://a:1") {
+		t.Error("nil health not live")
+	}
+	if h.stateOf("http://a:1") != StateClosed {
+		t.Error("nil health state not closed")
+	}
+	h.success("http://a:1")
+	h.failure("http://a:1")
+	h.close()
+}
+
+func TestHealthOptionDefaults(t *testing.T) {
+	o := HealthOptions{ProbeInterval: 2 * time.Second}.withDefaults()
+	if o.ProbeTimeout != 600*time.Millisecond {
+		t.Errorf("ProbeTimeout = %v, want 600ms", o.ProbeTimeout)
+	}
+	if o.FailThreshold != 3 {
+		t.Errorf("FailThreshold = %d, want 3", o.FailThreshold)
+	}
+	if o.OpenFor != 4*time.Second {
+		t.Errorf("OpenFor = %v, want 4s", o.OpenFor)
+	}
+	// Without probing the timeout and open window fall back to 1s.
+	o = HealthOptions{ProbeInterval: -5}.withDefaults()
+	if o.ProbeInterval != 0 || o.ProbeTimeout != time.Second || o.OpenFor != time.Second {
+		t.Errorf("disabled defaults = %+v", o)
+	}
+	// A very long interval caps the probe timeout at 1s.
+	o = HealthOptions{ProbeInterval: time.Minute}.withDefaults()
+	if o.ProbeTimeout != time.Second {
+		t.Errorf("ProbeTimeout = %v, want capped 1s", o.ProbeTimeout)
+	}
+}
+
+func TestJitteredRange(t *testing.T) {
+	h := &health{opts: HealthOptions{ProbeInterval: time.Second}}
+	for i := 0; i < 100; i++ {
+		d := h.jittered()
+		if d < 400*time.Millisecond || d >= 700*time.Millisecond {
+			t.Fatalf("jittered() = %v outside [0.4s, 0.7s)", d)
+		}
+	}
+}

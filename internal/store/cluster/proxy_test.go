@@ -1,0 +1,366 @@
+package cluster
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"netart/internal/resilience"
+)
+
+// retryNone disables retries for tests that count calls.
+func retryNone() resilience.RetryPolicy {
+	return resilience.RetryPolicy{MaxAttempts: 1}
+}
+
+// eventLog collects Options.OnEvent calls.
+type eventLog struct {
+	mu     sync.Mutex
+	events []string
+}
+
+func (l *eventLog) record(ev string) {
+	l.mu.Lock()
+	l.events = append(l.events, ev)
+	l.mu.Unlock()
+}
+
+func (l *eventLog) count(ev string) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for _, e := range l.events {
+		if e == ev {
+			n++
+		}
+	}
+	return n
+}
+
+// TestProxyRetriesTransient: a 500-then-200 owner is retried once
+// under the default policy, the retry is reported, and the breaker
+// stays closed (a 5xx is transport-level success).
+func TestProxyRetriesTransient(t *testing.T) {
+	var calls atomic.Int64
+	owner := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get(HopHeader) == "" {
+			t.Error("proxied request missing hop header")
+		}
+		if calls.Add(1) == 1 {
+			http.Error(w, "warming up", http.StatusInternalServerError)
+			return
+		}
+		w.Write([]byte("artwork"))
+	}))
+	defer owner.Close()
+
+	var log eventLog
+	f, err := New("http://self:1", []string{owner.URL}, Options{OnEvent: log.record})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	out, status, err := f.Proxy(context.Background(), testKey(1), normalized(t, owner.URL), []byte(`{}`))
+	if err != nil {
+		t.Fatalf("proxy failed after retry: %v", err)
+	}
+	if status != 200 || string(out) != "artwork" {
+		t.Fatalf("status=%d body=%q", status, out)
+	}
+	if calls.Load() != 2 {
+		t.Errorf("owner called %d times, want 2", calls.Load())
+	}
+	if log.count(EventProxyRetry) != 1 {
+		t.Errorf("retry events = %d, want 1", log.count(EventProxyRetry))
+	}
+}
+
+func normalized(t *testing.T, raw string) string {
+	t.Helper()
+	n, err := normalize(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestProxyBodyCap: a response longer than MaxResponseBytes is a
+// proxy failure, not an OOM.
+func TestProxyBodyCap(t *testing.T) {
+	owner := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(strings.Repeat("x", 256)))
+	}))
+	defer owner.Close()
+
+	f, err := New("http://self:1", []string{owner.URL}, Options{
+		MaxResponseBytes: 64,
+		Retry:            retryNone(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	_, _, perr := f.Proxy(context.Background(), testKey(1), normalized(t, owner.URL), []byte(`{}`))
+	if perr == nil {
+		t.Fatal("oversized response accepted")
+	}
+	if !strings.Contains(perr.Error(), "exceeds 64 bytes") {
+		t.Errorf("error = %v", perr)
+	}
+}
+
+// TestProxyErrorBodySnippet: a 5xx owner's error body rides in the
+// ProxyError message, capped at 512 bytes.
+func TestProxyErrorBodySnippet(t *testing.T) {
+	long := strings.Repeat("e", 600)
+	owner := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"pool saturated"}`+long, http.StatusServiceUnavailable)
+	}))
+	defer owner.Close()
+
+	f, err := New("http://self:1", []string{owner.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	_, _, perr := f.Proxy(context.Background(), testKey(1), normalized(t, owner.URL), []byte(`{}`))
+	if perr == nil {
+		t.Fatal("5xx answer accepted")
+	}
+	var pe *ProxyError
+	if !asProxyError(perr, &pe) {
+		t.Fatalf("error type %T, want *ProxyError", perr)
+	}
+	if pe.Status != http.StatusServiceUnavailable {
+		t.Errorf("status = %d", pe.Status)
+	}
+	if !strings.Contains(pe.Error(), "pool saturated") {
+		t.Errorf("message lost the owner's error body: %v", pe)
+	}
+	if len(pe.Body) > proxyErrSnippet {
+		t.Errorf("snippet %d bytes, cap %d", len(pe.Body), proxyErrSnippet)
+	}
+	if !pe.Transient() {
+		t.Error("503 not classified transient")
+	}
+}
+
+func asProxyError(err error, out **ProxyError) bool {
+	pe, ok := err.(*ProxyError)
+	if ok {
+		*out = pe
+	}
+	return ok
+}
+
+// TestProxy4xxReturned: the owner's 4xx verdict is returned to the
+// caller, not treated as a proxy failure.
+func TestProxy4xxReturned(t *testing.T) {
+	owner := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"unknown workload"}`, http.StatusBadRequest)
+	}))
+	defer owner.Close()
+
+	f, err := New("http://self:1", []string{owner.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	out, status, perr := f.Proxy(context.Background(), testKey(1), normalized(t, owner.URL), []byte(`{}`))
+	if perr != nil {
+		t.Fatalf("4xx answer became an error: %v", perr)
+	}
+	if status != http.StatusBadRequest || !strings.Contains(string(out), "unknown workload") {
+		t.Errorf("status=%d body=%q", status, out)
+	}
+}
+
+// TestProxyHedgeWins: a blackholed owner is out-raced by a hedged
+// request to the next live peer; both hedge events fire and the hedge
+// target sees the hop header.
+func TestProxyHedgeWins(t *testing.T) {
+	owner := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Drain the body first: net/http only watches for client
+		// disconnect once the request body is consumed, and the hedge
+		// loser's cancel must unblock this handler.
+		io.Copy(io.Discard, r.Body)
+		<-r.Context().Done() // blackhole until the loser is canceled
+	}))
+	defer owner.Close()
+	var hopSeen atomic.Bool
+	third := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hopSeen.Store(r.Header.Get(HopHeader) != "")
+		w.Write([]byte("hedged artwork"))
+	}))
+	defer third.Close()
+
+	var log eventLog
+	f, err := New("http://self:1", []string{owner.URL, third.URL}, Options{
+		HedgeAfter: 20 * time.Millisecond,
+		OnEvent:    log.record,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	start := time.Now()
+	out, status, perr := f.Proxy(ctx, testKey(1), normalized(t, owner.URL), []byte(`{}`))
+	if perr != nil {
+		t.Fatalf("hedged proxy failed: %v", perr)
+	}
+	if status != 200 || string(out) != "hedged artwork" {
+		t.Fatalf("status=%d body=%q", status, out)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Errorf("hedge took %v; the blackholed owner's timeout leaked through", d)
+	}
+	if log.count(EventHedgeLaunched) != 1 || log.count(EventHedgeWon) != 1 {
+		t.Errorf("hedge events launched=%d won=%d, want 1/1",
+			log.count(EventHedgeLaunched), log.count(EventHedgeWon))
+	}
+	if !hopSeen.Load() {
+		t.Error("hedge target did not receive the hop header")
+	}
+}
+
+// TestProxyNoHedgeWithoutThirdPeer: a two-replica fleet has no hedge
+// target; the proxy degrades to the plain retry path.
+func TestProxyNoHedgeWithoutThirdPeer(t *testing.T) {
+	owner := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	}))
+	defer owner.Close()
+
+	var log eventLog
+	f, err := New("http://self:1", []string{owner.URL}, Options{
+		HedgeAfter: time.Nanosecond,
+		OnEvent:    log.record,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	if _, _, err := f.Proxy(context.Background(), testKey(1), normalized(t, owner.URL), []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	if log.count(EventHedgeLaunched) != 0 {
+		t.Error("hedge launched with no third peer")
+	}
+}
+
+// TestOwnerRemapsAroundOpenBreaker is the dynamic re-sharding core:
+// opening a peer's breaker removes it from the ownership set, its keys
+// remap deterministically to live peers, and closing the breaker maps
+// them straight back.
+func TestOwnerRemapsAroundOpenBreaker(t *testing.T) {
+	urls := []string{"http://a:1", "http://b:2", "http://c:3"}
+	f, err := New(urls[0], urls, Options{
+		Probe: &HealthOptions{ProbeInterval: -1, FailThreshold: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	// A peer-set view with the victim removed predicts the remap.
+	var victim string
+	var victimKeys []string
+	for i := 0; victim == "" || len(victimKeys) < 5; i++ {
+		if i > 10000 {
+			t.Fatal("could not collect victim-owned keys")
+		}
+		k := testKey(i)
+		o := f.Owner(k)
+		if o == f.Self() {
+			continue
+		}
+		if victim == "" {
+			victim = o
+		}
+		if o == victim {
+			victimKeys = append(victimKeys, k)
+		}
+	}
+	var survivors []string
+	for _, u := range urls {
+		if u != victim {
+			survivors = append(survivors, u)
+		}
+	}
+	reduced := mustFleet(t, urls[0], survivors)
+
+	f.health.failure(victim) // threshold 1: opens immediately
+	if f.StateOf(victim) != StateOpen {
+		t.Fatal("breaker did not open")
+	}
+	for _, k := range victimKeys {
+		if got, want := f.Owner(k), reduced.Owner(k); got != want {
+			t.Fatalf("key %s remapped to %s, want %s", k, got, want)
+		}
+	}
+	// Keys the victim never owned keep their owner through the outage.
+	for i := 0; i < 200; i++ {
+		k := testKey(i)
+		if reduced.Owner(k) == f.Owner(k) {
+			continue
+		}
+		t.Fatalf("key %d changed owner though its owner is live", i)
+	}
+
+	f.health.success(victim)
+	for _, k := range victimKeys {
+		if f.Owner(k) != victim {
+			t.Fatal("recovered peer did not get its keys back")
+		}
+	}
+
+	// PeerStates reflects the cycle for the metrics gauge.
+	for _, ps := range f.PeerStates() {
+		if ps.State != StateClosed {
+			t.Errorf("peer %s state %v after recovery", ps.URL, ps.State)
+		}
+	}
+}
+
+// TestProxyFailureOpensBreaker: repeated transport failures through
+// the real proxy path open the owner's breaker.
+func TestProxyFailureOpensBreaker(t *testing.T) {
+	plan := NewFaultPlan(1)
+	f, err := New("http://self:1", []string{"http://victim:9"}, Options{
+		Transport: &FaultTransport{Plan: plan},
+		Retry:     retryNone(),
+		Probe:     &HealthOptions{ProbeInterval: -1, FailThreshold: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	plan.Kill("victim:9")
+
+	victim := "http://victim:9"
+	for i := 0; i < 2; i++ {
+		if _, _, err := f.Proxy(context.Background(), testKey(i), victim, []byte(`{}`)); err == nil {
+			t.Fatal("killed peer answered")
+		}
+	}
+	if f.StateOf(victim) != StateOpen {
+		t.Fatalf("breaker state %v after 2 transport failures, want open", f.StateOf(victim))
+	}
+	if f.Owner(testKey(1)) != f.Self() {
+		t.Error("with the only remote peer down, self must own everything")
+	}
+}
