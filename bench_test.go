@@ -165,11 +165,11 @@ func BenchmarkPlacementComparison(b *testing.B) {
 			}
 			var m schematic.Metrics
 			for i := 0; i < b.N; i++ {
-				dg, err := gen.Generate(workload.Datapath16(), opts)
+				rep, err := gen.Run(context.Background(), workload.Datapath16(), opts)
 				if err != nil {
 					b.Fatal(err)
 				}
-				m = dg.Metrics()
+				m = rep.Diagram.Metrics()
 			}
 			b.ReportMetric(m.FlowRight, "flow")
 			b.ReportMetric(float64(m.Crossings), "crossings")
@@ -273,14 +273,14 @@ func BenchmarkChainScaling(b *testing.B) {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				d := workload.Chain(n)
-				dg, err := gen.Generate(d, gen.Options{
+				rep, err := gen.Run(context.Background(), d, gen.Options{
 					Place: place.Options{PartSize: n, BoxSize: n},
 					Route: route.Options{Claimpoints: true},
 				})
 				if err != nil {
 					b.Fatal(err)
 				}
-				if dg.Metrics().Unrouted != 0 {
+				if rep.Diagram.Metrics().Unrouted != 0 {
 					b.Fatal("chain failed to route")
 				}
 			}

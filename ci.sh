@@ -11,11 +11,15 @@
 #                      guard, + the store-tier -race battery (LRU /
 #                      disk / singleflight / fleet), + the fleet chaos
 #                      battery under -race (peers blackholed / killed /
-#                      restored mid-run), + the pipeline latency
-#                      benchmark emitting BENCH_pipeline.json, + the
-#                      service-tier benchmark emitting
-#                      BENCH_service.json with restart-survival
-#                      hit-rate and re-shard convergence gates)
+#                      restored mid-run), + the async job battery under
+#                      -race (submit/stream/cancel lifecycle, SSE
+#                      ordering, jobs chaos gate), + the API-surface
+#                      golden check pinning the HTTP contract, + the
+#                      pipeline latency benchmark emitting
+#                      BENCH_pipeline.json, + the service-tier
+#                      benchmark emitting BENCH_service.json with
+#                      restart-survival hit-rate, re-shard convergence
+#                      and async-job latency records)
 #   tier 2 (-race):    tier 1 with the race detector (slower; exercises
 #                      the netartd worker pool / cache / stats paths and
 #                      the chaos suite's injected panics)
@@ -127,6 +131,28 @@ fi
 # populated — all under the race detector, bounded by -timeout.
 echo "== fleet chaos battery: go test -race -timeout 120s -run 'TestFleetChaosBattery|TestSingleflightCollapsesProxiedRequest|TestSingleflightFollowersSurviveOpenBreaker' ./internal/service"
 go test -race -timeout 120s -run 'TestFleetChaosBattery|TestSingleflightCollapsesProxiedRequest|TestSingleflightFollowersSurviveOpenBreaker' ./internal/service
+
+# Async job battery: the /v2/jobs lifecycle (cancel while queued,
+# cancel mid-route, TTL eviction, SSE disconnect, restart from the
+# disk store), the job-vs-sync byte-identity and SSE commit-order
+# checks, and the jobs chaos gate (pipeline faults must surface as
+# failed job states, never as 5xx on the async HTTP surface) — all
+# under the race detector. Tier 2's full -race pass above already
+# covers these; the explicit tier-1 step gives regressions their own
+# headline.
+if [ -z "${RACE}" ]; then
+	echo "== async job battery: go test -race ./internal/jobs + 'TestJob|TestChaosJobs' ./internal/service"
+	go test -race ./internal/jobs
+	go test -race -timeout 300s -run 'TestJob|TestChaosJobs' ./internal/service
+fi
+
+# API-surface tripwire: the HTTP route table and every response shape
+# are pinned to internal/service/testdata/api_surface.golden. An
+# intentional contract change regenerates the fixture with
+# `go test ./internal/service -run TestAPISurface -update` — anything
+# else failing here is an accidental API break.
+echo "== API surface: go test -run TestAPISurface ./internal/service"
+go test -run TestAPISurface ./internal/service
 
 # Pipeline latency record: cold (full pipeline) and warm (cache hit)
 # generate latencies per built-in workload, as machine-readable JSON.

@@ -26,9 +26,11 @@
 // cold/warm tail latency over a tiered disk-backed store, restart
 // survival (hit rate and artwork identity across a stop/start over
 // the same store directory), singleflight collapse under a 32-way
-// stampede, and a 3-replica in-process fleet with consistent-hash
-// routing (hit rate, peer outcome counts, kill-one degradation). The
-// output then defaults to BENCH_service.json.
+// stampede, the async job API (time to first SSE event and
+// submit-to-terminal latency per workload), and a 3-replica
+// in-process fleet with consistent-hash routing (hit rate, peer
+// outcome counts, kill-one degradation). The output then defaults to
+// BENCH_service.json.
 //
 // Usage:
 //

@@ -21,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"netart/internal/jobs"
 	"netart/internal/service"
 	"netart/internal/store/cluster"
 )
@@ -80,6 +81,20 @@ type singleflightResult struct {
 	Latency     latencyStats `json:"latency"`
 }
 
+// jobWorkload is one workload's async-API numbers: the latency from
+// POST /v2/jobs to the first SSE event (the stream going live) and to
+// the terminal state event (end to end), plus the event volume the
+// stream carried. The cache is disabled for this section so every job
+// actually computes and streams per-net progress.
+type jobWorkload struct {
+	Workload           string  `json:"workload"`
+	TimeToFirstEventMs float64 `json:"time_to_first_event_ms"`
+	EndToEndMs         float64 `json:"end_to_end_ms"`
+	Events             int     `json:"events"`
+	NetEvents          int     `json:"net_events"`
+	State              string  `json:"state"`
+}
+
 // fleetResult is the replica-fleet section.
 type fleetResult struct {
 	Replicas     int          `json:"replicas"`
@@ -121,6 +136,7 @@ type serviceBenchFile struct {
 	Workloads    []serviceWorkload  `json:"workloads"`
 	Restart      restartResult      `json:"restart"`
 	Singleflight singleflightResult `json:"singleflight"`
+	Jobs         []jobWorkload      `json:"jobs"`
 	Fleet        fleetResult        `json:"fleet"`
 }
 
@@ -262,6 +278,17 @@ func runService(workloads []string, warmRuns int, out string) error {
 	fmt.Fprintf(os.Stderr, "benchpipe: singleflight %d-way: %d leader / %d shared / %d pipeline runs\n",
 		stampede, file.Singleflight.Leaders, file.Singleflight.Shared, file.Singleflight.PipelineRan)
 
+	// ---- Async jobs: submit → first SSE event → terminal state. ----
+	jr, err := runJobsBench(ctx, workloads)
+	if err != nil {
+		return err
+	}
+	file.Jobs = jr
+	for _, j := range jr {
+		fmt.Fprintf(os.Stderr, "benchpipe: jobs %-10s first event %8.3fms  end-to-end %8.3fms  (%d events, %d nets)\n",
+			j.Workload, j.TimeToFirstEventMs, j.EndToEndMs, j.Events, j.NetEvents)
+	}
+
 	// ---- Fleet: 3 replicas, consistent-hash routing over HTTP. ----
 	fr, err := runFleetBench(ctx, workloads)
 	if err != nil {
@@ -284,6 +311,56 @@ func runService(workloads []string, warmRuns int, out string) error {
 		return err
 	}
 	return os.WriteFile(out, b, 0o644)
+}
+
+// runJobsBench measures the async job path end to end, in process:
+// submit each workload through SubmitJob, subscribe to its event log,
+// and record time-to-first-event and submit-to-terminal latency.
+func runJobsBench(ctx context.Context, workloads []string) ([]jobWorkload, error) {
+	srv, err := service.NewServer(service.Config{Workers: 2, CacheEntries: 0})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+
+	var out []jobWorkload
+	for _, w := range workloads {
+		req := benchRequest(w)
+		t0 := time.Now()
+		sub, err := srv.SubmitJob(ctx, &req)
+		if err != nil {
+			return nil, fmt.Errorf("jobs bench %s (submit): %w", w, err)
+		}
+		j := srv.Jobs().Get(sub.JobID)
+		if j == nil {
+			return nil, fmt.Errorf("jobs bench %s: job vanished after submit", w)
+		}
+		res := jobWorkload{Workload: w}
+		events := j.Subscribe()
+		for {
+			ev, err := events.Next(ctx)
+			if err == jobs.ErrDone {
+				break
+			}
+			if err != nil {
+				return nil, fmt.Errorf("jobs bench %s (stream): %w", w, err)
+			}
+			if res.Events == 0 {
+				res.TimeToFirstEventMs = float64(time.Since(t0).Microseconds()) / 1000.0
+			}
+			res.Events++
+			if ev.Type == "net" {
+				res.NetEvents++
+			}
+		}
+		res.EndToEndMs = float64(time.Since(t0).Microseconds()) / 1000.0
+		res.State = string(j.State())
+		if res.State != string(jobs.StateDone) {
+			return nil, fmt.Errorf("jobs bench %s: job ended %s", w, res.State)
+		}
+		out = append(out, res)
+	}
+	return out, nil
 }
 
 func runFleetBench(ctx context.Context, workloads []string) (*fleetResult, error) {

@@ -15,6 +15,7 @@
 //
 //	netartd [-addr :8417] [-workers N] [-queue N] [-cache N]
 //	        [-timeout 30s] [-max-timeout 2m]
+//	        [-jobs-max 256] [-jobs-ttl 15m]
 //	        [-store mem|disk|tiered] [-store-dir DIR] [-store-max-bytes N]
 //	        [-peers URL,URL,...] [-self URL]
 //	        [-peer-probe-interval 2s] [-peer-fail-threshold 3]
@@ -71,6 +72,16 @@
 //	                   (stage timings, routing attempts, search
 //	                   counters, span tree) under "report"
 //	POST /v2/batch     the /v2 shape fanned out over the pool
+//	POST /v2/jobs      submit an async job → 202 {job_id, status_url,
+//	                   stream_url}; runs through the same pool, cache,
+//	                   and fleet layers as /v2/generate
+//	GET  /v2/jobs/{id} job status document (state machine, per-stage
+//	                   progress, routed-net counts; result when done)
+//	DELETE /v2/jobs/{id}        cancel (the deadline context unwinds
+//	                   the routing wavefronts)
+//	GET  /v2/jobs/{id}/events   progress + result as SSE: placement
+//	                   geometry, then routed nets strictly in canonical
+//	                   commit order, then the full report
 //	GET  /v1/healthz   liveness (+ "degraded" advisory status)
 //	GET  /v1/stats     counters, cache hit/miss, stage latency
 //	                   histograms, recovered panics
@@ -118,6 +129,10 @@ func run() error {
 	cacheEnts := flag.Int("cache", 256, "result cache entries (0 disables)")
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-request generation deadline")
 	maxTimeout := flag.Duration("max-timeout", 2*time.Minute, "upper bound for client-supplied timeouts")
+	jobsMax := flag.Int("jobs-max", 256,
+		"async job records tracked at once (submissions shed with 429 beyond)")
+	jobsTTL := flag.Duration("jobs-ttl", 15*time.Minute,
+		"how long a finished job's status and event log stay fetchable")
 
 	storeBackend := flag.String("store", "mem", "result store backend: mem, disk, tiered")
 	storeDir := flag.String("store-dir", "", "disk store root (required for -store disk|tiered)")
@@ -212,6 +227,8 @@ func run() error {
 		CacheEntries:   *cacheEnts,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
+		JobsMax:        *jobsMax,
+		JobsTTL:        *jobsTTL,
 		MaxBodyBytes:   *maxBody,
 		MaxModules:     *maxModules,
 		MaxNets:        *maxNets,

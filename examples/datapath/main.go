@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -50,10 +51,11 @@ func main() {
 				opts.Place.Fixed[d.Module(name)] = place.Fixed{Pos: hp.Pos, Orient: hp.Orient}
 			}
 		}
-		dg, err := gen.Generate(d, opts)
+		rep, err := gen.Run(context.Background(), d, opts)
 		if err != nil {
 			log.Fatal(err)
 		}
+		dg := rep.Diagram
 		if err := dg.Verify(); err != nil {
 			log.Fatal(err)
 		}

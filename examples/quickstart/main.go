@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -67,13 +68,14 @@ func main() {
 	connect("clk", [2]string{"root", "CLK"}, [2]string{"in_reg", "CLK"}, [2]string{"out_reg", "CLK"})
 
 	// Generate: partition → boxes → place → route, §4/§5 of the paper.
-	dg, err := gen.Generate(d, gen.Options{
+	rep, err := gen.Run(context.Background(), d, gen.Options{
 		Place: place.Options{PartSize: 4, BoxSize: 4},
 		Route: route.Options{Claimpoints: true},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	dg := rep.Diagram
 	if err := dg.Verify(); err != nil {
 		log.Fatal("generated diagram failed verification: ", err)
 	}

@@ -1,6 +1,7 @@
 package cli
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -108,13 +109,14 @@ func TestUserLibraryMissingDir(t *testing.T) {
 }
 
 func TestDiagramFileRoundTrip(t *testing.T) {
-	dg, err := gen.Generate(workload.Fig61(), gen.Options{
+	rep, err := gen.Run(context.Background(), workload.Fig61(), gen.Options{
 		Place: place.Options{PartSize: 6, BoxSize: 6},
 		Route: route.Options{Claimpoints: true},
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
+	dg := rep.Diagram
 	dir := t.TempDir()
 	p := filepath.Join(dir, "out.esc")
 	if err := WriteDiagram(p, dg); err != nil {
@@ -133,13 +135,14 @@ func TestDiagramFileRoundTrip(t *testing.T) {
 }
 
 func TestWriteSVGFile(t *testing.T) {
-	dg, err := gen.Generate(workload.Fig61(), gen.Options{
+	rep, err := gen.Run(context.Background(), workload.Fig61(), gen.Options{
 		Place: place.Options{PartSize: 6, BoxSize: 6},
 		Route: route.Options{Claimpoints: true},
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
+	dg := rep.Diagram
 	p := filepath.Join(t.TempDir(), "out.svg")
 	if err := WriteSVG(p, dg); err != nil {
 		t.Fatal(err)

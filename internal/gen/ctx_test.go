@@ -8,44 +8,44 @@ import (
 	"netart/internal/workload"
 )
 
-// TestGenerateCtxCancelled asserts cancellation aborts the pipeline.
-func TestGenerateCtxCancelled(t *testing.T) {
+// TestRunCancelled asserts cancellation aborts the pipeline.
+func TestRunCancelled(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := GenerateCtx(ctx, workload.Datapath16(), DefaultOptions()); !errors.Is(err, context.Canceled) {
+	if _, err := Run(ctx, workload.Datapath16(), DefaultOptions()); !errors.Is(err, context.Canceled) {
 		t.Fatalf("want context.Canceled, got %v", err)
 	}
 }
 
-// TestGenerateCtxMatchesGenerate asserts the ctx variant produces the
-// same diagram metrics as the plain call, and reports stage timings.
-func TestGenerateCtxMatchesGenerate(t *testing.T) {
-	a, err := Generate(workload.Datapath16(), DefaultOptions())
+// TestRunDeterministicWithTimings asserts two Run calls produce the
+// same diagram metrics, and that stage timings are reported.
+func TestRunDeterministicWithTimings(t *testing.T) {
+	a, err := Run(context.Background(), workload.Datapath16(), DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, st, err := GenerateTimedCtx(context.Background(), workload.Datapath16(), DefaultOptions())
+	b, err := Run(context.Background(), workload.Datapath16(), DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if am, bm := a.Metrics(), b.Metrics(); am != bm {
-		t.Fatalf("metrics mismatch: Generate=%+v GenerateTimedCtx=%+v", am, bm)
+	if am, bm := a.Diagram.Metrics(), b.Diagram.Metrics(); am != bm {
+		t.Fatalf("metrics mismatch between identical runs: %+v vs %+v", am, bm)
 	}
-	if st.Place <= 0 || st.Route <= 0 {
+	if st := b.Timings; st.Place <= 0 || st.Route <= 0 {
 		t.Fatalf("stage timings not recorded: %+v", st)
 	}
 }
 
-// TestGenerateCtxConcurrentClones runs the full pipeline on independent
+// TestRunConcurrentClones runs the full pipeline on independent
 // clones of one shared design from multiple goroutines; under -race
 // this guards the placement-mutates-design hazard end to end.
-func TestGenerateCtxConcurrentClones(t *testing.T) {
+func TestRunConcurrentClones(t *testing.T) {
 	base := workload.Datapath16()
 	const n = 8
 	errs := make(chan error, n)
 	for i := 0; i < n; i++ {
 		go func() {
-			_, err := GenerateCtx(context.Background(), base.Clone(), DefaultOptions())
+			_, err := Run(context.Background(), base.Clone(), DefaultOptions())
 			errs <- err
 		}()
 	}

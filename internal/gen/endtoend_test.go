@@ -1,6 +1,7 @@
 package gen_test
 
 import (
+	"context"
 	"testing"
 
 	"netart/internal/gen"
@@ -35,7 +36,7 @@ func TestEndToEndRandomProperty(t *testing.T) {
 	for seed := int64(1); seed <= 6; seed++ {
 		for _, k := range knobs {
 			d := workload.Random(10, seed)
-			dg, err := gen.Generate(d, gen.Options{
+			rep, err := gen.Run(context.Background(), d, gen.Options{
 				Placer: k.placer,
 				Place:  place.Options{PartSize: k.p, BoxSize: k.b, ModSpacing: k.s},
 				Route:  route.Options{Claimpoints: true},
@@ -43,6 +44,7 @@ func TestEndToEndRandomProperty(t *testing.T) {
 			if err != nil {
 				t.Fatalf("seed %d placer %v p%d b%d: %v", seed, k.placer, k.p, k.b, err)
 			}
+			dg := rep.Diagram
 			if err := dg.Verify(); err != nil {
 				t.Errorf("seed %d placer %v p%d b%d: verify: %v", seed, k.placer, k.p, k.b, err)
 				continue
@@ -83,13 +85,14 @@ func TestCPUWorkloadGenerates(t *testing.T) {
 		{PartSize: 8, BoxSize: 5, ModSpacing: 1},
 	} {
 		d := workload.CPU()
-		dg, err := gen.Generate(d, gen.Options{
+		rep, err := gen.Run(context.Background(), d, gen.Options{
 			Place: po,
 			Route: route.Options{Claimpoints: true, RipUp: true},
 		})
 		if err != nil {
 			t.Fatal(err)
 		}
+		dg := rep.Diagram
 		if err := dg.Verify(); err != nil {
 			t.Fatalf("p=%d: %v", po.PartSize, err)
 		}

@@ -153,6 +153,11 @@ type Options struct {
 	// feeds the per-stage latency histograms of its metric sink. A nil
 	// observer is allocation-free on the hot path.
 	Observer *obs.Observer
+	// Progress, when non-nil, receives streaming progress events:
+	// placement geometry once it is final, then per routing attempt the
+	// attempt name followed by every net in canonical commit order (the
+	// async job API streams these over SSE). Nil costs nothing.
+	Progress ProgressFunc
 	// StopAfterPlace runs only the placement phase (the PABLO half):
 	// Report.Placement is filled, Report.Diagram stays nil.
 	StopAfterPlace bool

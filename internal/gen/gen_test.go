@@ -1,6 +1,7 @@
 package gen
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -10,10 +11,11 @@ import (
 )
 
 func TestGenerateDefault(t *testing.T) {
-	dg, err := Generate(workload.Datapath16(), DefaultOptions())
+	rep, err := Run(context.Background(), workload.Datapath16(), DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
+	dg := rep.Diagram
 	if err := dg.Verify(); err != nil {
 		t.Fatal(err)
 	}
@@ -26,11 +28,11 @@ func TestGenerateWithBaselinePlacers(t *testing.T) {
 	for _, p := range []Placer{PlaceEpitaxial, PlaceMinCut, PlaceLogicColumns} {
 		opts := DefaultOptions()
 		opts.Placer = p
-		dg, err := Generate(workload.Fig61(), opts)
+		rep, err := Run(context.Background(), workload.Fig61(), opts)
 		if err != nil {
 			t.Fatalf("%v: %v", p, err)
 		}
-		if err := dg.Verify(); err != nil {
+		if err := rep.Diagram.Verify(); err != nil {
 			t.Errorf("%v: %v", p, err)
 		}
 	}
@@ -134,11 +136,12 @@ func TestGenerateOnPlacement(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dg, err := GenerateOnPlacement(pr, route.Options{Claimpoints: true})
+	rep, err := Run(context.Background(), nil,
+		Options{Placement: pr, Route: route.Options{Claimpoints: true}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if dg.Metrics().Unrouted != 0 {
+	if rep.Diagram.Metrics().Unrouted != 0 {
 		t.Error("unrouted nets on fig61 placement")
 	}
 }

@@ -173,6 +173,9 @@ func Run(ctx context.Context, d *netlist.Design, opts Options) (*Report, error) 
 	if d == nil {
 		d = pr.Design
 	}
+	// Placement geometry is final from here on (routing never moves a
+	// module), so streaming consumers may draw it now.
+	opts.Progress.emit(ProgressEvent{Kind: ProgressPlaced, Placement: pr})
 	if opts.StopAfterPlace {
 		rep.Trace = o.Snapshot()
 		return rep, nil
@@ -295,6 +298,17 @@ func routeWithLadder(ctx context.Context, pr *place.Result, opts Options, o *obs
 	run := func(name string, ro route.Options) (*route.Result, error) {
 		asp := o.StartSpan("route.attempt")
 		asp.SetAttrString("config", name)
+		if opts.Progress != nil {
+			opts.Progress.emit(ProgressEvent{Kind: ProgressAttempt, Attempt: name})
+			// Bridge the router's ordered-commit hook onto the progress
+			// stream: one event per net, in canonical commit order,
+			// tagged with the attempt it belongs to.
+			ro.OnCommit = func(idx, total int, rn *route.RoutedNet) {
+				opts.Progress.emit(ProgressEvent{
+					Kind: ProgressNet, Attempt: name, Index: idx, Total: total, Net: rn,
+				})
+			}
+		}
 		var rr *route.Result
 		err := resilience.Recover("route", func() error {
 			var rerr error

@@ -1,0 +1,517 @@
+// Package jobs is the async job subsystem behind the service's
+// /v2/jobs API: a bounded ring of job records, each carrying a
+// queued → running → done|failed|canceled state machine, an
+// append-only event log that SSE subscribers replay and then follow
+// live, and a cancel hook into the context threaded through the
+// pipeline's wavefront loops.
+//
+// Design points:
+//
+//   - The ring is capacity-bounded (Manager max): submissions beyond
+//     it fail with ErrFull, which the service maps to the same 429 the
+//     worker queue sheds with. Terminal records are evicted lazily —
+//     on every Create/Get/Counts — once their TTL expires, and early
+//     under capacity pressure (oldest terminal first), so a burst of
+//     finished jobs can never starve new submissions while live jobs
+//     are never evicted.
+//   - Subscribers pull from the event log at their own pace (an index
+//     per subscription, a broadcast channel for wakeups), so a slow or
+//     disconnected SSE client never blocks the pipeline goroutine that
+//     publishes events.
+//   - The package stores results and attachments as opaque any values;
+//     the wire shapes live in the service layer.
+package jobs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// State is a job's position in the lifecycle state machine.
+type State string
+
+// The job states. Transitions: queued → running → done|failed|canceled,
+// plus the short-circuit queued → canceled for jobs canceled before a
+// worker picked them up.
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether the state ends the lifecycle.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Event is one entry of a job's append-only event log. Seq numbers
+// start at 0 and increase by one, so SSE clients can resume with
+// Last-Event-ID. Data is an owner-defined JSON-marshalable payload.
+type Event struct {
+	Seq  int    `json:"seq"`
+	Type string `json:"type"`
+	Data any    `json:"data,omitempty"`
+}
+
+// StateChange is the Data payload of the "state" events the manager
+// publishes on every transition.
+type StateChange struct {
+	State State  `json:"state"`
+	Error string `json:"error,omitempty"`
+	Code  int    `json:"code,omitempty"`
+}
+
+// Hooks observes manager lifecycle for metrics. All callbacks are
+// optional and must be cheap; they run with no job lock held but may
+// run concurrently.
+type Hooks struct {
+	// OnEvent fires once per event appended to any job's log.
+	OnEvent func()
+	// OnFinish fires once per job reaching a terminal state.
+	OnFinish func(State)
+	// OnEvict fires once per record evicted from the ring.
+	OnEvict func()
+}
+
+// ErrFull is returned by Create when the ring holds max non-evictable
+// (live or unexpired-terminal-but-needed) records; the service maps it
+// to 429 exactly like a full worker queue.
+var ErrFull = errors.New("jobs: job table full")
+
+// ErrDone ends a subscription: every event has been delivered and the
+// job is terminal, so no further events can appear.
+var ErrDone = errors.New("jobs: event stream complete")
+
+// Manager owns the bounded job ring.
+type Manager struct {
+	mu    sync.Mutex
+	max   int
+	ttl   time.Duration
+	now   func() time.Time // injectable for deterministic TTL tests
+	jobs  map[string]*Job
+	order []*Job // insertion order; eviction scans oldest-first
+	hooks Hooks
+}
+
+// NewManager builds a manager holding at most max records, evicting
+// terminal records ttl after they finish. Non-positive values use the
+// defaults (256 records, 15 minutes).
+func NewManager(max int, ttl time.Duration, hooks Hooks) *Manager {
+	if max <= 0 {
+		max = 256
+	}
+	if ttl <= 0 {
+		ttl = 15 * time.Minute
+	}
+	return &Manager{
+		max:   max,
+		ttl:   ttl,
+		now:   time.Now,
+		jobs:  make(map[string]*Job),
+		hooks: hooks,
+	}
+}
+
+// Create registers a new queued job. cancel, when non-nil, is invoked
+// by Job.Cancel to abort the job's pipeline context. Returns ErrFull
+// when the ring cannot make room (every record is live).
+func (m *Manager) Create(cancel context.CancelFunc) (*Job, error) {
+	m.mu.Lock()
+	now := m.now()
+	m.sweepLocked(now)
+	evicted := 0
+	// Capacity pressure: old finished jobs must not block new work, so
+	// terminal records are evicted oldest-first even before their TTL.
+	for len(m.order) >= m.max {
+		if !m.evictOldestTerminalLocked() {
+			m.mu.Unlock()
+			return nil, ErrFull
+		}
+		evicted++
+	}
+	j := &Job{
+		id:      newID(),
+		mgr:     m,
+		state:   StateQueued,
+		created: now,
+		cancel:  cancel,
+		update:  make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	m.jobs[j.id] = j
+	m.order = append(m.order, j)
+	m.mu.Unlock()
+	m.notifyEvict(evicted)
+	return j, nil
+}
+
+// Get returns the job record, or nil when unknown or already evicted.
+func (m *Manager) Get(id string) *Job {
+	m.mu.Lock()
+	evicted := len(m.order)
+	m.sweepLocked(m.now())
+	evicted -= len(m.order)
+	j := m.jobs[id]
+	m.mu.Unlock()
+	m.notifyEvict(evicted)
+	return j
+}
+
+// Remove drops a record from the ring regardless of state. The service
+// uses it to undo a Create whose pool submission failed — the client
+// got an error, so no record should linger. Fires no eviction hook.
+func (m *Manager) Remove(id string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.jobs[id]; !ok {
+		return
+	}
+	delete(m.jobs, id)
+	for i, j := range m.order {
+		if j.id == id {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Counts reports the number of tracked records and how many of them
+// are live (queued or running); stats and gauges read it.
+func (m *Manager) Counts() (tracked, live int) {
+	m.mu.Lock()
+	evicted := len(m.order)
+	m.sweepLocked(m.now())
+	evicted -= len(m.order)
+	tracked = len(m.order)
+	for _, j := range m.order {
+		if !j.State().Terminal() {
+			live++
+		}
+	}
+	m.mu.Unlock()
+	m.notifyEvict(evicted)
+	return tracked, live
+}
+
+// sweepLocked drops terminal records whose TTL expired.
+func (m *Manager) sweepLocked(now time.Time) {
+	keep := m.order[:0]
+	for _, j := range m.order {
+		if j.expired(now, m.ttl) {
+			delete(m.jobs, j.id)
+			continue
+		}
+		keep = append(keep, j)
+	}
+	for i := len(keep); i < len(m.order); i++ {
+		m.order[i] = nil
+	}
+	m.order = keep
+}
+
+// evictOldestTerminalLocked removes the oldest terminal record;
+// false means every record is live.
+func (m *Manager) evictOldestTerminalLocked() bool {
+	for i, j := range m.order {
+		if j.State().Terminal() {
+			delete(m.jobs, j.id)
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+func (m *Manager) notifyEvict(n int) {
+	if m.hooks.OnEvict == nil {
+		return
+	}
+	for i := 0; i < n; i++ {
+		m.hooks.OnEvict()
+	}
+}
+
+// newID returns 16 hex characters of crypto randomness (the same
+// shape as obs trace ids; collisions are vanishingly unlikely within
+// a ring of hundreds).
+func newID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("%016x", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Job is one async generation job: state machine, event log, cancel
+// hook, and the owner's opaque result/attachment.
+type Job struct {
+	id      string
+	mgr     *Manager
+	created time.Time
+
+	mu       sync.Mutex
+	state    State
+	started  time.Time
+	finished time.Time
+	events   []Event
+	update   chan struct{} // closed+replaced on every append
+	cancel   context.CancelFunc
+	errMsg   string
+	errCode  int
+	result   any
+	attach   any
+	stage    string
+	netsDone int
+	netsAll  int
+
+	done chan struct{} // closed once, on reaching a terminal state
+}
+
+// ID returns the job identifier (16 hex characters).
+func (j *Job) ID() string { return j.id }
+
+// State returns the current lifecycle state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// expired reports whether the record may be TTL-swept.
+func (j *Job) expired(now time.Time, ttl time.Duration) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state.Terminal() && now.Sub(j.finished) >= ttl
+}
+
+// appendLocked adds one event and wakes subscribers. Caller holds j.mu.
+func (j *Job) appendLocked(typ string, data any) {
+	j.events = append(j.events, Event{Seq: len(j.events), Type: typ, Data: data})
+	close(j.update)
+	j.update = make(chan struct{})
+	if j.mgr != nil && j.mgr.hooks.OnEvent != nil {
+		// Counter increment only; safe under the job lock.
+		j.mgr.hooks.OnEvent()
+	}
+}
+
+// Publish appends a progress event to the log. Events published after
+// the job turned terminal are dropped: the terminal "state" event is
+// always the last one a subscriber sees.
+func (j *Job) Publish(typ string, data any) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.appendLocked(typ, data)
+}
+
+// SetProgress updates the live progress counters the status document
+// reports (current stage, nets committed so far, nets total).
+func (j *Job) SetProgress(stage string, done, total int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.stage = stage
+	j.netsDone = done
+	j.netsAll = total
+}
+
+// Attach stores an owner payload on the job (the service attaches the
+// live trace observer so status snapshots can derive per-stage
+// progress); Attachment returns it.
+func (j *Job) Attach(v any) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.attach = v
+}
+
+// Attachment returns the value stored by Attach (nil before).
+func (j *Job) Attachment() any {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.attach
+}
+
+// Result returns the value stored by Finish (nil before completion).
+func (j *Job) Result() any {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result
+}
+
+// Start moves queued → running. False means the job was canceled
+// before a worker picked it up; the caller must not run it.
+func (j *Job) Start() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	j.started = j.mgr.now()
+	j.stage = "running"
+	j.appendLocked("state", StateChange{State: StateRunning})
+	return true
+}
+
+// finishLocked performs a terminal transition. Caller holds j.mu.
+func (j *Job) finishLocked(st State, code int, msg string) {
+	j.state = st
+	j.finished = j.mgr.now()
+	j.errCode = code
+	j.errMsg = msg
+	j.appendLocked("state", StateChange{State: st, Error: msg, Code: code})
+	close(j.done)
+	if j.mgr.hooks.OnFinish != nil {
+		j.mgr.hooks.OnFinish(st)
+	}
+}
+
+// Finish moves the job to done and stores its result. No-op when the
+// job is already terminal.
+func (j *Job) Finish(result any) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.result = result
+	j.finishLocked(StateDone, 0, "")
+}
+
+// Fail moves the job to failed with the HTTP-style status code its
+// synchronous twin would have answered. No-op when already terminal.
+func (j *Job) Fail(code int, msg string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.finishLocked(StateFailed, code, msg)
+}
+
+// Cancel requests cancellation: a queued job turns canceled
+// immediately (the pool will skip it), a running job gets its pipeline
+// context canceled and turns canceled when the pipeline unwinds (see
+// FinishCanceled). False means the job was already terminal.
+func (j *Job) Cancel() bool {
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return false
+	}
+	cancel := j.cancel
+	if j.state == StateQueued {
+		j.finishLocked(StateCanceled, 0, "canceled before start")
+	}
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	return true
+}
+
+// FinishCanceled records that the pipeline unwound from a
+// cancellation. No-op when already terminal.
+func (j *Job) FinishCanceled(msg string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.finishLocked(StateCanceled, 0, msg)
+}
+
+// Status is a point-in-time snapshot of a job record.
+type Status struct {
+	ID         string
+	State      State
+	Created    time.Time
+	Started    time.Time
+	Finished   time.Time
+	Events     int
+	Stage      string
+	NetsRouted int
+	NetsTotal  int
+	Error      string
+	Code       int
+	Result     any
+}
+
+// Status snapshots the record.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return Status{
+		ID:         j.id,
+		State:      j.state,
+		Created:    j.created,
+		Started:    j.started,
+		Finished:   j.finished,
+		Events:     len(j.events),
+		Stage:      j.stage,
+		NetsRouted: j.netsDone,
+		NetsTotal:  j.netsAll,
+		Error:      j.errMsg,
+		Code:       j.errCode,
+		Result:     j.result,
+	}
+}
+
+// Subscription iterates a job's event log: replay from a starting
+// sequence number, then follow live appends.
+type Subscription struct {
+	j    *Job
+	next int
+}
+
+// Subscribe starts a subscription at the beginning of the log.
+func (j *Job) Subscribe() *Subscription { return j.SubscribeFrom(0) }
+
+// SubscribeFrom starts a subscription at sequence number from
+// (clamped to [0, len(log)]); SSE resume passes Last-Event-ID+1.
+func (j *Job) SubscribeFrom(from int) *Subscription {
+	if from < 0 {
+		from = 0
+	}
+	return &Subscription{j: j, next: from}
+}
+
+// Next returns the next event, blocking until one is available. It
+// returns ErrDone once the log is drained and the job is terminal, or
+// ctx.Err() when the subscriber's context ends first. Each
+// subscription owns its cursor, so slow consumers only delay
+// themselves.
+func (s *Subscription) Next(ctx context.Context) (Event, error) {
+	for {
+		s.j.mu.Lock()
+		if s.next < len(s.j.events) {
+			ev := s.j.events[s.next]
+			s.next++
+			s.j.mu.Unlock()
+			return ev, nil
+		}
+		terminal := s.j.state.Terminal()
+		update := s.j.update
+		s.j.mu.Unlock()
+		if terminal {
+			return Event{}, ErrDone
+		}
+		select {
+		case <-ctx.Done():
+			return Event{}, ctx.Err()
+		case <-update:
+		}
+	}
+}

@@ -1,0 +1,335 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newTestManager(t *testing.T, max int, ttl time.Duration) (*Manager, *time.Time) {
+	t.Helper()
+	clock := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	m := NewManager(max, ttl, Hooks{})
+	m.now = func() time.Time { return clock }
+	return m, &clock
+}
+
+func TestLifecycleDone(t *testing.T) {
+	m, _ := newTestManager(t, 8, time.Minute)
+	j, err := m.Create(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := j.State(); got != StateQueued {
+		t.Fatalf("state = %q, want queued", got)
+	}
+	if !j.Start() {
+		t.Fatal("Start() = false on a queued job")
+	}
+	j.Publish("net", map[string]int{"index": 0})
+	j.Finish("result-payload")
+	if got := j.State(); got != StateDone {
+		t.Fatalf("state = %q, want done", got)
+	}
+	if j.Result() != "result-payload" {
+		t.Fatalf("Result() = %v", j.Result())
+	}
+	select {
+	case <-j.Done():
+	default:
+		t.Fatal("Done() not closed after Finish")
+	}
+	// Terminal jobs reject further transitions and drop new events.
+	j.Fail(500, "late")
+	j.Publish("net", nil)
+	st := j.Status()
+	if st.State != StateDone || st.Code != 0 || st.Error != "" {
+		t.Fatalf("post-terminal mutation leaked: %+v", st)
+	}
+	// Log: state(running), net, state(done).
+	if st.Events != 3 {
+		t.Fatalf("events = %d, want 3", st.Events)
+	}
+}
+
+func TestCancelQueued(t *testing.T) {
+	m, _ := newTestManager(t, 8, time.Minute)
+	ctx, cancel := context.WithCancel(context.Background())
+	j, err := m.Create(cancel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !j.Cancel() {
+		t.Fatal("Cancel() = false on a queued job")
+	}
+	if got := j.State(); got != StateCanceled {
+		t.Fatalf("state = %q, want canceled", got)
+	}
+	if ctx.Err() == nil {
+		t.Fatal("pipeline context not canceled")
+	}
+	if j.Start() {
+		t.Fatal("Start() = true on a canceled job (pool must skip it)")
+	}
+	if j.Cancel() {
+		t.Fatal("second Cancel() = true on a terminal job")
+	}
+}
+
+func TestCancelRunning(t *testing.T) {
+	m, _ := newTestManager(t, 8, time.Minute)
+	ctx, cancel := context.WithCancel(context.Background())
+	j, _ := m.Create(cancel)
+	j.Start()
+	if !j.Cancel() {
+		t.Fatal("Cancel() = false on a running job")
+	}
+	// A running job only gets its context canceled; the runner reports
+	// the unwind.
+	if got := j.State(); got != StateRunning {
+		t.Fatalf("state = %q, want running until the pipeline unwinds", got)
+	}
+	if ctx.Err() == nil {
+		t.Fatal("pipeline context not canceled")
+	}
+	j.FinishCanceled("canceled by client")
+	if got := j.State(); got != StateCanceled {
+		t.Fatalf("state = %q, want canceled", got)
+	}
+}
+
+func TestTTLEviction(t *testing.T) {
+	m, clock := newTestManager(t, 8, time.Minute)
+	j, _ := m.Create(nil)
+	j.Start()
+	j.Finish(nil)
+	id := j.ID()
+	if m.Get(id) == nil {
+		t.Fatal("job evicted before TTL")
+	}
+	*clock = clock.Add(time.Minute + time.Second)
+	if m.Get(id) != nil {
+		t.Fatal("job survived TTL sweep")
+	}
+	if tracked, _ := m.Counts(); tracked != 0 {
+		t.Fatalf("tracked = %d after sweep, want 0", tracked)
+	}
+}
+
+func TestTTLNeverEvictsLiveJobs(t *testing.T) {
+	m, clock := newTestManager(t, 8, time.Minute)
+	j, _ := m.Create(nil)
+	j.Start()
+	*clock = clock.Add(24 * time.Hour)
+	if m.Get(j.ID()) == nil {
+		t.Fatal("live job evicted by TTL sweep")
+	}
+}
+
+func TestCapacityEvictsOldestTerminalFirst(t *testing.T) {
+	m, _ := newTestManager(t, 2, time.Hour)
+	a, _ := m.Create(nil)
+	a.Start()
+	a.Finish(nil)
+	b, _ := m.Create(nil)
+	b.Start()
+	b.Finish(nil)
+	// Ring is full of terminal records: a third create evicts the oldest.
+	c, err := m.Create(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Get(a.ID()) != nil {
+		t.Fatal("oldest terminal record not evicted under capacity pressure")
+	}
+	if m.Get(b.ID()) == nil || m.Get(c.ID()) == nil {
+		t.Fatal("wrong record evicted")
+	}
+}
+
+func TestCreateErrFullWhenAllLive(t *testing.T) {
+	m, _ := newTestManager(t, 2, time.Hour)
+	if _, err := m.Create(nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Create(nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Create(nil); !errors.Is(err, ErrFull) {
+		t.Fatalf("Create on a live-full ring: err = %v, want ErrFull", err)
+	}
+}
+
+func TestSubscriptionReplayAndLive(t *testing.T) {
+	m, _ := newTestManager(t, 8, time.Minute)
+	j, _ := m.Create(nil)
+	j.Start()
+	j.Publish("a", 1)
+	j.Publish("b", 2)
+
+	sub := j.Subscribe()
+	ctx := context.Background()
+	var types []string
+	for i := 0; i < 3; i++ { // state(running), a, b
+		ev, err := sub.Next(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.Seq != i {
+			t.Fatalf("seq = %d, want %d", ev.Seq, i)
+		}
+		types = append(types, ev.Type)
+	}
+	if types[0] != "state" || types[1] != "a" || types[2] != "b" {
+		t.Fatalf("replay order = %v", types)
+	}
+
+	// A blocked Next wakes on the next publish.
+	got := make(chan Event, 1)
+	go func() {
+		ev, err := sub.Next(ctx)
+		if err != nil {
+			return
+		}
+		got <- ev
+	}()
+	time.Sleep(10 * time.Millisecond)
+	j.Publish("c", 3)
+	select {
+	case ev := <-got:
+		if ev.Type != "c" {
+			t.Fatalf("live event = %q, want c", ev.Type)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("subscriber not woken by publish")
+	}
+
+	j.Finish(nil)
+	if ev, err := sub.Next(ctx); err != nil || ev.Type != "state" {
+		t.Fatalf("terminal event = %v, %v", ev, err)
+	}
+	if _, err := sub.Next(ctx); !errors.Is(err, ErrDone) {
+		t.Fatalf("drained terminal stream: err = %v, want ErrDone", err)
+	}
+}
+
+func TestSubscribeFromResume(t *testing.T) {
+	m, _ := newTestManager(t, 8, time.Minute)
+	j, _ := m.Create(nil)
+	j.Start()
+	j.Publish("a", nil)
+	j.Publish("b", nil)
+	// Last-Event-ID = 1 resumes at seq 2.
+	sub := j.SubscribeFrom(2)
+	ev, err := sub.Next(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Seq != 2 || ev.Type != "b" {
+		t.Fatalf("resumed at %d %q, want 2 b", ev.Seq, ev.Type)
+	}
+}
+
+func TestNextContextCancel(t *testing.T) {
+	m, _ := newTestManager(t, 8, time.Minute)
+	j, _ := m.Create(nil)
+	j.Start()
+	sub := j.Subscribe()
+	if _, err := sub.Next(context.Background()); err != nil {
+		t.Fatal(err) // the state(running) event
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := sub.Next(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("blocked Next with dead ctx: err = %v", err)
+	}
+}
+
+func TestSlowSubscriberNeverBlocksPublisher(t *testing.T) {
+	m, _ := newTestManager(t, 8, time.Minute)
+	j, _ := m.Create(nil)
+	j.Start()
+	_ = j.Subscribe() // never reads
+	doneCh := make(chan struct{})
+	go func() {
+		for i := 0; i < 10_000; i++ {
+			j.Publish("net", i)
+		}
+		close(doneCh)
+	}()
+	select {
+	case <-doneCh:
+	case <-time.After(5 * time.Second):
+		t.Fatal("publisher blocked by an idle subscriber")
+	}
+}
+
+func TestHooksFire(t *testing.T) {
+	var mu sync.Mutex
+	var events, evicted int
+	var finished []State
+	m := NewManager(2, time.Hour, Hooks{
+		OnEvent:  func() { mu.Lock(); events++; mu.Unlock() },
+		OnFinish: func(s State) { mu.Lock(); finished = append(finished, s); mu.Unlock() },
+		OnEvict:  func() { mu.Lock(); evicted++; mu.Unlock() },
+	})
+	a, _ := m.Create(nil)
+	a.Start()
+	a.Fail(504, "timeout")
+	b, _ := m.Create(nil)
+	b.Cancel()
+	if _, err := m.Create(nil); err != nil { // evicts a (oldest terminal)
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	// a: state(running)+state(failed); b: state(canceled).
+	if events != 3 {
+		t.Errorf("OnEvent fired %d times, want 3", events)
+	}
+	if len(finished) != 2 || finished[0] != StateFailed || finished[1] != StateCanceled {
+		t.Errorf("OnFinish sequence = %v", finished)
+	}
+	if evicted != 1 {
+		t.Errorf("OnEvict fired %d times, want 1", evicted)
+	}
+}
+
+func TestConcurrentPublishSubscribe(t *testing.T) {
+	m, _ := newTestManager(t, 8, time.Minute)
+	j, _ := m.Create(nil)
+	j.Start()
+	const n = 500
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sub := j.Subscribe()
+			ctx := context.Background()
+			last := -1
+			for {
+				ev, err := sub.Next(ctx)
+				if errors.Is(err, ErrDone) {
+					return
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if ev.Seq != last+1 {
+					t.Errorf("gap: seq %d after %d", ev.Seq, last)
+					return
+				}
+				last = ev.Seq
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		j.Publish("net", i)
+	}
+	j.Finish(nil)
+	wg.Wait()
+}

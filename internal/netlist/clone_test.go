@@ -1,6 +1,7 @@
 package netlist_test
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -99,8 +100,8 @@ func TestCloneIsolatesGeneration(t *testing.T) {
 	before := snapshot(d)
 
 	clone := d.Clone()
-	if _, err := gen.Generate(clone, gen.DefaultOptions()); err != nil {
-		t.Fatalf("Generate(clone): %v", err)
+	if _, err := gen.Run(context.Background(), clone, gen.DefaultOptions()); err != nil {
+		t.Fatalf("Run(clone): %v", err)
 	}
 
 	if after := snapshot(d); after != before {

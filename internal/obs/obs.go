@@ -103,7 +103,12 @@ func (o *Observer) Snapshot() *TraceData {
 }
 
 // Span is one timed pipeline stage. All methods are nil-safe no-ops so
-// disabled observability costs only the pointer compare.
+// disabled observability costs only the pointer compare. When the span
+// belongs to a trace, every mutation (attributes, outcome, end) runs
+// under the trace mutex, so Observer.Snapshot may be called at any
+// point of a live run — the async job API serves mid-run status
+// documents from exactly such snapshots. Without a trace (metric-only
+// observers) no lock is taken and no snapshot exists to race.
 type Span struct {
 	obs     *Observer
 	name    string
@@ -125,11 +130,24 @@ type Attr struct {
 	IsStr bool
 }
 
+// traceOf returns the trace whose mutex guards this span's fields, or
+// nil for metric-only spans (single-goroutine, never snapshotted).
+func (s *Span) traceOf() *Trace {
+	if s.obs == nil {
+		return nil
+	}
+	return s.obs.trace
+}
+
 // SetAttr records an integer attribute (counts: partitions, boxes,
 // wavefront searches, …).
 func (s *Span) SetAttr(key string, v int64) {
 	if s == nil {
 		return
+	}
+	if tr := s.traceOf(); tr != nil {
+		tr.mu.Lock()
+		defer tr.mu.Unlock()
 	}
 	s.attrs = append(s.attrs, Attr{Key: key, Int: v})
 }
@@ -139,6 +157,10 @@ func (s *Span) SetAttrString(key, v string) {
 	if s == nil {
 		return
 	}
+	if tr := s.traceOf(); tr != nil {
+		tr.mu.Lock()
+		defer tr.mu.Unlock()
+	}
 	s.attrs = append(s.attrs, Attr{Key: key, Str: v, IsStr: true})
 }
 
@@ -147,6 +169,10 @@ func (s *Span) SetAttrString(key, v string) {
 func (s *Span) Degrade() {
 	if s == nil {
 		return
+	}
+	if tr := s.traceOf(); tr != nil {
+		tr.mu.Lock()
+		defer tr.mu.Unlock()
 	}
 	s.outcome = OutcomeDegraded
 }
@@ -179,7 +205,17 @@ func (s *Span) EndPanic(cause any) {
 }
 
 func (s *Span) end(outcome, errMsg string) {
-	if s == nil || s.ended {
+	if s == nil {
+		return
+	}
+	tr := s.traceOf()
+	if tr != nil {
+		tr.mu.Lock()
+	}
+	if s.ended {
+		if tr != nil {
+			tr.mu.Unlock()
+		}
 		return
 	}
 	s.ended = true
@@ -188,19 +224,27 @@ func (s *Span) end(outcome, errMsg string) {
 		s.outcome = outcome
 	}
 	s.errMsg = errMsg
-	if s.obs != nil {
-		if tr := s.obs.trace; tr != nil {
-			tr.pop(s)
+	if tr != nil {
+		// Pop this span — and anything opened after it that a recovered
+		// panic abandoned without an End — from the open stack, under
+		// the same lock that made the field writes above visible.
+		for i := len(tr.stack) - 1; i > 0; i-- {
+			if tr.stack[i] == s {
+				tr.stack = tr.stack[:i]
+				break
+			}
 		}
-		if m := s.obs.m; m != nil {
-			m.StageObserve(s.name, s.dur)
-		}
+		tr.mu.Unlock()
+	}
+	if s.obs != nil && s.obs.m != nil {
+		s.obs.m.StageObserve(s.name, s.dur)
 	}
 }
 
 // Trace is one request's span tree. The pipeline runs a request on a
-// single goroutine, but the mutex keeps snapshots safe against
-// concurrent readers (a stats scrape racing the last stage).
+// single goroutine, but the mutex guards every span mutation so
+// concurrent readers (a stats scrape, or a job-status snapshot taken
+// mid-run) always see a coherent tree.
 type Trace struct {
 	id    string
 	start time.Time
@@ -215,6 +259,11 @@ func newTrace(rootName string) *Trace {
 	t.stack = []*Span{t.root}
 	return t
 }
+
+// NewTraceID returns a fresh trace identifier. The service stamps it
+// on error responses that never reached the traced pipeline, so every
+// non-2xx answer still carries a correlation id.
+func NewTraceID() string { return newTraceID() }
 
 // newTraceID returns 16 hex characters of crypto randomness (falling
 // back to a time-derived ID if the entropy pool fails, which the Go
@@ -232,20 +281,6 @@ func (t *Trace) push(sp *Span) {
 	parent := t.stack[len(t.stack)-1]
 	parent.child = append(parent.child, sp)
 	t.stack = append(t.stack, sp)
-	t.mu.Unlock()
-}
-
-// pop removes sp and anything opened after it (a child abandoned by a
-// recovered panic never calls End; popping through keeps the stack
-// coherent).
-func (t *Trace) pop(sp *Span) {
-	t.mu.Lock()
-	for i := len(t.stack) - 1; i > 0; i-- {
-		if t.stack[i] == sp {
-			t.stack = t.stack[:i]
-			break
-		}
-	}
 	t.mu.Unlock()
 }
 

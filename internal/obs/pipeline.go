@@ -95,6 +95,19 @@ type Pipeline struct {
 	// peer failures (netart_proxy_retries_total).
 	ProxyRetries *Counter
 
+	// Async-job counters of the /v2/jobs subsystem. JobsSubmitted
+	// counts accepted submissions; exactly one of JobsDone/JobsFailed/
+	// JobsCanceled increments when a job reaches its terminal state;
+	// JobsEvicted counts records dropped from the ring (TTL expiry or
+	// capacity pressure); JobsEvents counts progress events appended to
+	// job event logs (what SSE subscribers replay).
+	JobsSubmitted *Counter
+	JobsDone      *Counter
+	JobsFailed    *Counter
+	JobsCanceled  *Counter
+	JobsEvicted   *Counter
+	JobsEvents    *Counter
+
 	// Placement scheduler counters of the parallel placement engine:
 	// partition tasks share no mutable state, so — unlike routing
 	// speculations — every examined task commits; the single
@@ -196,6 +209,20 @@ func NewPipeline() *Pipeline {
 	p.SpecRequeues = specOutcome("requeue")
 	p.RouteWorkerBusy = reg.Histogram("netart_route_worker_busy_seconds",
 		"Busy wall time per routing worker per parallel route attempt.", "")
+
+	p.JobsSubmitted = reg.Counter("netart_jobs_submitted_total",
+		"Async jobs accepted by POST /v2/jobs.", "")
+	job := func(state string) *Counter {
+		return reg.Counter("netart_jobs_total",
+			"Async jobs finished, by terminal state.", `state="`+state+`"`)
+	}
+	p.JobsDone = job("done")
+	p.JobsFailed = job("failed")
+	p.JobsCanceled = job("canceled")
+	p.JobsEvicted = reg.Counter("netart_jobs_evicted_total",
+		"Job records evicted from the ring (TTL expiry or capacity pressure).", "")
+	p.JobsEvents = reg.Counter("netart_jobs_events_total",
+		"Progress events appended to job event logs.", "")
 
 	p.PlaceSpecCommitted = reg.Counter("netart_place_speculation_total",
 		"Parallel-placement scheduler outcomes (partition tasks are conflict-free, so every task commits).",

@@ -172,6 +172,12 @@ func (rt *router) routeAllParallel() {
 			rt.rec = nil
 			log[k] = commitEntry{rec: rec, writes: rec.writeSet(rt.plane)}
 		}
+		if rt.opts.OnCommit != nil {
+			// The commit point: the master plane now reflects this net's
+			// outcome, in canonical order — identical to the sequential
+			// loop's per-net callback.
+			rt.opts.OnCommit(k, n, byNet[order[k]])
+		}
 		sched.commit(k)
 	}
 	sched.stop()

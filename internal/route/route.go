@@ -75,6 +75,18 @@ type Options struct {
 	// model) while an injected panic propagates to the caller's
 	// Recover boundary.
 	Inject *resilience.Injector
+	// OnCommit, when non-nil, is invoked once per net at the router's
+	// ordered-commit point of the main routing pass, strictly in the
+	// canonical routing order (routeOrder): the sequential loop and the
+	// parallel speculation committer fire the identical sequence, so
+	// observers see the same progression regardless of Workers. idx is
+	// the net's position in the canonical order, total the number of
+	// nets in the pass, and rn the outcome committed at that point.
+	// The retry and rip-up passes may later improve a net reported
+	// failed here; the returned Result holds the authoritative final
+	// geometry. The callback runs on the routing goroutine: it must not
+	// block for long and must not mutate routing state.
+	OnCommit func(idx, total int, rn *RoutedNet)
 }
 
 // Algo identifies a routing search engine.
@@ -346,12 +358,16 @@ func (rt *router) routeAll() {
 		rt.routeAllParallel()
 		return
 	}
+	order := rt.routeOrder()
 	byNet := map[*netlist.Net]*RoutedNet{}
-	for _, n := range rt.routeOrder() {
+	for i, n := range order {
 		if rt.cancel.poll() {
 			break // abandoned run; RouteCtx discards the result
 		}
 		byNet[n] = rt.routeNet(n)
+		if rt.opts.OnCommit != nil {
+			rt.opts.OnCommit(i, len(order), byNet[n])
+		}
 	}
 	rt.publish(byNet)
 }

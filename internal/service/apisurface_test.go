@@ -1,0 +1,160 @@
+package service
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// updateSurface rewrites the API-surface golden fixture; run
+//
+//	go test ./internal/service -run TestAPISurface -update
+//
+// after an intentional contract change and commit the diff.
+var updateSurface = flag.Bool("update", false, "rewrite testdata/api_surface.golden")
+
+// surfaceRoots maps the routes() Response names to their Go types so
+// the golden fixture pins the wire shapes, not just the paths. The
+// error envelope rides along: every endpoint can produce it.
+func surfaceRoots() map[string]reflect.Type {
+	return map[string]reflect.Type{
+		"Response":        reflect.TypeOf(Response{}),
+		"ResponseV2":      reflect.TypeOf(ResponseV2{}),
+		"BatchResponse":   reflect.TypeOf(BatchResponse{}),
+		"BatchResponseV2": reflect.TypeOf(BatchResponseV2{}),
+		"SubmitResponse":  reflect.TypeOf(SubmitResponse{}),
+		"JobStatus":       reflect.TypeOf(JobStatus{}),
+		"HealthResponse":  reflect.TypeOf(HealthResponse{}),
+		"StatsResponse":   reflect.TypeOf(StatsResponse{}),
+		"ErrorResponse":   reflect.TypeOf(ErrorResponse{}),
+	}
+}
+
+// renderSurface serializes the HTTP surface: the routes() table first,
+// then every reachable response struct with its JSON field names and
+// types, in deterministic order. Any drift — a new route, a renamed
+// field, a type change — shows up as a one-line diff.
+func renderSurface(s *Server) string {
+	var b strings.Builder
+	b.WriteString("# netartd HTTP API surface. Regenerate with:\n")
+	b.WriteString("#   go test ./internal/service -run TestAPISurface -update\n\n")
+	b.WriteString("[routes]\n")
+	for _, rt := range s.routes() {
+		fmt.Fprintf(&b, "%-11s %-24s -> %s\n",
+			strings.Join(rt.Methods, ","), rt.Pattern, rt.Response)
+	}
+
+	roots := surfaceRoots()
+	// Walk breadth-first from the named roots; collect every struct
+	// type in this package that can appear on the wire.
+	shapes := map[string]reflect.Type{}
+	var queue []reflect.Type
+	names := make([]string, 0, len(roots))
+	for n := range roots {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		queue = append(queue, roots[n])
+	}
+	selfPkg := reflect.TypeOf(Response{}).PkgPath()
+	for len(queue) > 0 {
+		t := queue[0]
+		queue = queue[1:]
+		t = deref(t)
+		if t.Kind() != reflect.Struct || t.PkgPath() != selfPkg || t.Name() == "" {
+			continue
+		}
+		if _, seen := shapes[t.Name()]; seen {
+			continue
+		}
+		shapes[t.Name()] = t
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if !f.IsExported() {
+				continue
+			}
+			queue = append(queue, f.Type)
+		}
+	}
+
+	shapeNames := make([]string, 0, len(shapes))
+	for n := range shapes {
+		shapeNames = append(shapeNames, n)
+	}
+	sort.Strings(shapeNames)
+	for _, n := range shapeNames {
+		t := shapes[n]
+		fmt.Fprintf(&b, "\n[%s]\n", n)
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if !f.IsExported() {
+				continue
+			}
+			tag, opts, _ := strings.Cut(f.Tag.Get("json"), ",")
+			if tag == "-" {
+				continue
+			}
+			if tag == "" {
+				tag = f.Name
+			}
+			suffix := ""
+			if strings.Contains(opts, "omitempty") {
+				suffix = " omitempty"
+			}
+			fmt.Fprintf(&b, "%-16s %s%s\n", tag, typeName(f.Type, selfPkg), suffix)
+		}
+	}
+	return b.String()
+}
+
+func deref(t reflect.Type) reflect.Type {
+	for t.Kind() == reflect.Pointer || t.Kind() == reflect.Slice ||
+		t.Kind() == reflect.Array || t.Kind() == reflect.Map {
+		t = t.Elem()
+	}
+	return t
+}
+
+// typeName renders a field type with this package's qualifier dropped,
+// so the fixture reads "[]BatchItem" rather than "[]service.BatchItem".
+func typeName(t reflect.Type, selfPkg string) string {
+	s := t.String()
+	self := filepath.Base(selfPkg) + "."
+	return strings.ReplaceAll(s, self, "")
+}
+
+// TestAPISurface pins the public HTTP contract: the route table and
+// every response shape must match testdata/api_surface.golden exactly.
+// This is the CI tripwire for accidental API changes — intentional
+// ones regenerate the fixture with -update and review the diff.
+func TestAPISurface(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	got := renderSurface(s)
+
+	golden := filepath.Join("testdata", "api_surface.golden")
+	if *updateSurface {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden fixture (run with -update to create it): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("API surface drifted from %s — if intentional, regenerate with -update.\ngot:\n%s\nwant:\n%s",
+			golden, got, want)
+	}
+}

@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"math/rand"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 
+	"netart/internal/obs"
 	"netart/internal/resilience"
 	"netart/internal/store/cluster"
 )
@@ -17,31 +19,87 @@ import (
 // client-side so the queue-based load shedding stays meaningful.
 const maxBatchItems = 64
 
-// Handler returns the daemon's HTTP surface:
+// apiRoute is one row of the public HTTP surface. The routes() table
+// is the single source of truth: Handler() registers exactly these
+// rows (with method dispatch derived from Methods), and the
+// API-surface golden test pins the table plus the response shapes so
+// an accidental route or contract change fails CI.
+type apiRoute struct {
+	// Pattern is the ServeMux pattern ({id} wildcards allowed).
+	Pattern string
+	// Methods lists the accepted HTTP methods; anything else answers
+	// 405 with the JSON error envelope and an Allow header.
+	Methods []string
+	// Response names the top-level response type (golden fixture key).
+	Response string
+	handler  http.HandlerFunc
+}
+
+// routes declares the daemon's HTTP surface:
 //
-//	POST /v1/generate  one generation request (stable wire shape)
-//	POST /v1/batch     up to 64 requests fanned out over the pool
-//	POST /v2/generate  like /v1 but the response embeds the full
-//	                   generation report (timings, attempts, search
-//	                   counters, degradation, span tree)
-//	POST /v2/batch     the /v2 shape fanned out over the pool
-//	GET  /v1/healthz   liveness + pool shape (+ degraded advisories)
-//	GET  /v1/stats     counters, cache stats, latency histograms
-//	GET  /metrics      the same numbers in Prometheus text format
+//	POST   /v1/generate         one generation request (stable wire shape)
+//	POST   /v1/batch            up to 64 requests fanned out over the pool
+//	POST   /v2/generate         like /v1 but the response embeds the full
+//	                            generation report (timings, attempts,
+//	                            search counters, degradation, span tree)
+//	POST   /v2/batch            the /v2 shape fanned out over the pool
+//	POST   /v2/jobs             submit an async job → 202 + job id
+//	GET    /v2/jobs/{id}        job status document (live progress)
+//	DELETE /v2/jobs/{id}        cancel the job, answer its status
+//	GET    /v2/jobs/{id}/events job progress + result as an SSE stream
+//	GET    /v1/healthz          liveness + pool shape (+ advisories)
+//	GET    /v1/stats            counters, cache stats, histograms
+//	GET    /metrics             the same numbers in Prometheus text
 //
 // The /v1 handlers are thin adapters over the v2 pipeline: the server
 // only ever produces ResponseV2 and the v1 shape is derived via
 // (*ResponseV2).V1(), so the two surfaces cannot drift.
+func (s *Server) routes() []apiRoute {
+	return []apiRoute{
+		{"/v1/generate", []string{http.MethodPost}, "Response", s.handleGenerate},
+		{"/v1/batch", []string{http.MethodPost}, "BatchResponse", s.handleBatch},
+		{"/v2/generate", []string{http.MethodPost}, "ResponseV2", s.handleGenerateV2},
+		{"/v2/batch", []string{http.MethodPost}, "BatchResponseV2", s.handleBatchV2},
+		{"/v2/jobs", []string{http.MethodPost}, "SubmitResponse", s.handleJobs},
+		{"/v2/jobs/{id}", []string{http.MethodGet, http.MethodDelete}, "JobStatus", s.handleJob},
+		{"/v2/jobs/{id}/events", []string{http.MethodGet}, "text/event-stream", s.handleJobEvents},
+		{"/v1/healthz", []string{http.MethodGet}, "HealthResponse", s.handleHealthz},
+		{"/v1/stats", []string{http.MethodGet}, "StatsResponse", s.handleStats},
+		{"/metrics", []string{http.MethodGet}, "text/plain", s.obs.Reg.Handler().ServeHTTP},
+	}
+}
+
+// Handler builds the daemon's http.Handler from the routes() table.
+// Method dispatch happens here — patterns carry no method prefix — so
+// a wrong-method call gets the JSON error envelope, not the mux's
+// plain-text 405; unknown paths likewise answer a JSON 404.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/generate", s.handleGenerate)
-	mux.HandleFunc("/v1/batch", s.handleBatch)
-	mux.HandleFunc("/v2/generate", s.handleGenerateV2)
-	mux.HandleFunc("/v2/batch", s.handleBatchV2)
-	mux.HandleFunc("/v1/healthz", s.handleHealthz)
-	mux.HandleFunc("/v1/stats", s.handleStats)
-	mux.Handle("/metrics", s.obs.Reg.Handler())
+	for _, rt := range s.routes() {
+		rt := rt
+		mux.HandleFunc(rt.Pattern, func(w http.ResponseWriter, r *http.Request) {
+			if !methodAllowed(rt.Methods, r.Method) {
+				w.Header().Set("Allow", strings.Join(rt.Methods, ", "))
+				writeErrorStatus(w, http.StatusMethodNotAllowed,
+					"use "+strings.Join(rt.Methods, " or "))
+				return
+			}
+			rt.handler(w, r)
+		})
+	}
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeErrorStatus(w, http.StatusNotFound, "unknown endpoint "+r.URL.Path)
+	})
 	return mux
+}
+
+func methodAllowed(methods []string, m string) bool {
+	for _, a := range methods {
+		if a == m {
+			return true
+		}
+	}
+	return false
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -52,13 +110,26 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
+// writeErrorStatus writes the unified error envelope every non-2xx
+// JSON response across /v1 and /v2 shares: {error, code, trace_id},
+// with the trace id duplicated in the X-Netart-Trace-Id header. Code
+// repeats the HTTP status so batch items and proxied errors keep it
+// when the transport status is lost. The trace id is edge-generated —
+// errors surface before or instead of the traced pipeline — so it
+// correlates log lines about this failure, not a span tree.
+func writeErrorStatus(w http.ResponseWriter, status int, msg string) {
+	id := obs.NewTraceID()
+	w.Header().Set(traceHeader, id)
+	writeJSON(w, status, ErrorResponse{Error: msg, Code: status, TraceID: id})
+}
+
 func writeError(w http.ResponseWriter, err error) {
 	var se *svcError
 	if errors.As(err, &se) {
-		writeJSON(w, se.status, ErrorResponse{Error: se.msg})
+		writeErrorStatus(w, se.status, se.msg)
 		return
 	}
-	writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
+	writeErrorStatus(w, http.StatusInternalServerError, err.Error())
 }
 
 // decodeBody reads a JSON body under the configured size cap; an
@@ -78,10 +149,12 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) error
 	return nil
 }
 
+// requirePost is a defense-in-depth check for handlers invoked
+// outside Handler()'s method dispatch (direct tests, embedders).
 func requirePost(w http.ResponseWriter, r *http.Request) bool {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
-		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "use POST"})
+		writeErrorStatus(w, http.StatusMethodNotAllowed, "use POST")
 		return false
 	}
 	return true

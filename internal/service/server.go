@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"netart/internal/gen"
+	"netart/internal/jobs"
 	"netart/internal/library"
 	"netart/internal/netlist"
 	"netart/internal/obs"
@@ -39,6 +40,16 @@ type Config struct {
 	// 30s); MaxTimeout clips requests that ask for more (default 2min).
 	DefaultTimeout time.Duration
 	MaxTimeout     time.Duration
+
+	// JobsMax caps the async job ring (/v2/jobs): at most this many job
+	// records are tracked at once, and a submission that cannot make
+	// room (every record is live) is shed with 429 exactly like a full
+	// worker queue (default 256). JobsTTL is how long a finished job's
+	// record — status document and event log — stays fetchable before
+	// eviction (default 15min). The rendered artwork itself outlives the
+	// record through the result store.
+	JobsMax int
+	JobsTTL time.Duration
 
 	// MaxBodyBytes caps request bodies; oversized bodies get a clean
 	// 413 before any decoding (default 8 MiB).
@@ -157,6 +168,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxTimeout <= 0 {
 		c.MaxTimeout = 2 * time.Minute
 	}
+	if c.JobsMax <= 0 {
+		c.JobsMax = 256
+	}
+	if c.JobsTTL <= 0 {
+		c.JobsTTL = 15 * time.Minute
+	}
 	if c.MaxBodyBytes == 0 {
 		c.MaxBodyBytes = 8 << 20
 	}
@@ -231,6 +248,7 @@ type Server struct {
 	stats  *serverStats
 	obs    *obs.Pipeline
 	lib    *library.Library
+	jobs   *jobs.Manager
 
 	// builtins maps workload names to designs parsed once at startup.
 	// Placement mutates designs through their pointers, so requests
@@ -365,6 +383,23 @@ func NewServer(cfg Config) (*Server, error) {
 			"cpu":        workload.CPU(),
 			"life":       workload.Life27(),
 		},
+		// Terminal-state, eviction, and event-log activity of the job
+		// ring feeds the shared metric set, so /metrics, /v1/stats and
+		// job status documents always agree.
+		jobs: jobs.NewManager(cfg.JobsMax, cfg.JobsTTL, jobs.Hooks{
+			OnEvent: func() { m.JobsEvents.Inc() },
+			OnFinish: func(st jobs.State) {
+				switch st {
+				case jobs.StateDone:
+					m.JobsDone.Inc()
+				case jobs.StateFailed:
+					m.JobsFailed.Inc()
+				default:
+					m.JobsCanceled.Inc()
+				}
+			},
+			OnEvict: func() { m.JobsEvicted.Inc() },
+		}),
 	}
 	// Pool/cache shape gauges are sampled live at scrape time.
 	m.Reg.GaugeFunc("netart_queued_requests",
@@ -378,6 +413,10 @@ func NewServer(cfg Config) (*Server, error) {
 		func() float64 { return float64(s.cfg.CacheEntries) })
 	m.Reg.GaugeFunc("netart_store_bytes", "Bytes held across all store tiers.", "",
 		func() float64 { return float64(s.cache.bytes()) })
+	m.Reg.GaugeFunc("netart_jobs_tracked", "Job records currently held in the ring.", "",
+		func() float64 { tracked, _ := s.jobs.Counts(); return float64(tracked) })
+	m.Reg.GaugeFunc("netart_jobs_active", "Jobs currently queued or running.", "",
+		func() float64 { _, live := s.jobs.Counts(); return float64(live) })
 	// One breaker-state gauge per fleet peer, sampled at scrape time:
 	// 1 closed (live), 0.5 half-open (probing), 0 open (down).
 	if s.fleet.Enabled() {
@@ -402,6 +441,10 @@ func (s *Server) Metrics() *obs.Pipeline { return s.obs }
 // Fleet exposes the live fleet view (nil outside a fleet); benches
 // and tests read ownership and breaker states through it.
 func (s *Server) Fleet() *cluster.Fleet { return s.fleet }
+
+// Jobs exposes the async job ring; benches and tests submit through
+// SubmitJob and observe through the manager.
+func (s *Server) Jobs() *jobs.Manager { return s.jobs }
 
 // fleetHealth snapshots the fleet section of /v1/healthz and
 // /v1/stats; nil when this daemon is not part of a fleet.
@@ -442,6 +485,17 @@ func (s *Server) Stats() StatsResponse {
 	sr.Fleet = s.fleetHealth()
 	sr.Queued = s.pool.queued()
 	sr.Workers = s.cfg.Workers
+	tracked, live := s.jobs.Counts()
+	sr.Jobs = &JobsStats{
+		Submitted: s.obs.JobsSubmitted.Value(),
+		Done:      s.obs.JobsDone.Value(),
+		Failed:    s.obs.JobsFailed.Value(),
+		Canceled:  s.obs.JobsCanceled.Value(),
+		Evicted:   s.obs.JobsEvicted.Value(),
+		Events:    s.obs.JobsEvents.Value(),
+		Tracked:   tracked,
+		Active:    live,
+	}
 	return sr
 }
 
@@ -618,11 +672,20 @@ func (s *Server) mapError(ctx context.Context, err error) *svcError {
 // end) and runs under its own resilience.Recover so a panic is
 // attributed to the stage it escaped from.
 func (s *Server) process(ctx context.Context, req *Request) (*ResponseV2, error) {
+	return s.processObserved(ctx, req, obs.NewObserver(s.obs, "request"), nil)
+}
+
+// processObserved is process with the observer and an optional
+// progress tap supplied by the caller: async jobs pre-create both so
+// the job's status document can snapshot the live span tree and its
+// event stream can relay pipeline progress. Progress events fire only
+// when the pipeline actually runs here — a cache hit, a singleflight
+// follower, and a fleet-proxied request produce none (their jobs jump
+// straight to the final report).
+func (s *Server) processObserved(ctx context.Context, req *Request, o *obs.Observer, progress gen.ProgressFunc) (*ResponseV2, error) {
 	t0 := time.Now()
 	s.obs.Inflight.Add(1)
 	defer s.obs.Inflight.Add(-1)
-
-	o := obs.NewObserver(s.obs, "request")
 
 	format, err := resolveFormat(req.Format)
 	if err != nil {
@@ -646,6 +709,7 @@ func (s *Server) process(ctx context.Context, req *Request) (*ResponseV2, error)
 	}
 	opts.Inject = s.cfg.Inject
 	opts.Observer = o
+	opts.Progress = progress
 	if opts.Route.MaxPlaneArea == 0 {
 		opts.Route.MaxPlaneArea = s.cfg.MaxPlaneArea
 	}

@@ -130,7 +130,7 @@ func TestConcurrentGenerateClones(t *testing.T) {
 				return
 			}
 			clone := base.Clone()
-			_, err := gen.GenerateCtx(context.Background(), clone, lifeOpts)
+			_, err := gen.Run(context.Background(), clone, lifeOpts)
 			errs[i] = err
 		}(i)
 	}

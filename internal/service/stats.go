@@ -103,6 +103,8 @@ type StatsResponse struct {
 	// Fleet is this replica's view of peer health (nil outside a
 	// fleet) — the same snapshot /v1/healthz serves.
 	Fleet *FleetHealth `json:"fleet,omitempty"`
+	// Jobs summarizes the async job subsystem (/v2/jobs).
+	Jobs *JobsStats `json:"jobs,omitempty"`
 
 	// Panics counts panics converted into StageErrors by the isolation
 	// layer; RecentPanics holds the last few with stage + trimmed stack.
@@ -110,6 +112,21 @@ type StatsResponse struct {
 	RecentPanics []PanicInfo `json:"recent_panics,omitempty"`
 
 	Stages map[string]HistogramSnapshot `json:"stages"`
+}
+
+// JobsStats is the /v1/stats view of the async job ring: lifetime
+// counters from the shared metric set plus the ring's current shape.
+type JobsStats struct {
+	Submitted uint64 `json:"submitted"`
+	Done      uint64 `json:"done"`
+	Failed    uint64 `json:"failed"`
+	Canceled  uint64 `json:"canceled"`
+	Evicted   uint64 `json:"evicted"`
+	Events    uint64 `json:"events"`
+	// Tracked counts records currently in the ring; Active counts the
+	// queued-or-running subset.
+	Tracked int `json:"tracked"`
+	Active  int `json:"active"`
 }
 
 func (st *serverStats) snapshot() StatsResponse {

@@ -288,9 +288,16 @@ func (r *ResponseV2) TraceID() string {
 	return r.Report.Trace.TraceID
 }
 
-// ErrorResponse is the body of a failed request.
+// ErrorResponse is the unified error envelope: every non-2xx JSON
+// response across /v1 and /v2 (generate, batch, jobs, method/path
+// errors) carries exactly this shape. Code repeats the HTTP status so
+// the verdict survives embedding (batch items, proxied peer errors);
+// TraceID is an edge-generated correlation id also set in the
+// X-Netart-Trace-Id response header.
 type ErrorResponse struct {
-	Error string `json:"error"`
+	Error   string `json:"error"`
+	Code    int    `json:"code,omitempty"`
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // BatchRequest is the body of POST /v1/batch and /v2/batch.

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -372,14 +373,14 @@ func TestSimulatorErrors(t *testing.T) {
 func TestGenerateAndSimulate(t *testing.T) {
 	// Full pipeline through the gen facade: generate, then simulate
 	// the artwork.
-	dg, err := gen.Generate(workload.Fig61(), gen.Options{
+	rep, err := gen.Run(context.Background(), workload.Fig61(), gen.Options{
 		Place: place.Options{PartSize: 6, BoxSize: 6},
 		Route: route.Options{Claimpoints: true},
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := NewFromDiagram(dg)
+	s, err := NewFromDiagram(rep.Diagram)
 	if err != nil {
 		t.Fatal(err)
 	}
