@@ -156,8 +156,13 @@ go test -run TestAPISurface ./internal/service
 
 # Pipeline latency record: cold (full pipeline) and warm (cache hit)
 # generate latencies per built-in workload, as machine-readable JSON.
-echo "== go run ./cmd/benchpipe -out BENCH_pipeline.json"
-go run ./cmd/benchpipe -out BENCH_pipeline.json
+# The -gate flag compares the fresh numbers against the committed
+# record before overwriting it: a cold route stage more than 20% over
+# the committed route_budget_ms (in practice: the life workload; the
+# sub-millisecond workloads are noise-exempt) fails the build, as does
+# parallel_speedup < 1.0 on hosts with 4+ CPUs.
+echo "== go run ./cmd/benchpipe -gate BENCH_pipeline.json -out BENCH_pipeline.json"
+go run ./cmd/benchpipe -gate BENCH_pipeline.json -out BENCH_pipeline.json
 
 # Service tier record: store cold/warm tails, restart-survival hit
 # rate (must be 1.0 — checked below), singleflight stampede outcome

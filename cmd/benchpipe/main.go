@@ -32,10 +32,21 @@
 // outcome counts, kill-one degradation). The output then defaults to
 // BENCH_service.json.
 //
+// Each workload also records route_budget_ms — 1.2x its best observed
+// sequential route time (cold stage or workers<=1 sweep point). With
+// -gate FILE the run loads the committed bench record first and fails
+// (after writing -out) when its own best route time exceeds the
+// committed budget, or when parallel_speedup falls below
+// 1.0 on a host with 4+ CPUs; CI runs
+// `benchpipe -gate BENCH_pipeline.json -out BENCH_pipeline.json` so a
+// >20% route-stage regression against the committed record fails the
+// build.
+//
 // Usage:
 //
 //	benchpipe [-out BENCH_pipeline.json] [-workloads fig61,datapath,life]
 //	          [-warm-runs 5] [-route-workers 1,2,4,N] [-place-workers 1,2,4,N]
+//	          [-gate BENCH_pipeline.json]
 //	benchpipe -service [-out BENCH_service.json] [-workloads fig61,quickstart]
 package main
 
@@ -77,6 +88,11 @@ type workloadResult struct {
 	// regardless of worker count — see cpus/gomaxprocs at the top
 	// level.
 	ParallelSpeedup float64 `json:"parallel_speedup,omitempty"`
+	// RouteBudgetMs is the regression budget for this workload's route
+	// stage: 1.2x the best observed sequential route time (20% headroom
+	// over the committed number). The -gate flag of a later run compares
+	// its own best observation against the committed file's budget.
+	RouteBudgetMs float64 `json:"route_budget_ms,omitempty"`
 	// PlaceSweep is the place-stage latency at each -place-workers
 	// value (cache bypassed; best of two runs per point), and
 	// PlaceParallelSpeedup the sequential place_ms over the best
@@ -151,6 +167,8 @@ func run() error {
 		"comma-separated place-worker counts for the sweep (N = GOMAXPROCS; empty disables)")
 	serviceMode := flag.Bool("service", false,
 		"benchmark the service tier instead (store cold/warm tails, restart survival, singleflight stampede, 3-replica fleet)")
+	gate := flag.String("gate", "",
+		"committed bench file to gate against: fail when a workload's fresh cold route_ms exceeds the committed route_budget_ms, or when parallel_speedup drops below 1.0 on a 4+ CPU host")
 	flag.Parse()
 
 	if *serviceMode {
@@ -161,6 +179,21 @@ func run() error {
 	}
 	if *out == "" {
 		*out = "BENCH_pipeline.json"
+	}
+
+	// Load the committed gate file before measuring so -gate and -out
+	// may name the same path (CI gates against the committed record,
+	// then overwrites it with the fresh one).
+	var committed *benchFile
+	if *gate != "" {
+		b, err := os.ReadFile(*gate)
+		if err != nil {
+			return fmt.Errorf("-gate: %w", err)
+		}
+		committed = &benchFile{}
+		if err := json.Unmarshal(b, committed); err != nil {
+			return fmt.Errorf("-gate %s: %w", *gate, err)
+		}
 	}
 
 	sweep, err := parseSweep("-route-workers", *sweepSpec)
@@ -285,6 +318,7 @@ func run() error {
 		if seqPlaceMs > 0 && bestParPlaceMs > 0 {
 			res.PlaceParallelSpeedup = seqPlaceMs / bestParPlaceMs
 		}
+		res.RouteBudgetMs = routeBudget(minRouteMs(res))
 
 		file.Results = append(file.Results, res)
 		fmt.Fprintf(os.Stderr, "benchpipe: %-10s cold %8.3fms  warm %8.3fms  (%.0fx)  par-route %.2fx  par-place %.2fx\n",
@@ -297,8 +331,90 @@ func run() error {
 	}
 	b = append(b, '\n')
 	if *out == "-" {
-		_, err = os.Stdout.Write(b)
+		if _, err := os.Stdout.Write(b); err != nil {
+			return err
+		}
+	} else if err := os.WriteFile(*out, b, 0o644); err != nil {
 		return err
 	}
-	return os.WriteFile(*out, b, 0o644)
+	// Gate after writing: the fresh record stays on disk for triage
+	// even when the comparison fails the build.
+	if committed != nil {
+		return gateAgainst(committed, file.Results)
+	}
+	return nil
+}
+
+// gateMinRouteMs is the floor below which the route-budget gate does
+// not apply: workloads whose committed route stage is this fast (fig61
+// routes in well under a millisecond) are noise-dominated, so a 20%
+// band around them would gate scheduler jitter, not regressions.
+const gateMinRouteMs = 50
+
+// routeBudget derives the regression budget from a measured route
+// time: 20% headroom over the committed number.
+func routeBudget(routeMs float64) float64 { return routeMs * 1.2 }
+
+// minRouteMs is a workload's best observed sequential route time: the
+// cold stage or any workers<=1 sweep point, whichever is lower. Both
+// budget and gate use this minimum — a single cold measurement swings
+// ±30% on a busy single-core runner, and gating noise against noise
+// would make the 20% band meaningless.
+func minRouteMs(r workloadResult) float64 {
+	ms := durMs(r.ColdStages.Route)
+	for _, p := range r.RouteSweep {
+		if p.Workers <= 1 && p.RouteMs > 0 && p.RouteMs < ms {
+			ms = p.RouteMs
+		}
+	}
+	return ms
+}
+
+func durMs(d time.Duration) float64 { return float64(d.Microseconds()) / 1000.0 }
+
+// gateAgainst compares the fresh results with the committed bench
+// record. Two checks per workload present in both files:
+//
+//   - the fresh cold route_ms must not exceed the committed budget
+//     (route_budget_ms, or 1.2x the committed route_ms for records
+//     that predate the budget field) — skipped for noise-dominated
+//     workloads under gateMinRouteMs;
+//   - parallel_speedup must stay >= 1.0, checked only on hosts with
+//     4+ CPUs (on smaller hosts the sweep measures scheduling
+//     overhead, not parallelism — see the cpus field).
+func gateAgainst(committed *benchFile, fresh []workloadResult) error {
+	byName := map[string]workloadResult{}
+	for _, r := range fresh {
+		byName[r.Workload] = r
+	}
+	var failures []string
+	for _, c := range committed.Results {
+		r, ok := byName[c.Workload]
+		if !ok {
+			continue
+		}
+		cms := minRouteMs(c)
+		if cms >= gateMinRouteMs {
+			budget := c.RouteBudgetMs
+			if budget == 0 {
+				budget = routeBudget(cms)
+			}
+			if got := minRouteMs(r); got > budget {
+				failures = append(failures, fmt.Sprintf(
+					"%s: best route %.3fms exceeds committed budget %.3fms (committed best %.3fms)",
+					c.Workload, got, budget, cms))
+			}
+		}
+		if runtime.NumCPU() >= 4 && r.ParallelSpeedup > 0 && r.ParallelSpeedup < 1.0 {
+			failures = append(failures, fmt.Sprintf(
+				"%s: parallel_speedup %.2f < 1.0 on a %d-CPU host",
+				c.Workload, r.ParallelSpeedup, runtime.NumCPU()))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("gate against committed bench failed:\n  %s",
+			strings.Join(failures, "\n  "))
+	}
+	fmt.Fprintln(os.Stderr, "benchpipe: gate passed (route budgets held, parallel speedup ok)")
+	return nil
 }

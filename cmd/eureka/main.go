@@ -3,8 +3,9 @@
 //
 // Usage:
 //
-//	eureka [-u] [-d] [-r] [-l] [-s] [-noclaims] [-shortest]
-//	       [-o out.esc] graphic-file net-list-file [call-file] [io-file]
+//	eureka [-u] [-d] [-r] [-l] [-s] [-noclaims] [-route-order shortest|design]
+//	       [-route-window on|off] [-o out.esc] graphic-file net-list-file
+//	       [call-file] [io-file]
 //
 // The graphic file is an ESCHER diagram holding the placement and any
 // prerouted nets; the net-list file gives the connection rules
@@ -43,7 +44,10 @@ func run() error {
 	l := flag.Bool("l", false, "fix the left border")
 	s := flag.Bool("s", false, "rank minimum-bend paths by length before crossings")
 	noclaims := flag.Bool("noclaims", false, "disable the claimpoint extension")
-	shortest := flag.Bool("shortest", false, "route shorter nets first (§7 extension)")
+	routeOrder := flag.String("route-order", "shortest",
+		"net routing order: shortest (default, §7 extension) or design (the paper's order)")
+	routeWindow := flag.String("route-window", "on",
+		"bounded routing search windows: on (default) or off (full-plane, results identical)")
 	ripup := flag.Bool("ripup", false, "rip-up-and-reroute pass for failed nets (extension)")
 	routeWorkers := flag.Int("route-workers", 0,
 		"speculative routing workers (0/1 = sequential; results are byte-identical)")
@@ -88,10 +92,19 @@ func run() error {
 	// Eureka is the routing half of the pipeline: gen.Run with
 	// Options.Placement routes over the existing placement (the design
 	// argument may be nil — the placement carries it).
+	shortest, err := route.ParseOrder(*routeOrder)
+	if err != nil {
+		return err
+	}
+	noWindow, err := route.ParseWindow(*routeWindow)
+	if err != nil {
+		return err
+	}
 	ropts := route.Options{
 		Claimpoints:        !*noclaims,
 		SwapObjective:      *s,
-		OrderShortestFirst: *shortest,
+		OrderShortestFirst: shortest,
+		NoWindow:           noWindow,
 		RipUp:              *ripup,
 		Prerouted:          pre.PreroutedFor(dsn),
 	}

@@ -11,7 +11,8 @@
 //
 // Render flags: -ascii (print a character rendering), -svg FILE,
 // -esc FILE (ESCHER diagram). Placement knobs match pablo (-p -b -c -e
-// -i -s); routing knobs match eureka (-swap, -noclaims, -shortest).
+// -i -s); routing knobs match eureka (-swap, -noclaims, -route-order,
+// -route-window).
 // -trace prints the per-stage span tree (wall time, outcome, stage
 // attributes such as partition counts and wavefront expansions) to
 // stderr after generation.
@@ -51,7 +52,10 @@ func run() error {
 	s := flag.Int("s", 0, "extra tracks around each module")
 	swap := flag.Bool("swap", false, "rank minimum-bend paths by length before crossings")
 	noclaims := flag.Bool("noclaims", false, "disable the claimpoint extension")
-	shortest := flag.Bool("shortest", false, "route shorter nets first (§7 extension)")
+	routeOrder := flag.String("route-order", "shortest",
+		"net routing order: shortest (default, §7 extension) or design (the paper's order)")
+	routeWindow := flag.String("route-window", "on",
+		"bounded routing search windows: on (default) or off (full-plane, results identical)")
 	ripup := flag.Bool("ripup", false, "rip-up-and-reroute pass for failed nets (extension)")
 	routeWorkers := flag.Int("route-workers", 0,
 		"speculative routing workers (0/1 = sequential; results are byte-identical)")
@@ -106,6 +110,14 @@ func run() error {
 		}
 	}
 
+	shortest, err := route.ParseOrder(*routeOrder)
+	if err != nil {
+		return err
+	}
+	noWindow, err := route.ParseWindow(*routeWindow)
+	if err != nil {
+		return err
+	}
 	opts := gen.Options{
 		Place: place.Options{
 			PartSize: *p, BoxSize: *b, MaxConnections: *c,
@@ -114,7 +126,8 @@ func run() error {
 		Route: route.Options{
 			Claimpoints:        !*noclaims,
 			SwapObjective:      *swap,
-			OrderShortestFirst: *shortest,
+			OrderShortestFirst: shortest,
+			NoWindow:           noWindow,
 			RipUp:              *ripup,
 		},
 		RouteWorkers: *routeWorkers,

@@ -47,7 +47,7 @@ func (p Placer) String() string {
 	}
 }
 
-// DegradeMode selects how GenerateCtx responds to routing failure
+// DegradeMode selects how Run responds to routing failure
 // (nets left with unconnected terminals). The zero value preserves the
 // historical behavior, so existing callers are unaffected.
 type DegradeMode int
@@ -168,64 +168,15 @@ type Options struct {
 }
 
 // DefaultOptions returns the settings used by the examples: the paper's
-// placer with moderate clustering, claimpoints on.
+// placer with moderate clustering, claimpoints on, and shortest-first
+// net ordering (the benched default — it routes all 222 LIFE nets where
+// the paper's design order strands one; design order stays available
+// via route.Options.OrderShortestFirst=false / -route-order=design).
 func DefaultOptions() Options {
 	return Options{
 		Place: place.Options{PartSize: 7, BoxSize: 5},
-		Route: route.Options{Claimpoints: true},
+		Route: route.Options{Claimpoints: true, OrderShortestFirst: true},
 	}
-}
-
-// PlaceDesign runs only the placement phase (the PABLO half).
-//
-// Deprecated: use Run with Options.StopAfterPlace and read
-// Report.Placement.
-func PlaceDesign(d *netlist.Design, opts Options) (*place.Result, error) {
-	return placeDesign(d, opts)
-}
-
-// Generate runs placement followed by routing and returns the finished
-// diagram.
-//
-// Deprecated: use Run, which additionally reports timings, attempts,
-// and the observability trace.
-func Generate(d *netlist.Design, opts Options) (*schematic.Diagram, error) {
-	return GenerateCtx(context.Background(), d, opts)
-}
-
-// GenerateCtx is Generate with cancellation.
-//
-// Deprecated: use Run.
-func GenerateCtx(ctx context.Context, d *netlist.Design, opts Options) (*schematic.Diagram, error) {
-	rep, err := Run(ctx, d, opts)
-	if err != nil {
-		return nil, err
-	}
-	return rep.Diagram, nil
-}
-
-// GenerateTimedCtx runs the cancellable pipeline and additionally
-// reports per-stage wall times.
-//
-// Deprecated: use Run and read Report.Timings.
-func GenerateTimedCtx(ctx context.Context, d *netlist.Design, opts Options) (*schematic.Diagram, StageTimings, error) {
-	rep, err := Run(ctx, d, opts)
-	if err != nil {
-		return nil, StageTimings{}, err
-	}
-	return rep.Diagram, rep.Timings, nil
-}
-
-// GenerateOnPlacement routes a diagram over an existing placement (the
-// EUREKA half).
-//
-// Deprecated: use Run with Options.Placement.
-func GenerateOnPlacement(pr *place.Result, opts route.Options) (*schematic.Diagram, error) {
-	rep, err := Run(context.Background(), nil, Options{Placement: pr, Route: opts})
-	if err != nil {
-		return nil, err
-	}
-	return rep.Diagram, nil
 }
 
 // Experiment is one row of the §6 evaluation.

@@ -131,7 +131,7 @@ func TestFormatTable61(t *testing.T) {
 	}
 }
 
-func TestGenerateOnPlacement(t *testing.T) {
+func TestRunOnPlacementFig61(t *testing.T) {
 	pr, err := place.Place(workload.Fig61(), place.Options{PartSize: 6, BoxSize: 6})
 	if err != nil {
 		t.Fatal(err)

@@ -43,14 +43,26 @@ type joint struct {
 }
 
 // dualSearch runs the alternating two-front expansion between two
-// terminal points. On success the combined path runs from the A start
-// to the B start.
+// terminal points, confined to the inclusive window win (the caller's
+// widen-and-retry ladder supplies the schedule). On success the
+// combined path runs from the A start to the B start.
+//
+// The third result reports exactness: the outcome is provably what the
+// unwindowed search would have produced. The joint construction couples
+// the two fronts (a clip on either side can change the other front's
+// contact set), so the rule is conservative — exact iff neither front
+// was clipped at all. The full-plane rung clips nothing, terminating
+// the caller's ladder.
+//
+// Each front owns a private arena: the two coverage maps must stay
+// independent (both fronts may sweep the same cell), so the fronts
+// cannot share one epoch-stamped array.
 func dualSearch(pl *Plane, net int32, fromA geom.Point, dirsA []geom.Dir,
-	fromB geom.Point, dirsB []geom.Dir, swap bool, stats *SearchStats,
-	cancel *cancelCheck) ([]Segment, bool) {
+	fromB geom.Point, dirsB []geom.Dir, swap bool, win geom.Rect,
+	stats *SearchStats, cancel *cancelCheck) ([]Segment, bool, bool) {
 
 	mk := func(from geom.Point, dirs []geom.Dir) *frontState {
-		ls := newLineSearch(pl, net, func(geom.Point) bool { return false }, swap)
+		ls := newLineSearch(pl, net, func(geom.Point) bool { return false }, swap, win, nil)
 		ls.stats = stats
 		ls.cancel = cancel
 		f := &frontState{search: ls, owner: map[int]cellOwner{}}
@@ -59,7 +71,7 @@ func dualSearch(pl *Plane, net int32, fromA geom.Point, dirsA []geom.Dir,
 			for i := a.iv.Lo; i <= a.iv.Hi; i++ {
 				p := a.pt(i, a.index)
 				if pl.InBounds(p) {
-					ls.covered[pl.idx(p)] = allDirBits
+					ls.ar.markCovered(pl.idx(p), allDirBits)
 					f.owner[pl.idx(p)] = cellOwner{a: a, i: i, j: a.index}
 				}
 			}
@@ -72,7 +84,7 @@ func dualSearch(pl *Plane, net int32, fromA geom.Point, dirsA []geom.Dir,
 	var sols []joint
 	for len(fa.wave) > 0 || len(fb.wave) > 0 {
 		if cancel.poll() {
-			return nil, false // abandoned search: caller checks ctx.Err()
+			return nil, false, true // abandoned search: caller checks ctx.Err()
 		}
 		if len(fa.wave) > 0 {
 			expandFrontWave(pl, fa, fb, &sols, true, stats)
@@ -87,8 +99,9 @@ func dualSearch(pl *Plane, net int32, fromA geom.Point, dirsA []geom.Dir,
 			}
 		}
 	}
+	exact := fa.search.clipWave == noClip && fb.search.clipWave == noClip
 	if len(sols) == 0 {
-		return nil, false
+		return nil, false, exact
 	}
 	best := sols[0]
 	for _, s := range sols[1:] {
@@ -96,7 +109,7 @@ func dualSearch(pl *Plane, net int32, fromA geom.Point, dirsA []geom.Dir,
 			best = s
 		}
 	}
-	return best.segs, true
+	return best.segs, true, exact
 }
 
 func betterJoint(a, b joint, swap bool) bool {
@@ -132,7 +145,7 @@ func expandFrontWave(pl *Plane, self, other *frontState, sols *[]joint,
 	for _, a := range self.wave {
 		stats.addActive()
 		before := snapshotCovered(self.search)
-		next = append(next, self.search.expand(a)...)
+		next = self.search.expand(a, next)
 		recordOwners(pl, self, a, before)
 	}
 	for _, sol := range self.search.sols {
@@ -170,11 +183,13 @@ func reversePath(segs []Segment) []Segment {
 	return out
 }
 
-// snapshotCovered copies the coverage bitmap so newly covered cells can
-// be attributed to the expanding active.
+// snapshotCovered extracts the current epoch's coverage bits so newly
+// covered cells can be attributed to the expanding active.
 func snapshotCovered(ls *lineSearch) []uint8 {
-	out := make([]uint8, len(ls.covered))
-	copy(out, ls.covered)
+	out := make([]uint8, len(ls.ar.covered))
+	for i := range out {
+		out[i] = ls.ar.coveredBits(i)
+	}
 	return out
 }
 
@@ -185,7 +200,7 @@ func recordOwners(pl *Plane, f *frontState, a *active, before []uint8) {
 	step := a.step()
 	for i := a.iv.Lo; i <= a.iv.Hi; i++ {
 		j := a.index
-		c := a.cross[i-a.iv.Lo]
+		c := a.cross
 		for {
 			nj := j + step
 			p := a.pt(i, nj)
@@ -193,7 +208,7 @@ func recordOwners(pl *Plane, f *frontState, a *active, before []uint8) {
 				break
 			}
 			idx := pl.idx(p)
-			if f.search.covered[idx]&dirBit(a.dir) == 0 || before[idx]&dirBit(a.dir) != 0 {
+			if f.search.ar.coveredBits(idx)&dirBit(a.dir) == 0 || before[idx]&dirBit(a.dir) != 0 {
 				break
 			}
 			if w := f.search.wireAcross(p, a.dir); w != 0 && w != f.search.net {

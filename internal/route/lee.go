@@ -103,8 +103,18 @@ func (q *leeQueue) Pop() any {
 // line-expansion engine: wires may cross perpendicular foreign wires
 // (cost), may never overlap parallel ones, stop at modules, bends,
 // claims and the plane border, and cannot turn on a crossing cell.
+//
+// The expansion is confined to the inclusive window win (targets on the
+// first ring outside still connect, like the line engine) and, once a
+// goal is known, A*-pruned: every target point lies inside tbox, so
+// manhattanToBox(p, tbox) is an admissible lower bound on the remaining
+// wire length from p. A state whose cost plus that bound cannot rank
+// strictly better than the goal can never improve it — cost components
+// only grow along a path and the lexicographic orders are translation
+// invariant — so it is dropped, at the pop and at the push.
 func leeSearch(pl *Plane, net int32, from geom.Point, dirs []geom.Dir,
-	target func(geom.Point) bool, obj Objective, cancel *cancelCheck) ([]Segment, bool) {
+	target func(geom.Point) bool, obj Objective, win, tbox geom.Rect,
+	cancel *cancelCheck) ([]Segment, bool) {
 
 	type visitKey struct {
 		idx int
@@ -144,7 +154,21 @@ func leeSearch(pl *Plane, net int32, from geom.Point, dirs []geom.Dir,
 	var goalCost leeCost
 	haveGoal := false
 
+	// beatable reports whether a state at p with the given cost could
+	// still rank strictly better than the known goal (A* admissibility
+	// prune; always true before a goal exists).
+	beatable := func(p geom.Point, cost leeCost) bool {
+		if !haveGoal {
+			return true
+		}
+		cost.length += manhattanToBox(p, tbox)
+		return cost.less(goalCost, obj)
+	}
+
 	push := func(st leeState, cost leeCost, from leeState, hasFrom bool) {
+		if !beatable(st.p, cost) {
+			return
+		}
 		key := visitKey{pl.idx(st.p), st.d}
 		if old, ok := dist[key]; ok && !cost.less(old, obj) {
 			return
@@ -162,7 +186,7 @@ func leeSearch(pl *Plane, net int32, from geom.Point, dirs []geom.Dir,
 		if target(np) {
 			return []Segment{{from, np}}, true
 		}
-		if !pl.InBounds(np) || stops(np, d) {
+		if !winContains(win, np) || !pl.InBounds(np) || stops(np, d) {
 			continue
 		}
 		cross := 0
@@ -182,7 +206,7 @@ func leeSearch(pl *Plane, net int32, from geom.Point, dirs []geom.Dir,
 		if best, ok := dist[key]; ok && best.less(cost, obj) {
 			continue // stale entry
 		}
-		if haveGoal && goalCost.less(cost, obj) {
+		if !beatable(st.p, cost) {
 			continue
 		}
 		onCrossing := crossingCell(st.p, st.d)
@@ -213,7 +237,7 @@ func leeSearch(pl *Plane, net int32, from geom.Point, dirs []geom.Dir,
 				}
 				continue
 			}
-			if !pl.InBounds(np) || stops(np, nd) {
+			if !winContains(win, np) || !pl.InBounds(np) || stops(np, nd) {
 				continue
 			}
 			if crossingCell(np, nd) {

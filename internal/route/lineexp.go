@@ -19,14 +19,18 @@ import (
 
 // active is the ten-tuple of §5.6.2 in struct form: a segment of
 // already-reached cells together with its expansion direction, wave
-// (bend) number, per-cell crossing counts, and its originator for the
-// trace-back.
+// (bend) number, crossing count, and its originator for the trace-back.
+//
+// The crossing count is a single value, not the paper's per-cell list:
+// new actives are split at crossing cells (a crossing cannot be a
+// turning point), so every cell of one active was reached across the
+// same set of foreign wires and carries the same count.
 type active struct {
 	index  int           // the fixed coordinate: row for horizontal segments (dir up/down), column for vertical
 	iv     geom.Interval // cell range along the segment
 	dir    geom.Dir      // expansion direction, perpendicular to the segment
 	bends  int           // wave number b
-	cross  []int         // crossings c per cell (parallel to iv)
+	cross  int           // crossings c on the path to every cell
 	parent *active       // originator
 }
 
@@ -58,23 +62,62 @@ type solution struct {
 
 // lineSearch is one invocation of the expansion engine: route from a
 // set of initial actives to a target predicate over plane points.
+//
+// Coverage bookkeeping lives in the arena: one bit per expansion
+// direction per cell — a cell stops an escape only when it was already
+// swept in the same direction. This mirrors the paper's directional
+// obstacle sets (new vertical actives are added to vertical-segments
+// and block only horizontal escapes, and vice versa) and preserves the
+// minimum bend guarantee: when an escape is stopped by a same-direction
+// mark, every cell beyond it was already covered at an equal or lower
+// wave number by the sweep that made the mark.
 type lineSearch struct {
-	pl  *Plane
-	net int32
-	// covered holds one bit per expansion direction: a cell stops an
-	// escape only when it was already swept in the same direction.
-	// This mirrors the paper's directional obstacle bookkeeping (new
-	// vertical actives are added to vertical-segments and block only
-	// horizontal escapes, and vice versa) and preserves the minimum
-	// bend guarantee: when an escape is stopped by a same-direction
-	// mark, every cell beyond it was already covered at an equal or
-	// lower wave number by the sweep that made the mark.
-	covered []uint8
-	target  func(geom.Point) bool
-	sols    []solution
-	swap    bool         // -s: compare length before crossings
-	stats   *SearchStats // optional counters; nil disables
-	cancel  *cancelCheck // optional cancellation; nil never cancels
+	pl     *Plane
+	net    int32
+	ar     *searchArena // covered marks + wavefront scratch; never nil
+	win    geom.Rect    // inclusive search window; escapes stop at its edge
+	target func(geom.Point) bool
+	marks  bool // target set precomputed as arena marks (setTargets)
+	sols   []solution
+	swap   bool         // -s: compare length before crossings
+	stats  *SearchStats // optional counters; nil disables
+	cancel *cancelCheck // optional cancellation; nil never cancels
+
+	// clipWave is the lowest wave at which an escape was cut short by
+	// the window edge (noClip if never): the cut cell was passable, so
+	// an unwindowed search would have swept on. solWave is the wave the
+	// solutions were found at (-1 on failure). Together they decide
+	// exactness — see exact().
+	clipWave int
+	solWave  int
+}
+
+// noClip marks a search whose escapes all stopped naturally (obstacle,
+// covered zone, wire) before the window edge.
+const noClip = 1 << 30
+
+// exact reports whether the search outcome is provably identical to an
+// unwindowed search from the same state. The window is a rectangle, so
+// a path that leaves it can only re-enter (and reach a target, which
+// always lies inside) after at least two further bends beyond the wave
+// where it crossed the edge. Hence:
+//
+//   - a solution at wave W is exact when no escape was clipped at wave
+//     <= W-2: every outside detour would finish at a wave > W, and the
+//     wave-W tie-break pool (crossings, then length) is identical to
+//     the unwindowed one;
+//   - a failed search is exact when no escape was clipped at all: the
+//     window never constrained the expansion, so the unwindowed search
+//     would have died out identically.
+//
+// Inexact outcomes are re-run by the caller on a wider window (ending
+// at the full plane, which clips nothing), making windowed ≡ unwindowed
+// a guarantee of the ladder rather than an empirical accident.
+func (s *lineSearch) exact() bool {
+	if s.solWave < 0 {
+		return s.clipWave == noClip
+	}
+	return s.clipWave >= s.solWave-1
 }
 
 // SearchStats counts the work the expansion engine performs — the
@@ -88,6 +131,7 @@ type SearchStats struct {
 	Cells    int `json:"cells"`     // escape-line cells swept
 	MaxBends int `json:"max_bends"` // deepest wave that produced a solution
 	RipUps   int `json:"rip_ups"`   // failed nets the rip-up pass attempted to fix
+	Widened  int `json:"widened"`   // search-window widening retries (window.go)
 }
 
 func (st *SearchStats) addWave() {
@@ -112,14 +156,49 @@ func dirBit(d geom.Dir) uint8 { return 1 << uint(d) }
 
 const allDirBits = 0x0f
 
-func newLineSearch(pl *Plane, net int32, target func(geom.Point) bool, swap bool) *lineSearch {
-	return &lineSearch{
-		pl:      pl,
-		net:     net,
-		covered: make([]uint8, len(pl.blocked)),
-		target:  target,
-		swap:    swap,
+// newLineSearch prepares one search epoch. A nil arena gets a private
+// one (used by callers without a router, like the dual-front fronts);
+// a shared arena is acquired here, expiring the previous search's marks.
+func newLineSearch(pl *Plane, net int32, target func(geom.Point) bool, swap bool, win geom.Rect, ar *searchArena) *lineSearch {
+	if ar == nil {
+		ar = newSearchArena(len(pl.blocked))
 	}
+	ar.acquire()
+	return &lineSearch{
+		pl:       pl,
+		net:      net,
+		ar:       ar,
+		win:      win,
+		target:   target,
+		swap:     swap,
+		clipWave: noClip,
+		solWave:  -1,
+	}
+}
+
+// setTargets precomputes the target set as arena marks: the given
+// points plus every point of the tree segments. This replaces the
+// per-cell target closure of the hot sweep with one stamped-array load.
+// It is only valid when the predicate is exactly "a listed point or the
+// net's own laid geometry": the tree segments are the wires the net has
+// laid, so the mark set equals the cells where the plane reports the
+// net's own wires — and since no other net can ever write those values,
+// dropping the plane reads keeps speculative read-set validation sound.
+func (s *lineSearch) setTargets(pts []geom.Point, tree []Segment) {
+	for _, p := range pts {
+		if s.pl.InBounds(p) {
+			s.ar.markTarget(s.pl.idx(p))
+		}
+	}
+	for _, sg := range tree {
+		c := sg.Canon()
+		for y := c.A.Y; y <= c.B.Y; y++ {
+			for x := c.A.X; x <= c.B.X; x++ {
+				s.ar.markTarget(s.pl.idx(geom.Pt(x, y)))
+			}
+		}
+	}
+	s.marks = true
 }
 
 // terminalActives builds the initial wave for a terminal at p escaping
@@ -128,7 +207,7 @@ func newLineSearch(pl *Plane, net int32, target func(geom.Point) bool, swap bool
 func terminalActives(p geom.Point, dirs []geom.Dir) []*active {
 	out := make([]*active, 0, len(dirs))
 	for _, d := range dirs {
-		a := &active{dir: d, bends: 0, cross: []int{0}}
+		a := &active{dir: d, bends: 0}
 		if d == geom.Up || d == geom.Down {
 			a.index = p.Y
 			a.iv = geom.Iv(p.X, p.X)
@@ -153,23 +232,35 @@ func (s *lineSearch) run(starts []*active) ([]Segment, bool) {
 		for i := a.iv.Lo; i <= a.iv.Hi; i++ {
 			p := a.pt(i, a.index)
 			if s.pl.InBounds(p) {
-				s.covered[s.pl.idx(p)] = allDirBits
+				s.ar.markCovered(s.pl.idx(p), allDirBits)
 			}
 		}
 	}
 	wave := starts
 	bends := 0
 	for len(wave) > 0 {
+		if bends >= s.clipWave+2 {
+			// Any solution from this wave on would be inexact (see
+			// exact): an outside detour through the wave-clipWave clip
+			// could tie or beat it. Stop the doomed search now and let
+			// the caller's ladder widen instead.
+			return nil, false
+		}
 		if s.cancel.poll() {
 			return nil, false // abandoned search: caller checks ctx.Err()
 		}
 		s.stats.addWave()
-		var next []*active
+		// The two wavefront buffers ping-pong out of the arena: next
+		// never aliases wave (starts is the caller's, and consecutive
+		// waves use alternating buffers).
+		next := s.ar.waves[bends&1][:0]
 		for _, a := range wave {
 			s.stats.addActive()
-			next = append(next, s.expand(a)...)
+			next = s.expand(a, next)
 		}
+		s.ar.waves[bends&1] = next[:0]
 		if len(s.sols) > 0 {
+			s.solWave = bends
 			if s.stats != nil && bends > s.stats.MaxBends {
 				s.stats.MaxBends = bends
 			}
@@ -204,69 +295,165 @@ func (s *lineSearch) best() solution {
 
 // expand implements EXPAND_SEGMENT with a per-cell sweep: every cell of
 // the active segment sends an escape line in the expansion direction
-// until it is stopped by an obstacle, a previously searched zone, or
-// the target. The stop profile then yields the perpendicular border
-// segments as the next wave (NEW_ACTIVES).
-func (s *lineSearch) expand(a *active) []*active {
+// until it is stopped by the window edge, an obstacle, a previously
+// searched zone, or the target. The stop profile then yields the
+// perpendicular border segments, appended to out as the next wave
+// (NEW_ACTIVES).
+func (s *lineSearch) expand(a *active, out []*active) []*active {
 	step := a.step()
 	n := a.iv.Len()
+	ar := s.ar
+	pl := s.pl
 	// advance[k]: how many cells the escape from segment cell k
-	// travelled. crossPos[k]: expansion-axis positions (j) of the
-	// foreign wires crossed, in travel order. passable cells that are
-	// crossings cannot join new actives.
-	advance := make([]int, n)
-	crossPos := make([][]int, n)
+	// travelled. crossAdv flat-stores, per cell, the advance values at
+	// which the escape crossed a foreign wire, in travel order (offsets
+	// in crossOff). Passable cells that are crossings cannot join new
+	// actives.
+	advance := ar.advanceBuf(n)
+	crossAdv := ar.crossAdv[:0]
+	crossOff := ar.crossOffBuf(n + 1)
 
-	for k := 0; k < n; k++ {
-		i := a.iv.Lo + k
-		c := a.cross[k]
-		j := a.index
-		for {
-			if s.cancel.tick() {
-				return nil // abandoned sweep; run's wave poll ends the search
-			}
-			nj := j + step
-			p := a.pt(i, nj)
-			if s.target(p) {
-				segs := pathBack(a, i, nj)
-				s.sols = append(s.sols, solution{
-					a: a, i: i, j: nj,
-					cross:  c,
-					length: totalLen(segs),
-					segs:   segs,
-				})
-				break
-			}
-			if s.stopsEscape(p) {
-				break
-			}
-			// A wire running along the escape axis can never be shared:
-			// nets may cross, not overlap (§5.3). Own-net wires were
-			// already handled by the target predicate above.
-			if s.wireAlong(p, a.dir) != 0 {
-				break
-			}
-			idx := s.pl.idx(p)
-			if s.covered[idx]&dirBit(a.dir) != 0 {
-				break
-			}
-			// Perpendicular foreign wire: cross it (cell is passed but
-			// unusable as a turning point).
-			crossing := false
-			if w := s.wireAcross(p, a.dir); w != 0 && w != s.net {
-				crossing = true
-				c++
-			}
-			s.covered[idx] |= dirBit(a.dir)
-			s.stats.addCells(1)
-			advance[k]++
-			if crossing {
-				crossPos[k] = append(crossPos[k], nj)
-			}
-			j = nj
-		}
+	// The escape moves one cell at a time along one axis, so the plane
+	// index advances by a constant and every per-cell plane query reads
+	// the derived stops byte plus the stamped covered word — two loads —
+	// instead of five arrays. The window (a clamped subset of the plane)
+	// is the only geometric guard needed.
+	vertical := a.dir == geom.Up || a.dir == geom.Down
+	didx := step
+	across := pl.vNet // horizontal escape: crossing wires are vertical
+	alongBit, acrossBit := stopHWire, stopVWire
+	if vertical {
+		didx = step * pl.w
+		across = pl.hNet
+		alongBit, acrossBit = stopVWire, stopHWire
 	}
-	return s.newActives(a, advance, crossPos)
+	spec := pl.sp != nil && pl.sp.active
+	dbit := uint32(dirBit(a.dir))
+	stamp := ar.gen << coveredStampBits
+
+	// During one escape only the expansion-axis coordinate changes, so
+	// the window test reduces to one equality: the escape exits the
+	// window exactly when nj reaches wcut (the first coordinate past the
+	// window edge in the travel direction). The cross-axis coordinate is
+	// inside the window by construction — actives are emitted from swept
+	// (in-window) cells and start cells lie in the window's core bbox.
+	var wlo, whi int
+	if vertical {
+		wlo, whi = s.win.Min.Y, s.win.Max.Y
+	} else {
+		wlo, whi = s.win.Min.X, s.win.Max.X
+	}
+	wcut := whi + 1
+	if step < 0 {
+		wcut = wlo - 1
+	}
+
+	covered := ar.covered
+	stops := pl.stops
+	claim := pl.claim
+	gen := ar.gen
+	marks := s.marks
+	net := s.net
+
+	swept := 0
+	for k := 0; k < n; k++ {
+		if s.cancel.tick() {
+			ar.crossAdv = crossAdv
+			s.stats.addCells(swept)
+			return out // abandoned sweep; run's wave poll ends the search
+		}
+		crossOff[k] = len(crossAdv)
+		i := a.iv.Lo + k
+		c := a.cross
+		j := a.index
+		idx := pl.idx(a.pt(i, j))
+		adv := 0
+		for {
+			nj := j + step
+			// The window edge stops escapes exactly like an obstacle.
+			// Targets always lie inside the window (they span the bbox
+			// the window was grown from), so no contact is missed. The
+			// edge counts as a clip only when the cell would have been
+			// passable — a boundary coinciding with a natural stop hides
+			// nothing (the accessor-based reads here keep the clip
+			// decision in the speculative read set).
+			if nj == wcut {
+				p := a.pt(i, nj)
+				if a.bends < s.clipWave && !s.stopsEscape(p) && s.wireAlong(p, a.dir) == 0 {
+					s.clipWave = a.bends
+				}
+				break
+			}
+			nidx := idx + didx
+			if spec {
+				// One read note covers every field of the cell: the
+				// journal tracks whole points, so this subsumes the
+				// per-accessor notes of the generic path.
+				pl.sp.note(int32(nidx))
+			}
+			cw := covered[nidx]
+			if cw>>coveredStampBits != gen {
+				cw = stamp
+			}
+			if uint32(stops[nidx])|(cw&(dbit|targetBit)) != 0 || !marks {
+				// Slow path: some condition bit is set (or targets are a
+				// closure) — decide hit / stop / crossing explicitly.
+				var hit bool
+				if marks {
+					hit = cw&targetBit != 0
+				} else {
+					hit = s.target(a.pt(i, nj))
+				}
+				if hit {
+					segs := pathBack(a, i, nj)
+					s.sols = append(s.sols, solution{
+						a: a, i: i, j: nj,
+						cross:  c,
+						length: totalLen(segs),
+						segs:   segs,
+					})
+					break
+				}
+				m := stops[nidx]
+				if m&(stopBlocked|stopBend) != 0 {
+					break
+				}
+				if m&stopClaim != 0 && claim[nidx] != net {
+					break
+				}
+				// A wire running along the escape axis can never be
+				// shared: nets may cross, not overlap (§5.3). Own-net
+				// wires were already handled by the target test above.
+				if m&alongBit != 0 {
+					break
+				}
+				if cw&dbit != 0 {
+					break
+				}
+				// Perpendicular foreign wire: cross it (cell is passed
+				// but unusable as a turning point).
+				if m&acrossBit != 0 && across[nidx] != net {
+					c++
+					covered[nidx] = cw | dbit
+					adv++
+					crossAdv = append(crossAdv, adv)
+					j = nj
+					idx = nidx
+					continue
+				}
+			}
+			covered[nidx] = cw | dbit
+			adv++
+			j = nj
+			idx = nidx
+		}
+		advance[k] = adv
+		swept += adv
+	}
+	crossOff[n] = len(crossAdv)
+	ar.crossAdv = crossAdv
+	s.stats.addCells(swept)
+	return s.newActives(a, advance, crossAdv, crossOff, out)
 }
 
 // stopsEscape reports whether the escape line must halt before entering
@@ -307,8 +494,11 @@ func (s *lineSearch) wireAlong(p geom.Point, d geom.Dir) int32 {
 // Between neighbouring escape columns with different advances, the
 // taller column's extra cells border unexplored territory on the
 // shorter side; they form a new active segment expanding toward it,
-// with one more bend (NEW_ACTIVES).
-func (s *lineSearch) newActives(a *active, advance []int, crossPos [][]int) []*active {
+// with one more bend (NEW_ACTIVES). Border runs are split at crossing
+// cells with a single monotone walk over each column's crossing list;
+// each run's crossing count is the crossings at or before its first
+// cell, uniform over the run because runs never contain a crossing.
+func (s *lineSearch) newActives(a *active, advance, crossAdv, crossOff []int, out []*active) []*active {
 	step := a.step()
 	n := len(advance)
 	adv := func(k int) int {
@@ -317,7 +507,6 @@ func (s *lineSearch) newActives(a *active, advance []int, crossPos [][]int) []*a
 		}
 		return advance[k]
 	}
-	var out []*active
 
 	// decDir/incDir: the direction along the segment axis.
 	var decDir, incDir geom.Dir
@@ -327,52 +516,38 @@ func (s *lineSearch) newActives(a *active, advance []int, crossPos [][]int) []*a
 		decDir, incDir = geom.Down, geom.Up
 	}
 
+	flush := func(i, loAdv, hiAdv, cross int, dir geom.Dir) {
+		if loAdv > hiAdv {
+			return
+		}
+		na := s.ar.newActive()
+		*na = active{
+			index:  i,
+			iv:     geom.Iv(a.index+step*loAdv, a.index+step*hiAdv),
+			dir:    dir,
+			bends:  a.bends + 1,
+			cross:  cross,
+			parent: a,
+		}
+		out = append(out, na)
+	}
 	emit := func(k, fromAdv, toAdv int, dir geom.Dir) {
-		// Border cells of column k from advance fromAdv+1 .. toAdv,
-		// split around crossing cells.
+		// Border cells of column k from advance fromAdv+1 .. toAdv.
 		i := a.iv.Lo + k
-		isCross := map[int]bool{}
-		for _, j := range crossPos[k] {
-			isCross[j] = true
-		}
-		baseCross := a.cross[k]
-		crossUpTo := func(j int) int {
-			c := baseCross
-			for _, cj := range crossPos[k] {
-				if (cj-a.index)*step <= (j-a.index)*step {
-					c++
-				}
-			}
-			return c
-		}
-		flush := func(loAdv, hiAdv int) {
-			if loAdv > hiAdv {
-				return
-			}
-			jLo := a.index + step*loAdv
-			jHi := a.index + step*hiAdv
-			na := &active{
-				index:  i,
-				iv:     geom.Iv(jLo, jHi),
-				dir:    dir,
-				bends:  a.bends + 1,
-				parent: a,
-			}
-			na.cross = make([]int, na.iv.Len())
-			for j := na.iv.Lo; j <= na.iv.Hi; j++ {
-				na.cross[j-na.iv.Lo] = crossUpTo(j)
-			}
-			out = append(out, na)
+		cj := crossAdv[crossOff[k]:crossOff[k+1]]
+		c := a.cross
+		for len(cj) > 0 && cj[0] <= fromAdv {
+			c++
+			cj = cj[1:]
 		}
 		runLo := fromAdv + 1
-		for advPos := fromAdv + 1; advPos <= toAdv; advPos++ {
-			j := a.index + step*advPos
-			if isCross[j] {
-				flush(runLo, advPos-1)
-				runLo = advPos + 1
-			}
+		for len(cj) > 0 && cj[0] <= toAdv {
+			flush(i, runLo, cj[0]-1, c, dir)
+			c++
+			runLo = cj[0] + 1
+			cj = cj[1:]
 		}
-		flush(runLo, toAdv)
+		flush(i, runLo, toAdv, c, dir)
 	}
 
 	for k := 0; k <= n; k++ {

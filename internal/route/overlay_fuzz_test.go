@@ -142,11 +142,14 @@ func FuzzPlaneOverlay(f *testing.F) {
 				t.Fatalf("LayWire outcome %d: %q (flat) vs %q (journaled)", i, refErrs[i], workErrs[i])
 			}
 		}
-		// (2) Every tracked read is in the bitmap.
-		bits := work.specReadBits()
+		// (2) Every tracked read is in the bitmap and inside the read box.
+		bits, rbox := work.specReadBits()
 		for i := range reads {
 			if bits[i>>6]&(1<<(uint(i)&63)) == 0 {
 				t.Fatalf("read of plane index %d missing from specReadBits", i)
+			}
+			if g := geom.Pt(int(i)%work.w, int(i)/work.w); !winContains(rbox, g) {
+				t.Fatalf("read of plane index %d outside read box %v", i, rbox)
 			}
 		}
 		// (3) Rollback returns to the exact base state.

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"netart/internal/geom"
 	"netart/internal/netlist"
 )
 
@@ -80,6 +81,7 @@ func (st *SearchStats) add(o *SearchStats) {
 		st.MaxBends = o.MaxBends
 	}
 	st.RipUps += o.RipUps
+	st.Widened += o.Widened
 }
 
 // specResult is what a worker hands the committer for one net.
@@ -89,6 +91,7 @@ type specResult struct {
 	rn       *RoutedNet  // routing outcome (nil if the worker panicked)
 	rec      *opRecord   // replayable write log
 	reads    []uint64    // bitmap over plane indices of cells the speculation read
+	rbox     geom.Rect   // bounding box of the read set (grid coords)
 	stats    SearchStats // search work, accounted only if the speculation commits
 	panicVal any         // recovered panic; the committer re-raises it
 }
@@ -96,7 +99,8 @@ type specResult struct {
 // commitEntry is one committed net in the log workers sync from.
 type commitEntry struct {
 	rec    *opRecord
-	writes []int32 // sorted deduplicated cell indices rec writes
+	writes []int32   // sorted deduplicated cell indices rec writes
+	wbox   geom.Rect // bounding box of writes (grid coords)
 }
 
 // routeAllParallel is the Workers>1 implementation of routeAll.
@@ -139,15 +143,7 @@ func (rt *router) routeAllParallel() {
 
 	byNet := make(map[*netlist.Net]*RoutedNet, n)
 	var panicked any
-	for k := 0; k < n; k++ {
-		if rt.cancel.poll() {
-			break // abandoned run; RouteCtx discards the result
-		}
-		res := <-sched.ready[k]
-		if res.panicVal != nil {
-			panicked = res.panicVal
-			break
-		}
+	commitOne := func(k int, res *specResult) {
 		spec.Speculated++
 		if rt.validate(log, res, k) {
 			// Hit: replay the speculation's writes onto the master
@@ -157,7 +153,8 @@ func (rt *router) routeAllParallel() {
 			spec.Hits++
 			rt.plane.replayOps(res.rec)
 			rt.stats.add(&res.stats)
-			log[k] = commitEntry{rec: res.rec, writes: res.rec.writeSet(rt.plane)}
+			writes, wbox := res.rec.writeSet(rt.plane)
+			log[k] = commitEntry{rec: res.rec, writes: writes, wbox: wbox}
 			byNet[order[k]] = res.rn
 		} else {
 			// Miss: the speculation observed cells a later commit
@@ -170,7 +167,8 @@ func (rt *router) routeAllParallel() {
 			rt.rec = rec
 			byNet[order[k]] = rt.routeNet(order[k])
 			rt.rec = nil
-			log[k] = commitEntry{rec: rec, writes: rec.writeSet(rt.plane)}
+			writes, wbox := rec.writeSet(rt.plane)
+			log[k] = commitEntry{rec: rec, writes: writes, wbox: wbox}
 		}
 		if rt.opts.OnCommit != nil {
 			// The commit point: the master plane now reflects this net's
@@ -178,7 +176,44 @@ func (rt *router) routeAllParallel() {
 			// loop's per-net callback.
 			rt.opts.OnCommit(k, n, byNet[order[k]])
 		}
-		sched.commit(k)
+	}
+	for k := 0; k < n && panicked == nil; {
+		if rt.cancel.poll() {
+			break // abandoned run; RouteCtx discards the result
+		}
+		res := <-sched.ready[k]
+		// Batched commit: after the blocking receive, drain every
+		// already-buffered consecutive speculation into the same batch
+		// and publish once — one release-store of the committed length
+		// and a burst of dispatch tokens — instead of a publish per net.
+		// Each speculation is still validated against the log extended
+		// by its batch predecessors, so the outcome is identical to the
+		// one-at-a-time loop; batching only coalesces the coordination.
+		batch := 0
+		for {
+			if res.panicVal != nil {
+				panicked = res.panicVal
+				break
+			}
+			commitOne(k+batch, res)
+			batch++
+			if k+batch >= n {
+				break
+			}
+			var more bool
+			select {
+			case res = <-sched.ready[k+batch]:
+				more = true
+			default:
+			}
+			if !more {
+				break
+			}
+		}
+		if batch > 0 {
+			sched.commit(k+batch, batch)
+		}
+		k += batch
 	}
 	sched.stop()
 	sched.wg.Wait()
@@ -193,12 +228,22 @@ func (rt *router) routeAllParallel() {
 
 // validate reports whether a speculation may commit at position k: no
 // entry committed in [syncedAt, k) may have written a cell it read.
-// Cost is a bit test per written cell in the window — intentionally
-// independent of the speculation's read-set size, which can span the
+// Each log entry is first screened by rectangle intersection — a commit
+// whose write box is disjoint from the speculation's read box cannot
+// have written a read cell, so the bit tests are skipped. With search
+// windows the read box hugs the net's window and most pairs screen
+// out. Surviving entries pay a bit test per written cell —
+// intentionally independent of the read-set size, which can span the
 // whole searched region.
 func (rt *router) validate(log []commitEntry, res *specResult, k int) bool {
+	rb := res.rbox
 	for j := res.syncedAt; j < k; j++ {
-		for _, w := range log[j].writes {
+		e := &log[j]
+		if e.wbox.Min.X > rb.Max.X || e.wbox.Max.X < rb.Min.X ||
+			e.wbox.Min.Y > rb.Max.Y || e.wbox.Max.Y < rb.Min.Y {
+			continue
+		}
+		for _, w := range e.writes {
 			if res.reads[w>>6]&(1<<(uint(w)&63)) != 0 {
 				return false
 			}
@@ -247,11 +292,16 @@ func newSpecSched(n, workers int) *specSched {
 	return s
 }
 
-// commit publishes log entry k to the workers and opens a dispatch
-// slot. The caller must have written log[k] before calling.
-func (s *specSched) commit(k int) {
-	s.committedN.Store(int64(k + 1))
-	s.tokens <- struct{}{}
+// commit publishes the log through entry newLen-1 to the workers and
+// opens m dispatch slots (one per net of the batch). The caller must
+// have written log[..newLen) before calling. The token sends cannot
+// block: each returns a token a claim consumed, so in-channel tokens
+// never exceed the channel's worker-count capacity.
+func (s *specSched) commit(newLen, m int) {
+	s.committedN.Store(int64(newLen))
+	for i := 0; i < m; i++ {
+		s.tokens <- struct{}{}
+	}
 }
 
 // stop releases workers waiting for a dispatch slot. Idempotent use is
@@ -303,7 +353,7 @@ func specWorker(w int, wrt *router, order []*netlist.Net, log []commitEntry, sch
 			wrt.stats = &res.stats
 			wrt.plane.beginSpec()
 			res.rn = wrt.routeNet(order[k])
-			res.reads = wrt.plane.specReadBits()
+			res.reads, res.rbox = wrt.plane.specReadBits()
 			wrt.plane.rollbackSpec()
 			res.rec = rec
 			spec.WorkerNets[w]++

@@ -23,6 +23,15 @@ func assertSameResult(t *testing.T, tag string, seq, par *Result) {
 	if seq.Stats != par.Stats {
 		t.Errorf("%s: stats diverge:\n  seq %+v\n  par %+v", tag, seq.Stats, par.Stats)
 	}
+	assertSameArtwork(t, tag, seq, par)
+}
+
+// assertSameArtwork compares the routed artwork — wire geometry, plane
+// cell state, failures — but not the search statistics: windowed and
+// full-plane searches sweep different cell counts on the way to the
+// same result.
+func assertSameArtwork(t *testing.T, tag string, seq, par *Result) {
+	t.Helper()
 	if !seq.Plane.Equal(par.Plane) {
 		t.Errorf("%s: plane cell state diverges", tag)
 	}
@@ -78,6 +87,25 @@ func routeFresh(t *testing.T, build func() *netlist.Design, po place.Options, ro
 
 var batteryWorkers = []int{2, 4, 8}
 
+// batteryOrders and batteryWindows span the full determinism matrix:
+// {design, shortest-first} net ordering × {windowed, full-plane}
+// search, each at worker counts {1 (the sequential baseline), 2, 4, 8}.
+var batteryOrders = []struct {
+	name     string
+	shortest bool
+}{
+	{"design", false},
+	{"shortest", true},
+}
+
+var batteryWindows = []struct {
+	name     string
+	noWindow bool
+}{
+	{"window", false},
+	{"full", true},
+}
+
 func TestParallelMatchesSequentialWorkloads(t *testing.T) {
 	cases := []struct {
 		name  string
@@ -91,22 +119,39 @@ func TestParallelMatchesSequentialWorkloads(t *testing.T) {
 			ModSpacing: 1, BoxSpacing: 2, PartSpacing: 3}, true},
 	}
 	for _, tc := range cases {
-		t.Run(tc.name, func(t *testing.T) {
-			if tc.slow && testing.Short() {
-				t.Skip("life battery skipped in -short mode")
-			}
-			ro := Options{Claimpoints: true}
-			seq := routeFresh(t, tc.build, tc.po, ro)
-			for _, w := range batteryWorkers {
-				pro := ro
-				pro.Workers = w
-				par := routeFresh(t, tc.build, tc.po, pro)
-				if par.Speculation == nil {
-					t.Fatalf("workers=%d: no speculation stats on parallel result", w)
+		for _, ord := range batteryOrders {
+			t.Run(tc.name+"/"+ord.name, func(t *testing.T) {
+				if tc.slow && testing.Short() {
+					t.Skip("life battery skipped in -short mode")
 				}
-				assertSameResult(t, fmt.Sprintf("%s workers=%d", tc.name, w), seq, par)
-			}
-		})
+				ro := Options{Claimpoints: true, OrderShortestFirst: ord.shortest}
+				// One sequential baseline per window setting; the two
+				// baselines must agree on the artwork (the windowed≡full
+				// battery in window_test.go owns the exhaustive version
+				// of that property).
+				var baseline [2]*Result
+				for wi, win := range batteryWindows {
+					wro := ro
+					wro.NoWindow = win.noWindow
+					baseline[wi] = routeFresh(t, tc.build, tc.po, wro)
+				}
+				assertSameArtwork(t, tc.name+"/"+ord.name+"/window-vs-full", baseline[0], baseline[1])
+				for wi, win := range batteryWindows {
+					wro := ro
+					wro.NoWindow = win.noWindow
+					for _, w := range batteryWorkers {
+						pro := wro
+						pro.Workers = w
+						par := routeFresh(t, tc.build, tc.po, pro)
+						if par.Speculation == nil {
+							t.Fatalf("%s workers=%d: no speculation stats on parallel result", win.name, w)
+						}
+						assertSameResult(t, fmt.Sprintf("%s/%s/%s workers=%d",
+							tc.name, ord.name, win.name, w), baseline[wi], par)
+					}
+				}
+			})
+		}
 	}
 }
 

@@ -86,10 +86,56 @@ type Plane struct {
 	bend    []bool
 	claim   []int32 // net id holding a claimpoint here
 
+	// claimOf indexes claim placements: every plane index ever claimed
+	// by a net, appended on setClaim and never removed (entries whose
+	// claim has since cleared are skipped on release). Claims are placed
+	// once before routing and only removed afterwards, so the index stays
+	// tiny and lets ReleaseClaims run in O(net's claims) instead of a
+	// full-plane scan per net.
+	claimOf map[int32][]int32
+
+	// stops caches, per point, one bit per condition the expansion
+	// engine's escape sweep tests (stop* constants). It is derived state,
+	// recomputed on every mutating write, so the hot sweep reads one byte
+	// instead of five arrays; the slow accessors stay authoritative.
+	stops []uint8
+
 	// sp is the copy-on-write speculation journal (spec.go). Nil on
 	// ordinary planes; attached by enableSpec on the private per-worker
 	// snapshots of the parallel router.
 	sp *planeSpec
+}
+
+// stops bits. stopHWire/stopVWire mean "a wire of some net runs through
+// here on that axis" — whether that stops or merely crosses an escape
+// depends on the escape's direction and net, which the sweep decides.
+const (
+	stopBlocked uint8 = 1 << iota
+	stopBend
+	stopClaim
+	stopHWire
+	stopVWire
+)
+
+// refreshStops recomputes the derived stop bits of point i.
+func (pl *Plane) refreshStops(i int) {
+	var m uint8
+	if pl.blocked[i] {
+		m |= stopBlocked
+	}
+	if pl.bend[i] {
+		m |= stopBend
+	}
+	if pl.claim[i] != 0 {
+		m |= stopClaim
+	}
+	if pl.hNet[i] != 0 {
+		m |= stopHWire
+	}
+	if pl.vNet[i] != 0 {
+		m |= stopVWire
+	}
+	pl.stops[i] = m
 }
 
 // NewPlane returns an empty plane over the inclusive point region.
@@ -110,6 +156,8 @@ func NewPlane(bounds geom.Rect) *Plane {
 		vNet:    make([]int32, n),
 		bend:    make([]bool, n),
 		claim:   make([]int32, n),
+		claimOf: make(map[int32][]int32),
+		stops:   make([]uint8, n),
 	}
 }
 
@@ -129,7 +177,9 @@ func (pl *Plane) idx(p geom.Point) int {
 func (pl *Plane) BlockRect(min, max geom.Point) {
 	for y := geom.Max(min.Y, pl.Bounds.Min.Y); y <= geom.Min(max.Y, pl.Bounds.Max.Y); y++ {
 		for x := geom.Max(min.X, pl.Bounds.Min.X); x <= geom.Min(max.X, pl.Bounds.Max.X); x++ {
-			pl.blocked[pl.idx(geom.Pt(x, y))] = true
+			i := pl.idx(geom.Pt(x, y))
+			pl.blocked[i] = true
+			pl.stops[i] |= stopBlocked
 		}
 	}
 }
@@ -137,7 +187,9 @@ func (pl *Plane) BlockRect(min, max geom.Point) {
 // BlockPoint blocks a single point.
 func (pl *Plane) BlockPoint(p geom.Point) {
 	if pl.InBounds(p) {
-		pl.blocked[pl.idx(p)] = true
+		i := pl.idx(p)
+		pl.blocked[i] = true
+		pl.stops[i] |= stopBlocked
 	}
 }
 
@@ -227,15 +279,15 @@ func (pl *Plane) Claim(p geom.Point, net int32) {
 // ReleaseClaims removes every claimpoint of the given net ("when the
 // routing of A and B starts, both their claimpoints are removed").
 //
-// The scan over the claim array is deliberately not read-tracked: a
+// The claimOf index lookup is deliberately not read-tracked: a
 // speculation only ever releases its own net's claims, and no commit
 // ever *adds* a claim during routing (claims are placed once before
-// routeAll and only removed after), so the set of points this scan
-// releases cannot be changed by an intervening commit.
+// routeAll and only removed after), so the set of points this releases
+// cannot be changed by an intervening commit.
 func (pl *Plane) ReleaseClaims(net int32) {
-	for i := range pl.claim {
+	for _, i := range pl.claimOf[net] {
 		if pl.claim[i] == net {
-			pl.setClaim(i, 0)
+			pl.setClaim(int(i), 0)
 		}
 	}
 }
@@ -245,10 +297,10 @@ func (pl *Plane) ReleaseClaims(net int32) {
 // ordered replay against the master plane.
 func (pl *Plane) releaseClaimsList(net int32) []int32 {
 	var out []int32
-	for i := range pl.claim {
+	for _, i := range pl.claimOf[net] {
 		if pl.claim[i] == net {
-			pl.setClaim(i, 0)
-			out = append(out, int32(i))
+			pl.setClaim(int(i), 0)
+			out = append(out, i)
 		}
 	}
 	return out
@@ -257,9 +309,11 @@ func (pl *Plane) releaseClaimsList(net int32) []int32 {
 // ReleaseAllClaims removes every claimpoint, done before the final
 // retry pass over unrouted nets.
 func (pl *Plane) ReleaseAllClaims() {
-	for i := range pl.claim {
-		if pl.claim[i] != 0 {
-			pl.setClaim(i, 0)
+	for _, idxs := range pl.claimOf {
+		for _, i := range idxs {
+			if pl.claim[i] != 0 {
+				pl.setClaim(int(i), 0)
+			}
 		}
 	}
 }

@@ -1,6 +1,10 @@
 package route
 
-import "sort"
+import (
+	"sort"
+
+	"netart/internal/geom"
+)
 
 // This file implements the copy-on-write speculation layer of the
 // deterministic parallel router (see parallel.go): a per-plane journal
@@ -97,20 +101,29 @@ func (pl *Plane) beginSpec() {
 }
 
 // specReadBits returns the plane points read since beginSpec as a
-// fresh bitmap (one bit per plane index). The bitmap form makes the
-// committer's conflict check O(|writes|) bit tests instead of a scan
-// over the read set — read sets span whole searched regions, so
-// scanning them on the single committer goroutine would serialize the
-// pipeline, while building the bitmap here costs the worker one pass
-// it runs in parallel. A fresh allocation is required: the committer
-// may still be validating while this worker starts its next epoch.
-func (pl *Plane) specReadBits() []uint64 {
+// fresh bitmap (one bit per plane index), plus the inclusive bounding
+// rectangle of the read set in grid (column, row) coordinates. The
+// bitmap form makes the committer's conflict check O(|writes|) bit
+// tests instead of a scan over the read set — read sets span whole
+// searched regions, so scanning them on the single committer goroutine
+// would serialize the pipeline, while building the bitmap here costs
+// the worker one pass it runs in parallel. The rectangle enables the
+// committer's cheaper pre-filter: a commit whose write box does not
+// intersect the read box cannot conflict, so the per-write bit tests
+// are skipped entirely — with search windows, read boxes hug the net's
+// window and most commit pairs are disjoint. A fresh allocation is
+// required: the committer may still be validating while this worker
+// starts its next epoch. An empty read set yields an inverted box
+// (Min > Max), which intersects nothing.
+func (pl *Plane) specReadBits() ([]uint64, geom.Rect) {
 	s := pl.sp
 	bits := make([]uint64, (len(pl.blocked)+63)/64)
+	box := geom.Rect{Min: geom.Pt(1<<30, 1<<30), Max: geom.Pt(-1, -1)}
 	for _, i := range s.reads {
 		bits[i>>6] |= 1 << (uint(i) & 63)
+		box = boxAdd(box, geom.Pt(int(i)%pl.w, int(i)/pl.w))
 	}
-	return bits
+	return bits, box
 }
 
 // rollbackSpec undoes every journaled write in reverse order, returning
@@ -129,6 +142,7 @@ func (pl *Plane) rollbackSpec() {
 		case fieldClaim:
 			pl.claim[e.idx] = e.old
 		}
+		pl.refreshStops(int(e.idx))
 		s.dirty[e.idx] &^= 1 << e.field
 	}
 	s.undo = s.undo[:0]
@@ -144,6 +158,7 @@ func (pl *Plane) setH(i int, v int32) {
 		pl.sp.journal(int32(i), fieldH, pl.hNet[i])
 	}
 	pl.hNet[i] = v
+	pl.refreshStops(i)
 }
 
 func (pl *Plane) setV(i int, v int32) {
@@ -151,6 +166,7 @@ func (pl *Plane) setV(i int, v int32) {
 		pl.sp.journal(int32(i), fieldV, pl.vNet[i])
 	}
 	pl.vNet[i] = v
+	pl.refreshStops(i)
 }
 
 func (pl *Plane) setBend(i int) {
@@ -162,13 +178,18 @@ func (pl *Plane) setBend(i int) {
 		pl.sp.journal(int32(i), fieldBend, old)
 	}
 	pl.bend[i] = true
+	pl.stops[i] |= stopBend
 }
 
 func (pl *Plane) setClaim(i int, v int32) {
 	if pl.sp != nil && pl.sp.active {
 		pl.sp.journal(int32(i), fieldClaim, pl.claim[i])
 	}
+	if v != 0 {
+		pl.claimOf[v] = append(pl.claimOf[v], int32(i))
+	}
 	pl.claim[i] = v
+	pl.refreshStops(i)
 }
 
 // noteRead records a mutable-state read at point index i (no-op without
@@ -189,6 +210,11 @@ func (pl *Plane) Clone() *Plane {
 	cp.vNet = append([]int32(nil), pl.vNet...)
 	cp.bend = append([]bool(nil), pl.bend...)
 	cp.claim = append([]int32(nil), pl.claim...)
+	cp.claimOf = make(map[int32][]int32, len(pl.claimOf))
+	for net, idxs := range pl.claimOf {
+		cp.claimOf[net] = append([]int32(nil), idxs...)
+	}
+	cp.stops = append([]uint8(nil), pl.stops...)
 	return cp
 }
 
@@ -234,10 +260,14 @@ func (pl *Plane) replayOps(r *opRecord) {
 }
 
 // writeSet returns the sorted, deduplicated plane indices the record
-// writes: released claims plus every wire point (bend marks land on
-// segment endpoints, which are wire points). This is the conflict set
-// an ordered commit checks later speculations' read sets against.
-func (r *opRecord) writeSet(pl *Plane) []int32 {
+// writes — released claims plus every wire point (bend marks land on
+// segment endpoints, which are wire points) — and their inclusive
+// bounding rectangle in grid (column, row) coordinates, matching the
+// coordinate space of specReadBits' read box. This is the conflict set
+// an ordered commit checks later speculations' read sets against; the
+// box is the cheap first-stage filter. A record with no writes yields
+// an inverted box, which intersects nothing.
+func (r *opRecord) writeSet(pl *Plane) ([]int32, geom.Rect) {
 	var out []int32
 	out = append(out, r.claims...)
 	for _, segs := range r.wires {
@@ -256,5 +286,10 @@ func (r *opRecord) writeSet(pl *Plane) []int32 {
 			n++
 		}
 	}
-	return out[:n]
+	out = out[:n]
+	box := geom.Rect{Min: geom.Pt(1<<30, 1<<30), Max: geom.Pt(-1, -1)}
+	for _, i := range out {
+		box = boxAdd(box, geom.Pt(int(i)%pl.w, int(i)/pl.w))
+	}
+	return out, box
 }

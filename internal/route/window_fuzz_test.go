@@ -1,0 +1,169 @@
+package route
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"netart/internal/geom"
+)
+
+// FuzzWindowedJournal is the property test of the windowed search
+// engine running over the speculation journal with a reused arena —
+// the exact configuration the parallel scheduler puts the hot path in.
+// For an arbitrary obstacle field and terminal pairs it requires:
+//
+//  1. flat-reference parity: the windowed ladder on a journaled plane
+//     finds exactly the segments (and search statistics) it finds on a
+//     flat, journal-free clone, across several nets laid in sequence
+//     through one shared arena;
+//  2. read accounting: every cell on a found path was swept by the
+//     engine, so it must appear in specReadBits' bitmap and fall
+//     inside the read bounding box (the validation pre-filter's
+//     window-scoped snapshot of the read set);
+//  3. exact rollback after reuse: rollbackSpec restores the
+//     pre-speculation plane, and a second journal epoch over the same
+//     arena (generations bumped, buffers reused) reproduces the first
+//     epoch byte for byte before rolling back just as cleanly.
+
+// fuzzSearch runs the windowed ladder for a single point-to-point net,
+// mirroring router.search without the netlist scaffolding.
+func fuzzSearch(rt *router, id int32, from, to geom.Point) ([]Segment, bool) {
+	target := func(p geom.Point) bool { return p == to }
+	dirs := []geom.Dir{geom.Right, geom.Up, geom.Left, geom.Down}
+	bbox := boxAdd(ptBox(from), to)
+	wins := rt.windows(bbox)
+	for wi, win := range wins {
+		if wi > 0 {
+			rt.stats.Widened++
+		}
+		segs, ok, exact := rt.searchIn(win, bbox, id, from, dirs, target, []geom.Point{to}, nil)
+		if exact || wi == len(wins)-1 {
+			return segs, ok
+		}
+	}
+	return nil, false
+}
+
+// fuzzEpoch routes every terminal pair in order on pl, laying each
+// found path, and returns one outcome line per net (segments or
+// LayWire error) for cross-run comparison.
+func fuzzEpoch(rt *router, pairs [][2]geom.Point) []string {
+	var out []string
+	for i, pr := range pairs {
+		id := int32(i) + 1
+		segs, ok := fuzzSearch(rt, id, pr[0], pr[1])
+		if !ok {
+			out = append(out, "unrouted")
+			continue
+		}
+		err := rt.plane.LayWire(id, segs)
+		out = append(out, fmt.Sprintf("%v lay=%v", segs, err))
+	}
+	return out
+}
+
+func FuzzWindowedJournal(f *testing.F) {
+	f.Add(uint8(48), uint8(40), []byte{2, 2, 40, 30, 10, 28, 35, 5, 20, 20, 21, 20, 22, 20, 23, 20})
+	f.Add(uint8(70), uint8(16), []byte{0, 0, 60, 10, 5, 5, 5, 6, 6, 5, 7, 7})
+	f.Add(uint8(16), uint8(16), []byte{1, 1, 1, 1})
+	f.Fuzz(func(t *testing.T, w, h uint8, data []byte) {
+		width := int(w%64) + 16
+		height := int(h%64) + 16
+		bounds := geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(width-1, height-1)}
+		next := func() byte {
+			if len(data) == 0 {
+				return 0
+			}
+			b := data[0]
+			data = data[1:]
+			return b
+		}
+		pt := func() geom.Point { a, b := next(), next(); return geom.Pt(int(a)%width, int(b)%height) }
+
+		// Two point-to-point nets, then the remaining bytes scatter
+		// obstacles (skipping the terminals so the nets stay plausible).
+		pairs := [][2]geom.Point{{pt(), pt()}, {pt(), pt()}}
+		isTerm := func(p geom.Point) bool {
+			for _, pr := range pairs {
+				if p == pr[0] || p == pr[1] {
+					return true
+				}
+			}
+			return false
+		}
+		base := NewPlane(bounds)
+		for n := 0; n < 40 && len(data) >= 2; n++ {
+			if p := pt(); !isTerm(p) {
+				base.BlockPoint(p)
+			}
+		}
+
+		newRT := func(pl *Plane) *router {
+			return &router{plane: pl, cancel: newCancelCheck(context.Background()), stats: &SearchStats{}}
+		}
+
+		// Flat reference: no journal.
+		ref := newRT(base.Clone())
+		refOut := fuzzEpoch(ref, pairs)
+
+		// Journaled run, epoch one.
+		work := base.Clone()
+		work.enableSpec()
+		work.beginSpec()
+		wrt := newRT(work)
+		workOut := fuzzEpoch(wrt, pairs)
+
+		// (1) Flat-reference parity: outcomes, plane state, statistics.
+		if fmt.Sprint(refOut) != fmt.Sprint(workOut) {
+			t.Fatalf("journaled outcomes diverge:\n  flat %v\n  spec %v", refOut, workOut)
+		}
+		if !work.Equal(ref.plane) {
+			t.Fatal("journaled plane diverges from flat reference")
+		}
+		if *ref.stats != *wrt.stats {
+			t.Fatalf("search stats diverge:\n  flat %+v\n  spec %+v", *ref.stats, *wrt.stats)
+		}
+
+		// (2) Every swept path cell is in the read bitmap and box.
+		bits, rbox := work.specReadBits()
+		for id := int32(1); id <= int32(len(pairs)); id++ {
+			for i, v := range work.hNet {
+				if v != id && work.vNet[i] != id {
+					continue
+				}
+				p := geom.Pt(work.Bounds.Min.X+i%work.w, work.Bounds.Min.Y+i/work.w)
+				if isTerm(p) && p == pairs[id-1][0] {
+					// The start cell is entered before the sweep begins and
+					// may legitimately go unread.
+					continue
+				}
+				if bits[i>>6]&(1<<(uint(i)&63)) == 0 {
+					t.Fatalf("net %d wire cell %v missing from specReadBits", id, p)
+				}
+				if g := geom.Pt(i%work.w, i/work.w); !winContains(rbox, g) {
+					t.Fatalf("net %d wire cell %v outside read box %v", id, p, rbox)
+				}
+			}
+		}
+
+		// (3) Rollback restores the base, and a second epoch over the
+		// reused journal and arena reproduces the first.
+		work.rollbackSpec()
+		if !work.Equal(base) {
+			t.Fatal("rollback did not restore the pre-speculation state")
+		}
+		work.beginSpec()
+		againOut := fuzzEpoch(wrt, pairs)
+		if fmt.Sprint(againOut) != fmt.Sprint(workOut) {
+			t.Fatalf("second epoch diverges:\n  first  %v\n  second %v", workOut, againOut)
+		}
+		if !work.Equal(ref.plane) {
+			t.Fatal("second epoch plane diverges from flat reference")
+		}
+		work.rollbackSpec()
+		if !work.Equal(base) {
+			t.Fatal("second rollback did not restore the base state")
+		}
+	})
+}

@@ -66,10 +66,21 @@ type GenOptions struct {
 	Algorithm     string `json:"algorithm,omitempty"` // line-expansion, lee-bends, lee-length, hightower
 	NoClaimpoints bool   `json:"no_claimpoints,omitempty"`
 	SwapObjective bool   `json:"swap_objective,omitempty"`
-	ShortestFirst bool   `json:"shortest_first,omitempty"`
-	RipUp         bool   `json:"rip_up,omitempty"`
-	DualFront     bool   `json:"dual_front,omitempty"`
-	Margin        int    `json:"margin,omitempty"`
+	// RouteOrder selects the net routing order: "shortest" (default —
+	// increasing estimated length, the §7 extension) or "design" (the
+	// paper's order). Replaces the former shortest_first boolean.
+	RouteOrder string `json:"route_order,omitempty"`
+	// RouteWindow toggles the bounded search windows of the routing hot
+	// path: "on" (default) or "off" (full-plane searches, the seed
+	// behavior). Windowed results are byte-identical to full-plane ones
+	// — the exactness ladder guarantees it and the windowed≡full
+	// property battery in internal/route enforces it — so, exactly like
+	// route_workers, the knob is an execution hint and does NOT
+	// participate in the cache key.
+	RouteWindow string `json:"route_window,omitempty"`
+	RipUp       bool   `json:"rip_up,omitempty"`
+	DualFront   bool   `json:"dual_front,omitempty"`
+	Margin      int    `json:"margin,omitempty"`
 
 	// DegradeMode selects the failure policy for incomplete routings:
 	// none, strict, escalate, or best-effort (see gen.DegradeMode).
@@ -104,13 +115,19 @@ func (o GenOptions) resolve() (gen.Options, error) {
 			ModSpacing:     o.ModSpacing,
 		},
 		Route: route.Options{
-			Claimpoints:        !o.NoClaimpoints,
-			SwapObjective:      o.SwapObjective,
-			OrderShortestFirst: o.ShortestFirst,
-			RipUp:              o.RipUp,
-			DualFront:          o.DualFront,
-			Margin:             o.Margin,
+			Claimpoints:   !o.NoClaimpoints,
+			SwapObjective: o.SwapObjective,
+			RipUp:         o.RipUp,
+			DualFront:     o.DualFront,
+			Margin:        o.Margin,
 		},
+	}
+	var err error
+	if opts.Route.OrderShortestFirst, err = route.ParseOrder(o.RouteOrder); err != nil {
+		return opts, err
+	}
+	if opts.Route.NoWindow, err = route.ParseWindow(o.RouteWindow); err != nil {
+		return opts, err
 	}
 	if opts.Place.PartSize == 0 {
 		opts.Place.PartSize = 7
@@ -174,9 +191,9 @@ func (o GenOptions) canonical(degrade gen.DegradeMode) string {
 	fmt.Fprintf(&b, "placer=%s part=%d box=%d conn=%d", orDefault(o.Placer, "paper"),
 		orDefaultInt(o.PartSize, 7), orDefaultInt(o.BoxSize, 5), o.MaxConnections)
 	fmt.Fprintf(&b, " pspc=%d bspc=%d mspc=%d", o.PartSpacing, o.BoxSpacing, o.ModSpacing)
-	fmt.Fprintf(&b, " algo=%s claims=%t swap=%t shortest=%t ripup=%t dual=%t margin=%d",
+	fmt.Fprintf(&b, " algo=%s claims=%t swap=%t order=%s ripup=%t dual=%t margin=%d",
 		orDefault(o.Algorithm, "line-expansion"), !o.NoClaimpoints, o.SwapObjective,
-		o.ShortestFirst, o.RipUp, o.DualFront, o.Margin)
+		orDefault(o.RouteOrder, "shortest"), o.RipUp, o.DualFront, o.Margin)
 	fmt.Fprintf(&b, " degrade=%s", degrade)
 	return b.String()
 }
